@@ -1,0 +1,278 @@
+package gdp
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// The benchmarks in this file regenerate the paper's tables and figures, one
+// bench per artifact. They run at a reduced scale so that `go test -bench=.`
+// finishes in minutes; pass -timeout and edit benchScale (or use cmd/gdpsim
+// with -paper-scale) for larger populations. Results are reported both as
+// wall-clock time per regeneration and, via b.ReportMetric, as the headline
+// quantity of the corresponding figure.
+
+// benchScale is the workload population used by the figure benchmarks.
+func benchScale() StudyScale {
+	return StudyScale{
+		WorkloadsPerCell:    1,
+		InstructionsPerCore: 4000,
+		IntervalCycles:      4000,
+		Seed:                42,
+		CoreCounts:          []int{2, 4},
+	}
+}
+
+// BenchmarkTable1Config regenerates Table I (the CMP model parameters).
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, cores := range []int{2, 4, 8} {
+			rows := experiments.Table1(cores)
+			if len(rows) == 0 {
+				b.Fatal("empty Table I")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3IPCAccuracy regenerates Figure 3a: the average absolute RMS
+// error of the private-mode IPC estimates for every technique.
+func BenchmarkFigure3IPCAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := AccuracyStudy(AccuracyOptions{
+			Cores:               4,
+			Mix:                 MixH,
+			Workloads:           1,
+			InstructionsPerCore: benchScale().InstructionsPerCore,
+			IntervalCycles:      benchScale().IntervalCycles,
+			Seed:                benchScale().Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if gdp := res.Technique("GDP"); gdp != nil {
+			b.ReportMetric(gdp.MeanIPCAbsRMS, "gdp-ipc-rms")
+		}
+		if asm := res.Technique("ASM"); asm != nil {
+			b.ReportMetric(asm.MeanIPCAbsRMS, "asm-ipc-rms")
+		}
+	}
+}
+
+// BenchmarkFigure3StallAccuracy regenerates Figure 3b: the SMS-load stall
+// cycle estimation errors.
+func BenchmarkFigure3StallAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := AccuracyStudy(AccuracyOptions{
+			Cores:               4,
+			Mix:                 MixM,
+			Workloads:           1,
+			InstructionsPerCore: benchScale().InstructionsPerCore,
+			IntervalCycles:      benchScale().IntervalCycles,
+			Seed:                benchScale().Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if gdpo := res.Technique("GDP-O"); gdpo != nil {
+			b.ReportMetric(gdpo.MeanStallAbsRMS, "gdpo-stall-rms")
+		}
+		if ptca := res.Technique("PTCA"); ptca != nil {
+			b.ReportMetric(ptca.MeanStallAbsRMS, "ptca-stall-rms")
+		}
+	}
+}
+
+// BenchmarkFigure4Distribution regenerates Figure 4: the sorted per-benchmark
+// stall-error distributions across core counts.
+func BenchmarkFigure4Distribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig3, err := experiments.Figure3(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig4 := experiments.Figure4(fig3)
+		total := 0
+		for _, series := range fig4.PerCoreCount {
+			for _, s := range series {
+				total += len(s.Sorted)
+			}
+		}
+		b.ReportMetric(float64(total), "error-samples")
+	}
+}
+
+// BenchmarkFigure5Components regenerates Figure 5: the CPL, overlap and
+// latency component error distributions of GDP/GDP-O.
+func BenchmarkFigure5Components(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := AccuracyStudy(AccuracyOptions{
+			Cores:               4,
+			Mix:                 MixH,
+			Workloads:           1,
+			InstructionsPerCore: benchScale().InstructionsPerCore,
+			IntervalCycles:      benchScale().IntervalCycles,
+			Seed:                benchScale().Seed,
+			Techniques:          []string{"GDP-O"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := len(res.Components.CPLRelRMS); n > 0 {
+			sum := 0.0
+			for _, v := range res.Components.CPLRelRMS {
+				sum += v
+			}
+			b.ReportMetric(sum/float64(n), "cpl-rel-rms")
+		}
+	}
+}
+
+// BenchmarkFigure6STP regenerates Figure 6: system throughput under the five
+// LLC management policies.
+func BenchmarkFigure6STP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := PartitioningStudy(PartitioningOptions{
+			Cores:               4,
+			Mix:                 MixH,
+			Workloads:           1,
+			InstructionsPerCore: benchScale().InstructionsPerCore,
+			IntervalCycles:      benchScale().IntervalCycles,
+			Seed:                benchScale().Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AverageSTP["MCP"], "mcp-stp")
+		b.ReportMetric(res.AverageSTP["LRU"], "lru-stp")
+		b.ReportMetric(res.AverageSTP["ASM"], "asm-stp")
+	}
+}
+
+// BenchmarkFigure7Sensitivity regenerates two representative panels of the
+// Figure 7 sensitivity study (DRAM interface and mixed workloads); the CLI
+// regenerates all six panels.
+func BenchmarkFigure7Sensitivity(b *testing.B) {
+	opts := experiments.SensitivityOptions{Scale: benchScale()}
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure7d(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Points) != 2 {
+			b.Fatal("Figure 7d incomplete")
+		}
+		f, err := experiments.Figure7f(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.Points) == 0 {
+			b.Fatal("Figure 7f incomplete")
+		}
+	}
+}
+
+// BenchmarkAblationPRBSize sweeps the Pending Request Buffer size (the
+// Figure 7e ablation of the PRB eviction design decision).
+func BenchmarkAblationPRBSize(b *testing.B) {
+	for _, entries := range []int{8, 32, 128} {
+		b.Run(sizeName(entries), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := AccuracyStudy(AccuracyOptions{
+					Cores:               4,
+					Mix:                 MixH,
+					Workloads:           1,
+					InstructionsPerCore: benchScale().InstructionsPerCore,
+					IntervalCycles:      benchScale().IntervalCycles,
+					Seed:                benchScale().Seed,
+					PRBEntries:          entries,
+					Techniques:          []string{"GDP-O"},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Technique("GDP-O").MeanIPCAbsRMS, "ipc-rms")
+			}
+		})
+	}
+}
+
+func sizeName(entries int) string {
+	switch entries {
+	case 8:
+		return "prb8"
+	case 32:
+		return "prb32"
+	default:
+		return "prb128"
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the raw simulator speed (cycles per
+// second of a 4-core shared-mode run); it is the cost driver of every figure.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	ws, err := GenerateWorkloads(4, MixH, 1, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acct, err := NewGDPO(4, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(SimOptions{
+			Config:              ScaledConfig(4),
+			Workload:            ws[0],
+			InstructionsPerCore: 3000,
+			IntervalCycles:      3000,
+			Seed:                int64(i),
+			Accountants:         []Accountant{acct},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/run")
+}
+
+// BenchmarkDataflowUnit measures the per-event cost of the GDP-O hardware
+// model itself (Algorithms 1-3), independent of the rest of the simulator.
+func BenchmarkDataflowUnit(b *testing.B) {
+	unit, err := NewDataflowUnit(DataflowOptions{PRBEntries: 32, TrackOverlap: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(0x1000 + (i%32)*64)
+		cycle := uint64(i * 10)
+		unit.OnLoadIssued(addr, cycle)
+		unit.OnCommitStall(addr, true, cycle+1)
+		unit.OnLoadCompleted(addr, true, cycle+5, 200, 20)
+		unit.OnCommitResume(addr, true, cycle+6)
+	}
+	if unit.CPL() == 0 {
+		b.Fatal("unit made no progress")
+	}
+}
+
+// BenchmarkWorkloadGeneration measures the paper-scale workload population
+// generation (Section VI methodology).
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, cores := range []int{2, 4, 8} {
+			ws, err := workload.PaperSet(cores, 1, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ws) != 50 {
+				b.Fatalf("expected 50 workloads, got %d", len(ws))
+			}
+		}
+	}
+}

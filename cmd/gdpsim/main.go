@@ -1,0 +1,252 @@
+// Command gdpsim runs the experiments of the GDP reproduction from the
+// command line. Each subcommand regenerates one table or figure of the paper:
+//
+//	gdpsim table1                 Table I (CMP model parameters)
+//	gdpsim fig3                   Figures 3a/3b (accounting accuracy)
+//	gdpsim fig4                   Figure 4 (sorted error distributions)
+//	gdpsim fig5                   Figure 5 (component error distributions)
+//	gdpsim fig6                   Figure 6 (cache partitioning throughput)
+//	gdpsim fig7                   Figure 7 (sensitivity analysis)
+//	gdpsim headline               Headline ratios derived from fig3
+//	gdpsim overhead               Storage and latency overheads (Section IV)
+//	gdpsim run                    Run a single workload and print estimates
+//
+// Global flags select the experiment scale; by default a quick scale is used
+// so every command finishes in seconds. Use -paper-scale for a population
+// closer to the paper's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	gdpcore "repro/internal/core"
+	"repro/internal/dief"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gdpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gdpsim", flag.ContinueOnError)
+	paperScale := fs.Bool("paper-scale", false, "use the larger paper-like workload population")
+	workloads := fs.Int("workloads", 0, "override the number of workloads per cell")
+	instructions := fs.Uint64("instructions", 0, "override the per-benchmark instruction sample")
+	interval := fs.Uint64("interval", 0, "override the accounting/repartitioning interval in cycles")
+	seed := fs.Int64("seed", 42, "random seed")
+	cores := fs.Int("cores", 4, "core count for single-cell commands (run, fig6, overhead, table1)")
+	benchNames := fs.String("benchmarks", "", "comma-separated benchmark names for the run command")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing subcommand (table1, fig3, fig4, fig5, fig6, fig7, headline, overhead, run)")
+	}
+
+	scale := experiments.DefaultScale()
+	if *paperScale {
+		scale = experiments.PaperScale()
+	}
+	if *workloads > 0 {
+		scale.WorkloadsPerCell = *workloads
+	}
+	if *instructions > 0 {
+		scale.InstructionsPerCore = *instructions
+	}
+	if *interval > 0 {
+		scale.IntervalCycles = *interval
+	}
+	scale.Seed = *seed
+
+	switch rest[0] {
+	case "table1":
+		return cmdTable1(*cores)
+	case "fig3":
+		return cmdFig3(scale)
+	case "fig4":
+		return cmdFig4(scale)
+	case "fig5":
+		return cmdFig5(scale)
+	case "fig6":
+		return cmdFig6(scale, *cores)
+	case "fig7":
+		return cmdFig7(scale)
+	case "headline":
+		return cmdHeadline(scale)
+	case "overhead":
+		return cmdOverhead(*cores)
+	case "run":
+		return cmdRun(scale, *cores, *benchNames)
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+func cmdTable1(cores int) error {
+	fmt.Printf("Table I: CMP model parameters (%d cores)\n", cores)
+	for _, row := range experiments.Table1(cores) {
+		fmt.Printf("  %-20s %s\n", row.Parameter, row.Value)
+	}
+	return nil
+}
+
+func cmdFig3(scale experiments.StudyScale) error {
+	res, err := experiments.Figure3(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}
+
+func cmdFig4(scale experiments.StudyScale) error {
+	fig3, err := experiments.Figure3(scale)
+	if err != nil {
+		return err
+	}
+	fig4 := experiments.Figure4(fig3)
+	for cores, series := range fig4.PerCoreCount {
+		fmt.Printf("Figure 4: sorted SMS-load stall RMS errors, %d-core CMP\n", cores)
+		for _, s := range series {
+			fmt.Printf("  %-6s n=%d", s.Technique, len(s.Sorted))
+			if len(s.Sorted) > 0 {
+				fmt.Printf(" min=%.1f median=%.1f max=%.1f",
+					s.Sorted[0], s.Sorted[len(s.Sorted)/2], s.Sorted[len(s.Sorted)-1])
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func cmdFig5(scale experiments.StudyScale) error {
+	fig3, err := experiments.Figure3(scale)
+	if err != nil {
+		return err
+	}
+	fig5 := experiments.Figure5(fig3)
+	fmt.Println("Figure 5: GDP/GDP-O component relative RMS error distributions")
+	for cell, sums := range fig5.PerCell {
+		fmt.Printf("  %-8s CPL median=%.3f  overlap median=%.3f  latency median=%.3f\n",
+			cell, sums.CPL.Median, sums.Overlap.Median, sums.Latency.Median)
+	}
+	return nil
+}
+
+func cmdFig6(scale experiments.StudyScale, cores int) error {
+	for _, mix := range []workload.MixKind{workload.MixH, workload.MixM, workload.MixL} {
+		res, err := experiments.PartitioningStudy(experiments.PartitioningOptions{
+			Cores:               cores,
+			Mix:                 mix,
+			Workloads:           scale.WorkloadsPerCell,
+			InstructionsPerCore: scale.InstructionsPerCore,
+			IntervalCycles:      scale.IntervalCycles,
+			Seed:                scale.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		fmt.Println("  per-workload STP relative to LRU:")
+		for _, w := range res.RelativeToLRU() {
+			fmt.Printf("    %-14s", w.Workload)
+			for _, pol := range experiments.PolicyNames {
+				fmt.Printf(" %s=%.2f", pol, w.STP[pol])
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func cmdFig7(scale experiments.StudyScale) error {
+	res, err := experiments.Figure7(experiments.SensitivityOptions{Scale: scale})
+	if err != nil {
+		return err
+	}
+	for _, panel := range res {
+		fmt.Print(panel.Render())
+	}
+	return nil
+}
+
+func cmdHeadline(scale experiments.StudyScale) error {
+	fig3, err := experiments.Figure3(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Headline ratios (derived from Figure 3):")
+	for _, h := range experiments.Headlines(fig3) {
+		fmt.Printf("  %-8s ASM/GDP IPC relative RMS error ratio = %.2fx, GDP/GDP-O stall RMS ratio = %.2fx\n",
+			h.Label, h.ASMOverGDPIPCError, h.GDPOverGDPOStallGain)
+	}
+	return nil
+}
+
+func cmdOverhead(cores int) error {
+	gdpUnit, err := gdpcore.New(gdpcore.Options{PRBEntries: 32})
+	if err != nil {
+		return err
+	}
+	gdpoUnit, err := gdpcore.New(gdpcore.Options{PRBEntries: 32, TrackOverlap: true})
+	if err != nil {
+		return err
+	}
+	cfg := config.PaperConfig(cores)
+	full, sampled := dief.StorageBytes(cores, cfg.LLC.Sets(), cfg.LLC.Ways, cfg.ATDSampledSets, 36)
+	fmt.Printf("Section IV overheads (%d-core CMP):\n", cores)
+	fmt.Printf("  GDP unit storage:    %d bits\n", gdpUnit.StorageBits())
+	fmt.Printf("  GDP-O unit storage:  %d bits\n", gdpoUnit.StorageBits())
+	fmt.Printf("  DIEF full-map ATDs:  %d KB\n", full>>10)
+	fmt.Printf("  DIEF sampled ATDs:   %.1f KB\n", float64(sampled)/1024)
+	fmt.Printf("  Estimate latency:    %d cycles (sequential implementation)\n", gdpcore.EstimateLatencyCycles())
+	return nil
+}
+
+func cmdRun(scale experiments.StudyScale, cores int, benchNames string) error {
+	var wl workload.Workload
+	if benchNames != "" {
+		wl.ID = "custom"
+		for _, name := range strings.Split(benchNames, ",") {
+			b, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			wl.Benchmarks = append(wl.Benchmarks, b)
+		}
+		cores = wl.Cores()
+	} else {
+		ws, err := workload.Generate(workload.GenerateOptions{Cores: cores, Mix: workload.MixH, Count: 1, Seed: scale.Seed})
+		if err != nil {
+			return err
+		}
+		wl = ws[0]
+	}
+	res, err := experiments.AccuracyStudyForWorkload(wl, experiments.AccuracyOptions{
+		Cores:               cores,
+		Workloads:           1,
+		InstructionsPerCore: scale.InstructionsPerCore,
+		IntervalCycles:      scale.IntervalCycles,
+		Seed:                scale.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Workload %s (%s)\n", wl.ID, strings.Join(wl.Names(), ", "))
+	for _, t := range res.Techniques {
+		fmt.Printf("  %-6s mean IPC abs RMS=%.4f  mean stall abs RMS=%.1f\n",
+			t.Technique, t.MeanIPCAbsRMS, t.MeanStallAbsRMS)
+	}
+	return nil
+}

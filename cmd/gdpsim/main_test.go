@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunTable1(t *testing.T) {
+	if err := run([]string{"table1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-cores", "8", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOverhead(t *testing.T) {
+	if err := run([]string{"overhead"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"nope"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+}
+
+func TestRunSingleWorkload(t *testing.T) {
+	err := run([]string{"-instructions", "2500", "-interval", "2500", "-benchmarks", "omnetpp,lbm", "run"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownBenchmark(t *testing.T) {
+	if err := run([]string{"-benchmarks", "not-a-benchmark", "run"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,59 @@
+// Command sensitivity sweeps the Pending Request Buffer size of GDP-O
+// (Figure 7e of the paper) and the DRAM interface (Figure 7d), showing that a
+// 32-entry PRB captures almost all of the achievable accuracy and that the
+// technique is robust to memory-system changes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gdp "repro"
+)
+
+func main() {
+	scale := gdp.StudyScale{
+		WorkloadsPerCell:    1,
+		InstructionsPerCore: 5000,
+		IntervalCycles:      4000,
+		Seed:                21,
+	}
+
+	fmt.Println("GDP-O accuracy vs PRB size (Figure 7e):")
+	for _, entries := range []int{8, 16, 32, 64} {
+		res, err := gdp.AccuracyStudy(gdp.AccuracyOptions{
+			Cores:               4,
+			Mix:                 gdp.MixH,
+			Workloads:           scale.WorkloadsPerCell,
+			InstructionsPerCore: scale.InstructionsPerCore,
+			IntervalCycles:      scale.IntervalCycles,
+			Seed:                scale.Seed,
+			PRBEntries:          entries,
+			Techniques:          []string{"GDP-O"},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := res.Technique("GDP-O")
+		fmt.Printf("  %4d entries: mean IPC abs RMS = %.4f\n", entries, t.MeanIPCAbsRMS)
+	}
+
+	fmt.Println("\nGDP-O accuracy: DDR2-800 vs DDR4-2666 (Figure 7d):")
+	for _, kind := range []gdp.DRAMKind{gdp.DDR2, gdp.DDR4} {
+		cfg := gdp.ScaledConfig(4).WithDRAM(kind, 1)
+		res, err := gdp.AccuracyStudy(gdp.AccuracyOptions{
+			Cores:               4,
+			Mix:                 gdp.MixH,
+			Workloads:           scale.WorkloadsPerCell,
+			InstructionsPerCore: scale.InstructionsPerCore,
+			IntervalCycles:      scale.IntervalCycles,
+			Seed:                scale.Seed,
+			Config:              cfg,
+			Techniques:          []string{"GDP-O"},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s mean IPC abs RMS = %.4f\n", kind, res.Technique("GDP-O").MeanIPCAbsRMS)
+	}
+}

@@ -1,0 +1,215 @@
+// Package gdp is the public API of this reproduction of "GDP: Using Dataflow
+// Properties to Accurately Estimate Interference-Free Performance at Runtime"
+// (Jahre & Eeckhout, HPCA 2018).
+//
+// The package re-exports the stable surface of the internal packages so that
+// downstream users never import internal/... directly:
+//
+//   - CMP configuration (Table I parameter sets),
+//   - the synthetic benchmark suite and multi-programmed workload generator,
+//   - the simulation driver (shared-mode and private-mode runs),
+//   - the accounting techniques (GDP, GDP-O, ITCA, PTCA, ASM),
+//   - the LLC partitioning policies (LRU, UCP, MCP, MCP-O), and
+//   - the experiment drivers that regenerate the paper's tables and figures.
+//
+// See examples/ for runnable programs built only on this package.
+package gdp
+
+import (
+	"repro/internal/accounting"
+	"repro/internal/config"
+	gdpcore "repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Configuration types.
+type (
+	// CMPConfig describes the simulated chip multiprocessor (Table I).
+	CMPConfig = config.CMPConfig
+	// DRAMKind selects the DRAM interface generation.
+	DRAMKind = config.DRAMKind
+)
+
+// DRAM interface generations.
+const (
+	DDR2 = config.DDR2
+	DDR4 = config.DDR4
+)
+
+// PaperConfig returns the Table I configuration for 2, 4 or 8 cores.
+func PaperConfig(cores int) *CMPConfig { return config.PaperConfig(cores) }
+
+// ScaledConfig returns the proportionally scaled configuration used for the
+// short synthetic samples of this reproduction.
+func ScaledConfig(cores int) *CMPConfig { return config.ScaledConfig(cores) }
+
+// Workload types.
+type (
+	// Benchmark is one synthetic benchmark profile.
+	Benchmark = workload.Benchmark
+	// Workload is a multi-programmed benchmark combination, one per core.
+	Workload = workload.Workload
+	// MixKind selects how workloads are composed (H, M, L or mixed).
+	MixKind = workload.MixKind
+)
+
+// Workload mixes.
+const (
+	MixH    = workload.MixH
+	MixM    = workload.MixM
+	MixL    = workload.MixL
+	MixHHML = workload.MixHHML
+	MixHMML = workload.MixHMML
+	MixHMLL = workload.MixHMLL
+)
+
+// BenchmarkSuite returns the 52 synthetic benchmarks.
+func BenchmarkSuite() []Benchmark { return workload.Suite() }
+
+// BenchmarkByName looks a benchmark up by its SPEC-derived name.
+func BenchmarkByName(name string) (Benchmark, error) { return workload.ByName(name) }
+
+// GenerateWorkloads produces multi-programmed workloads.
+func GenerateWorkloads(cores int, mix MixKind, count int, seed int64) ([]Workload, error) {
+	return workload.Generate(workload.GenerateOptions{Cores: cores, Mix: mix, Count: count, Seed: seed})
+}
+
+// Accounting types.
+type (
+	// Accountant is a performance-accounting technique.
+	Accountant = accounting.Accountant
+	// AccountingEstimate is one private-mode performance estimate.
+	AccountingEstimate = accounting.Estimate
+	// DataflowUnit is the per-core GDP/GDP-O hardware unit (PRB + PCB + CPL).
+	DataflowUnit = gdpcore.GDP
+	// DataflowOptions configure a DataflowUnit.
+	DataflowOptions = gdpcore.Options
+)
+
+// NewGDP creates the GDP accounting technique for a CMP with cores cores and
+// the given Pending Request Buffer size (the paper uses 32).
+func NewGDP(cores, prbEntries int) (Accountant, error) {
+	return accounting.NewGDP(cores, prbEntries, false)
+}
+
+// NewGDPO creates the GDP-O variant (GDP plus overlap accounting).
+func NewGDPO(cores, prbEntries int) (Accountant, error) {
+	return accounting.NewGDP(cores, prbEntries, true)
+}
+
+// NewITCA creates the ITCA transparent baseline.
+func NewITCA(cores int) (Accountant, error) { return accounting.NewITCA(cores) }
+
+// NewPTCA creates the PTCA transparent baseline.
+func NewPTCA(cores int) (Accountant, error) { return accounting.NewPTCA(cores) }
+
+// NewASM creates the invasive ASM baseline with the given epoch length in
+// cycles (0 selects the default).
+func NewASM(cores int, epochLen uint64) (Accountant, error) {
+	return accounting.NewASM(cores, epochLen, nil)
+}
+
+// NewDataflowUnit creates a bare GDP/GDP-O unit for direct use (for example
+// to attach to a custom core model).
+func NewDataflowUnit(opts DataflowOptions) (*DataflowUnit, error) { return gdpcore.New(opts) }
+
+// Partitioning types.
+type (
+	// PartitionPolicy selects LLC way allocations at repartitioning intervals.
+	PartitionPolicy = partition.Policy
+	// CoreSnapshot is the per-core input to a partitioning decision.
+	CoreSnapshot = partition.CoreSnapshot
+)
+
+// Partitioning policies.
+var (
+	// LRUPolicy never partitions (baseline sharing).
+	LRUPolicy PartitionPolicy = partition.LRU{}
+	// UCPPolicy is miss-minimizing utility-based cache partitioning.
+	UCPPolicy PartitionPolicy = partition.UCP{}
+	// MCPPolicy is the paper's model-based cache partitioning.
+	MCPPolicy PartitionPolicy = partition.MCP{}
+	// MCPOPolicy is MCP driven by GDP-O estimates.
+	MCPOPolicy PartitionPolicy = partition.MCP{PolicyName: "MCP-O"}
+)
+
+// Simulation types.
+type (
+	// SimOptions configure a shared-mode simulation run.
+	SimOptions = sim.Options
+	// SimResult is the outcome of a shared-mode run.
+	SimResult = sim.Result
+	// IntervalRecord is one per-core, per-interval measurement.
+	IntervalRecord = sim.IntervalRecord
+	// PrivateReference is the interference-free ground truth of one benchmark.
+	PrivateReference = sim.PrivateReference
+)
+
+// Run executes a shared-mode simulation.
+func Run(opts SimOptions) (*SimResult, error) { return sim.Run(opts) }
+
+// RunPrivate executes a benchmark alone on the CMP, aligned on the supplied
+// instruction sample points.
+func RunPrivate(cfg *CMPConfig, bench Benchmark, samplePoints []uint64, seed int64) (*PrivateReference, error) {
+	return sim.RunPrivate(cfg, bench, samplePoints, seed, 0)
+}
+
+// Metrics.
+
+// STP computes system throughput from per-core private and shared CPIs.
+func STP(privateCPI, sharedCPI []float64) (float64, error) {
+	return metrics.STP(privateCPI, sharedCPI)
+}
+
+// ANTT computes the average normalized turnaround time.
+func ANTT(privateCPI, sharedCPI []float64) (float64, error) {
+	return metrics.ANTT(privateCPI, sharedCPI)
+}
+
+// Experiment drivers.
+type (
+	// StudyScale controls how much work the figure drivers do.
+	StudyScale = experiments.StudyScale
+	// AccuracyOptions configure one accuracy-study cell (Figures 3-5).
+	AccuracyOptions = experiments.AccuracyOptions
+	// AccuracyResult is the outcome of one accuracy-study cell.
+	AccuracyResult = experiments.AccuracyResult
+	// PartitioningOptions configure one partitioning-study cell (Figure 6).
+	PartitioningOptions = experiments.PartitioningOptions
+	// PartitioningResult is the outcome of one partitioning-study cell.
+	PartitioningResult = experiments.PartitioningResult
+	// SensitivityOptions configure the Figure 7 sweeps.
+	SensitivityOptions = experiments.SensitivityOptions
+	// SensitivityResult is one panel of Figure 7.
+	SensitivityResult = experiments.SensitivityResult
+	// Figure3Result covers Figures 3a and 3b.
+	Figure3Result = experiments.Figure3Result
+)
+
+// DefaultScale returns the quick-run experiment scale.
+func DefaultScale() StudyScale { return experiments.DefaultScale() }
+
+// PaperScale returns a scale closer to the paper's workload population.
+func PaperScale() StudyScale { return experiments.PaperScale() }
+
+// AccuracyStudy runs one cell of the accounting-accuracy evaluation.
+func AccuracyStudy(opts AccuracyOptions) (*AccuracyResult, error) {
+	return experiments.AccuracyStudy(opts)
+}
+
+// PartitioningStudy runs one cell of the LLC-partitioning evaluation.
+func PartitioningStudy(opts PartitioningOptions) (*PartitioningResult, error) {
+	return experiments.PartitioningStudy(opts)
+}
+
+// Figure3 regenerates Figures 3a/3b for the given scale.
+func Figure3(scale StudyScale) (*Figure3Result, error) { return experiments.Figure3(scale) }
+
+// Figure7 regenerates every panel of the sensitivity study.
+func Figure7(opts SensitivityOptions) ([]*SensitivityResult, error) {
+	return experiments.Figure7(opts)
+}

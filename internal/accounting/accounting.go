@@ -1,0 +1,76 @@
+// Package accounting defines the common interface of performance-accounting
+// techniques and implements the techniques evaluated in the GDP paper:
+//
+//   - GDP and GDP-O (dataflow accounting, adapters over internal/core),
+//   - ITCA and PTCA (transparent, architecture-centric baselines), and
+//   - ASM (the invasive Application Slowdown Model baseline, which manipulates
+//     memory-controller priorities).
+//
+// An accountant estimates, at every measurement interval, the private-mode
+// (interference-free) performance of each running application from shared-mode
+// observations only.
+package accounting
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// Estimate is one per-core, per-interval private-mode performance estimate.
+type Estimate struct {
+	// PrivateCPI and PrivateIPC are the estimated interference-free CPI/IPC.
+	PrivateCPI float64
+	PrivateIPC float64
+	// SMSStallCycles is the estimated number of private-mode stall cycles due
+	// to shared-memory-system loads in the interval (Figure 3b's quantity).
+	SMSStallCycles float64
+	// PrivateLatency is the λ̂ estimate used (0 for techniques that do not
+	// estimate memory latency explicitly).
+	PrivateLatency float64
+	// CPL is the dataflow critical path length (GDP/GDP-O only).
+	CPL uint64
+	// AvgOverlap is the commit/load overlap estimate (GDP-O only).
+	AvgOverlap float64
+}
+
+// Accountant is a performance-accounting technique instantiated for one
+// simulated CMP (one instance covers all cores).
+type Accountant interface {
+	// Name returns the technique's name as used in the paper's figures.
+	Name() string
+	// Probe returns the per-core hardware probe to attach to the core model,
+	// or nil if the technique does not need one.
+	Probe(core int) cpu.Probe
+	// ObserveRequest is called for every completed shared-memory request.
+	ObserveRequest(core int, req *mem.Request)
+	// Tick is called once per simulated cycle (used by invasive techniques
+	// such as ASM to drive their epoch schedule). Most techniques ignore it.
+	Tick(now uint64)
+	// Estimate produces the private-mode estimate for one core given the
+	// interval's shared-mode statistics.
+	Estimate(core int, interval cpu.Stats) Estimate
+	// EndInterval resets per-interval state after all cores were estimated.
+	EndInterval()
+}
+
+// stallEstimateFromCycles converts an estimated number of private-mode cycles
+// into an estimated number of private-mode SMS stall cycles using the
+// performance model of Equation 2: everything that is not commit, independent
+// stall, PMS stall or other stall must be SMS stall.
+func stallEstimateFromCycles(privateCycles float64, interval cpu.Stats) float64 {
+	base := float64(interval.CommitCycles + interval.StallInd + interval.StallPMS + interval.StallOther)
+	est := privateCycles - base
+	if est < 0 {
+		return 0
+	}
+	return est
+}
+
+// cpiFromCycles converts a private-cycle estimate into CPI/IPC.
+func cpiFromCycles(privateCycles float64, interval cpu.Stats) (cpi, ipc float64) {
+	if interval.Instructions == 0 || privateCycles <= 0 {
+		return 0, 0
+	}
+	cpi = privateCycles / float64(interval.Instructions)
+	return cpi, 1 / cpi
+}

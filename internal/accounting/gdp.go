@@ -1,0 +1,101 @@
+package accounting
+
+import (
+	"fmt"
+
+	gdpcore "repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dief"
+	"repro/internal/mem"
+)
+
+// GDPAccountant adapts the dataflow-accounting unit (internal/core) and the
+// DIEF latency estimator to the Accountant interface. UseOverlap selects
+// between GDP and GDP-O.
+type GDPAccountant struct {
+	name       string
+	useOverlap bool
+	units      []*gdpcore.GDP
+	latency    *dief.Estimator
+	estimator  gdpcore.Estimator
+
+	// Last retrieved per-core values, refreshed by Estimate.
+	lastCPL     []uint64
+	lastOverlap []float64
+}
+
+// NewGDP creates a GDP (useOverlap=false) or GDP-O (useOverlap=true)
+// accountant for a CMP with the given number of cores and PRB size.
+func NewGDP(cores int, prbEntries int, useOverlap bool) (*GDPAccountant, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("accounting: need at least one core")
+	}
+	lat, err := dief.New(cores)
+	if err != nil {
+		return nil, err
+	}
+	a := &GDPAccountant{
+		name:        "GDP",
+		useOverlap:  useOverlap,
+		latency:     lat,
+		estimator:   gdpcore.Estimator{UseOverlap: useOverlap},
+		lastCPL:     make([]uint64, cores),
+		lastOverlap: make([]float64, cores),
+	}
+	if useOverlap {
+		a.name = "GDP-O"
+	}
+	for c := 0; c < cores; c++ {
+		unit, err := gdpcore.New(gdpcore.Options{PRBEntries: prbEntries, TrackOverlap: useOverlap})
+		if err != nil {
+			return nil, err
+		}
+		a.units = append(a.units, unit)
+	}
+	return a, nil
+}
+
+// Name implements Accountant.
+func (a *GDPAccountant) Name() string { return a.name }
+
+// Unit exposes core's dataflow unit (for component-accuracy studies).
+func (a *GDPAccountant) Unit(core int) *gdpcore.GDP { return a.units[core] }
+
+// Latency exposes the DIEF estimator (for component-accuracy studies).
+func (a *GDPAccountant) Latency() *dief.Estimator { return a.latency }
+
+// SetLatencyFloor forwards the per-core unloaded-latency floor to DIEF.
+func (a *GDPAccountant) SetLatencyFloor(core int, floor uint64) {
+	a.latency.SetLatencyFloor(core, floor)
+}
+
+// Probe implements Accountant: the GDP unit itself is the probe.
+func (a *GDPAccountant) Probe(core int) cpu.Probe { return a.units[core] }
+
+// ObserveRequest implements Accountant: completed requests feed DIEF.
+func (a *GDPAccountant) ObserveRequest(core int, req *mem.Request) {
+	a.latency.Observe(req)
+}
+
+// Tick implements Accountant (GDP is transparent: nothing to do).
+func (a *GDPAccountant) Tick(uint64) {}
+
+// Estimate implements Accountant using Equation 2.
+func (a *GDPAccountant) Estimate(core int, interval cpu.Stats) Estimate {
+	cpl, overlap := a.units[core].Retrieve()
+	a.lastCPL[core] = cpl
+	a.lastOverlap[core] = overlap
+	lambda := a.latency.PrivateLatency(core)
+	est := a.estimator.Estimate(interval, cpl, overlap, lambda)
+	return Estimate{
+		PrivateCPI:     est.PrivateCPI,
+		PrivateIPC:     est.PrivateIPC,
+		SMSStallCycles: est.SMSStallCycles,
+		PrivateLatency: lambda,
+		CPL:            cpl,
+		AvgOverlap:     overlap,
+	}
+}
+
+// EndInterval implements Accountant: DIEF accumulators are per interval.
+func (a *GDPAccountant) EndInterval() { a.latency.ResetInterval() }

@@ -1,0 +1,91 @@
+package core
+
+import "repro/internal/cpu"
+
+// Estimate is one private-mode performance estimate produced for a
+// measurement interval (Equation 2 of the paper).
+type Estimate struct {
+	// Inputs.
+	CPL               uint64
+	PrivateLatency    float64 // λ̂: estimated private-mode SMS load latency
+	AvgOverlap        float64 // O: average commit/load overlap (GDP-O only)
+	Instructions      uint64
+
+	// Outputs.
+	SMSStallCycles float64 // σ̂^SMS: estimated private-mode SMS stall cycles
+	OtherStall     float64 // σ̂^Other
+	PrivateCycles  float64 // estimated interference-free cycles for the interval
+	PrivateCPI     float64
+	PrivateIPC     float64
+}
+
+// Estimator turns interval statistics, the GDP unit's CPL/overlap and a
+// private-latency estimate into a private-mode performance estimate.
+// UseOverlap selects between plain GDP and GDP-O.
+type Estimator struct {
+	UseOverlap bool
+}
+
+// Estimate applies Equation 2 to one measurement interval.
+//
+// interval holds the shared-mode cycle taxonomy measured by the core over the
+// interval, cpl and avgOverlap come from GDP.Retrieve, and privateLatency is
+// DIEF's estimate of the interference-free SMS load latency λ̂.
+func (e Estimator) Estimate(interval cpu.Stats, cpl uint64, avgOverlap, privateLatency float64) Estimate {
+	est := Estimate{
+		CPL:            cpl,
+		PrivateLatency: privateLatency,
+		AvgOverlap:     avgOverlap,
+		Instructions:   interval.Instructions,
+	}
+
+	// σ̂^SMS: the critical path of the load/commit dependency graph times the
+	// private-mode latency (minus the overlap for GDP-O).
+	effectiveLatency := privateLatency
+	if e.UseOverlap {
+		effectiveLatency -= avgOverlap
+	}
+	if effectiveLatency < 0 {
+		effectiveLatency = 0
+	}
+	est.SMSStallCycles = float64(cpl) * effectiveLatency
+
+	// σ̂^Other: the rare other stalls scale with the latency reduction between
+	// the shared and private modes (Section III).
+	sharedLatency := interval.AvgSMSLatency()
+	scale := 1.0
+	if sharedLatency > 0 && privateLatency > 0 && privateLatency < sharedLatency {
+		scale = privateLatency / sharedLatency
+	}
+	est.OtherStall = float64(interval.StallOther) * scale
+
+	// Equation 2: private cycles = C + S^Ind + S^PMS + σ̂^SMS + σ̂^Other.
+	est.PrivateCycles = float64(interval.CommitCycles) +
+		float64(interval.StallInd) +
+		float64(interval.StallPMS) +
+		est.SMSStallCycles +
+		est.OtherStall
+
+	if interval.Instructions > 0 {
+		est.PrivateCPI = est.PrivateCycles / float64(interval.Instructions)
+		if est.PrivateCPI > 0 {
+			est.PrivateIPC = 1 / est.PrivateCPI
+		}
+	}
+	return est
+}
+
+// EstimateLatencyCycles returns the number of cycles a sequential hardware
+// implementation needs to evaluate Equation 2 (Section IV-C: 2 divisions, 2
+// multiplies and 5 additions at 25, 3 and 1 cycles respectively).
+func EstimateLatencyCycles() int {
+	const (
+		divisions  = 2
+		multiplies = 2
+		additions  = 5
+		divCycles  = 25
+		mulCycles  = 3
+		addCycles  = 1
+	)
+	return divisions*divCycles + multiplies*mulCycles + additions*addCycles
+}

@@ -1,0 +1,300 @@
+// Package core implements the paper's primary contribution: Graph-based
+// Dynamic Performance (GDP) accounting and its GDP-O variant.
+//
+// GDP observes the dataflow relationship between shared-memory-system (SMS)
+// loads and the periods in which the processor commits instructions. It
+// maintains two hardware-inspired structures:
+//
+//   - the Pending Request Buffer (PRB), a small circular buffer of in-flight
+//     L1-miss load requests, and
+//   - the Pending Commit Buffer (PCB), a register describing the current
+//     commit period and its child requests.
+//
+// Algorithms 1-3 of the paper build a dependency graph between loads and
+// commit periods and compute its Critical Path Length (CPL) online using an
+// approximation of Kahn's topological-order algorithm. The private-mode
+// (interference-free) SMS stall cycles are then estimated as CPL multiplied by
+// the estimated private-mode memory latency; GDP-O additionally subtracts the
+// average number of cycles the core commits instructions while an SMS load is
+// pending (the overlap).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+)
+
+// prbEntry is one Pending Request Buffer entry (Figure 2 of the paper).
+type prbEntry struct {
+	addr        uint64
+	depth       uint64
+	completedAt uint64
+	overlap     uint64
+	completed   bool
+	valid       bool
+}
+
+// pcb is the Pending Commit Buffer (Figure 2 of the paper).
+type pcb struct {
+	depth     uint64
+	startedAt uint64
+	stalledAt uint64
+	stalled   bool
+	children  []bool
+}
+
+// Options configure a GDP instance.
+type Options struct {
+	// PRBEntries is the Pending Request Buffer size. The paper's default is 32.
+	PRBEntries int
+	// TrackOverlap enables the GDP-O overlap machinery (per-entry overlap
+	// counters and the global overlap accumulator).
+	TrackOverlap bool
+}
+
+// DefaultOptions returns the paper's default configuration (32 PRB entries).
+func DefaultOptions() Options { return Options{PRBEntries: 32} }
+
+// GDP is the dataflow-accounting unit of one core. It implements cpu.Probe so
+// it can be attached directly to a simulated core. The zero value is not
+// usable; construct instances with New.
+type GDP struct {
+	opts Options
+
+	prb    []prbEntry
+	newest int
+	oldest int
+	pcb    pcb
+
+	// CPL baseline at the last Retrieve call.
+	lastRetrievedDepth uint64
+
+	// GDP-O overlap accumulators.
+	overlapSum      uint64
+	overlapSMSLoads uint64
+
+	// Diagnostics.
+	insertions  uint64
+	evictions   uint64
+	cplUpdates  uint64
+}
+
+// New creates a GDP unit.
+func New(opts Options) (*GDP, error) {
+	if opts.PRBEntries < 1 {
+		return nil, fmt.Errorf("core: PRB needs at least one entry, got %d", opts.PRBEntries)
+	}
+	return &GDP{
+		opts: opts,
+		prb:  make([]prbEntry, opts.PRBEntries),
+		pcb:  pcb{children: make([]bool, opts.PRBEntries)},
+	}, nil
+}
+
+// Options returns the configuration the unit was created with.
+func (g *GDP) Options() Options { return g.opts }
+
+// findByAddr returns the index of the valid PRB entry for addr, or -1.
+func (g *GDP) findByAddr(addr uint64) int {
+	for i := range g.prb {
+		if g.prb[i].valid && g.prb[i].addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// OnLoadIssued implements Algorithm 1: insert an L1-miss request into the PRB
+// and record it as a child of the pending commit period.
+func (g *GDP) OnLoadIssued(addr uint64, cycle uint64) {
+	if g.prb[g.newest].valid {
+		g.newest = (g.newest + 1) % len(g.prb)
+		if g.newest == g.oldest {
+			// Buffer full: invalidate the oldest pending request. If the oldest
+			// issued load has not caused a stall it is unlikely to increase the
+			// CPL (Section IV-A).
+			g.prb[g.newest].valid = false
+			g.pcb.children[g.newest] = false
+			g.oldest = (g.oldest + 1) % len(g.prb)
+			g.evictions++
+		}
+	}
+	g.prb[g.newest] = prbEntry{
+		addr:  addr,
+		depth: g.pcb.depth,
+		valid: true,
+	}
+	g.pcb.children[g.newest] = true
+	g.insertions++
+}
+
+// OnLoadCompleted implements Algorithm 2: SMS loads are marked completed,
+// PMS loads are dropped from the PRB (and from the PCB child list).
+func (g *GDP) OnLoadCompleted(addr uint64, sms bool, cycle uint64, latency, interference uint64) {
+	idx := g.findByAddr(addr)
+	if idx < 0 {
+		return // evicted earlier due to limited buffer space
+	}
+	if sms {
+		g.prb[idx].completed = true
+		g.prb[idx].completedAt = cycle
+		if g.opts.TrackOverlap {
+			g.overlapSum += g.prb[idx].overlap
+			g.overlapSMSLoads++
+		}
+		return
+	}
+	g.prb[idx].valid = false
+	g.pcb.children[idx] = false
+}
+
+// OnCommitStall records the cycle at which the current commit period ended
+// because a load reached the head of the ROB before completing.
+func (g *GDP) OnCommitStall(addr uint64, sms bool, cycle uint64) {
+	if !g.pcb.stalled {
+		g.pcb.stalledAt = cycle
+		g.pcb.stalled = true
+	}
+}
+
+// OnCommitResume implements Algorithm 3, run when the processor resumes
+// execution after a stall.
+func (g *GDP) OnCommitResume(addr uint64, wasSMS bool, cycle uint64) {
+	defer func() { g.pcb.stalled = false }()
+
+	sIdx := g.findByAddr(addr)
+	if sIdx < 0 {
+		// PMS stall or evicted entry: does not affect the CPL.
+		return
+	}
+	stallStart := g.pcb.stalledAt
+	if !g.pcb.stalled {
+		stallStart = cycle
+	}
+
+	// Step 1: complete the commit period l that ended at the stall. Requests
+	// that completed before the stall are its parents; its depth is the
+	// maximum of their depths.
+	for i := range g.prb {
+		e := &g.prb[i]
+		if e.valid && e.completed && e.completedAt < stallStart {
+			if e.depth > g.pcb.depth {
+				g.pcb.depth = e.depth
+			}
+			e.valid = false
+			g.pcb.children[i] = false
+		}
+	}
+	// All children of the completed commit period sit one level deeper.
+	childDepth := g.pcb.depth + 1
+	for i, isChild := range g.pcb.children {
+		if isChild && g.prb[i].valid {
+			g.prb[i].depth = childDepth
+		}
+	}
+	g.cplUpdates++
+
+	// Step 2: initialize the new commit period with the depth of the request
+	// that caused the stall, then absorb any other completed requests.
+	newDepth := g.prb[sIdx].depth
+	for i := range g.prb {
+		e := &g.prb[i]
+		if e.valid && e.completed {
+			if e.depth > newDepth {
+				newDepth = e.depth
+			}
+			e.valid = false
+			g.pcb.children[i] = false
+		}
+	}
+	g.pcb.depth = newDepth
+	g.pcb.startedAt = cycle
+	// The new commit period starts with an empty child list: requests issued
+	// during earlier commit periods keep those periods as parents.
+	for i := range g.pcb.children {
+		g.pcb.children[i] = false
+	}
+}
+
+// OnCycle advances the GDP-O overlap counters: every cycle the core commits
+// instructions, each pending (not yet completed) PRB entry accumulates one
+// overlap cycle.
+func (g *GDP) OnCycle(state cpu.CycleState) {
+	if !g.opts.TrackOverlap || !state.Committing {
+		return
+	}
+	for i := range g.prb {
+		if g.prb[i].valid && !g.prb[i].completed {
+			g.prb[i].overlap++
+		}
+	}
+}
+
+// CPL returns the critical path length accumulated since the last Retrieve.
+func (g *GDP) CPL() uint64 {
+	if g.pcb.depth < g.lastRetrievedDepth {
+		return 0
+	}
+	return g.pcb.depth - g.lastRetrievedDepth
+}
+
+// AvgOverlap returns the average overlap cycles per completed SMS load since
+// the last Retrieve (GDP-O only; zero for plain GDP).
+func (g *GDP) AvgOverlap() float64 {
+	if g.overlapSMSLoads == 0 {
+		return 0
+	}
+	return float64(g.overlapSum) / float64(g.overlapSMSLoads)
+}
+
+// Retrieve returns the interval CPL and average overlap and resets both for
+// the next measurement interval (the paper's "retrieved every 5M cycles").
+func (g *GDP) Retrieve() (cpl uint64, avgOverlap float64) {
+	cpl = g.CPL()
+	avgOverlap = g.AvgOverlap()
+	g.lastRetrievedDepth = g.pcb.depth
+	g.overlapSum = 0
+	g.overlapSMSLoads = 0
+	return cpl, avgOverlap
+}
+
+// Diagnostics returns internal activity counters (insertions, evictions due
+// to a full PRB, and commit-period completions).
+func (g *GDP) Diagnostics() (insertions, evictions, cplUpdates uint64) {
+	return g.insertions, g.evictions, g.cplUpdates
+}
+
+// Storage-overhead constants (Figure 2 field widths, in bits).
+const (
+	addrBits        = 48
+	depthBits       = 15
+	timestampBits   = 28
+	overlapBits     = 14
+	completedBits   = 1
+	validBits       = 1
+	pointerBits     = 5
+	overlapCtrBits  = 32
+	pcbDepthBits    = depthBits
+	pcbStartBits    = timestampBits
+	pcbStallBits    = timestampBits
+)
+
+// StorageBits returns the storage overhead of the unit in bits, reproducing
+// the arithmetic of Section IV-A (3117 bits for GDP and 3597 bits for GDP-O
+// with 32 PRB entries).
+func (g *GDP) StorageBits() int {
+	n := len(g.prb)
+	entry := addrBits + depthBits + timestampBits + completedBits + validBits
+	if g.opts.TrackOverlap {
+		entry += overlapBits
+	}
+	total := n*entry + // PRB
+		pcbDepthBits + pcbStartBits + pcbStallBits + n + // PCB (children bit vector has n bits)
+		timestampBits + // cycle timestamp counter
+		2*pointerBits // newest/oldest valid pointers
+	if g.opts.TrackOverlap {
+		total += overlapCtrBits
+	}
+	return total
+}

@@ -1,0 +1,590 @@
+// Package cpu implements the trace-driven out-of-order core model. The model
+// is reduced relative to a full microarchitectural simulator but reproduces
+// the structures and behaviours the GDP paper's accounting techniques observe:
+// a reorder buffer with in-order commit, a bounded issue queue and load/store
+// queue, functional-unit contention, non-blocking L1/L2 private caches with
+// MSHR merging, a store buffer, branch-redirect bubbles, and a precise
+// per-cycle classification of commit stalls into memory-independent, private
+// -memory, shared-memory and other stalls (Equation 1 of the paper).
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// MemorySystem is the interface the core uses to issue requests that miss in
+// its private hierarchy (SMS requests). memsys.System implements it.
+type MemorySystem interface {
+	Submit(core int, addr uint64, isWrite bool, now uint64) *mem.Request
+}
+
+const unknownCycle = math.MaxUint64
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	inst      trace.Instruction
+	index     uint64 // global instruction number
+	complete  uint64 // cycle the result is available; unknownCycle if pending
+	issued    bool   // execution (or memory access) has started
+	isSMS     bool   // load serviced by the shared memory system
+	isL1Miss  bool
+	req       *mem.Request
+	stallSeen bool // commit has already reported a stall on this entry
+}
+
+// loadWaiters tracks ROB entries waiting on one outstanding cache line.
+type loadWaiters struct {
+	primary *robEntry
+	merged  []*robEntry
+	req     *mem.Request
+}
+
+// Core is one simulated processor core.
+type Core struct {
+	id   int
+	cfg  config.CoreConfig
+	l1Lat, l2Lat int
+	l1MSHRs      int
+
+	gen    *trace.Generator
+	l1d    *cache.Cache
+	l2     *cache.Cache
+	shared MemorySystem
+	probes []Probe
+
+	// Reorder buffer as a ring buffer.
+	rob      []robEntry
+	robHead  int
+	robCount int
+
+	// Issue queue: dispatched entries whose execution has not started.
+	issueQueue []*robEntry
+
+	instIndex uint64 // next instruction number to dispatch
+
+	// Outstanding L1 misses by line address.
+	pending           map[uint64]*loadWaiters
+	outstandingMisses int
+
+	// Store buffer occupancy: completion cycles of draining stores.
+	storeBuffer []uint64
+
+	// Branch redirect state.
+	pendingRedirect *robEntry
+	fetchStallUntil uint64
+
+	// Commit-stall bookkeeping for probe events.
+	stalledOn *robEntry
+
+	// Committing-cycle counter used to compute per-request overlap in O(1):
+	// a request's overlap is the increase of this counter over its lifetime.
+	commitCycleCount uint64
+	// issueCommitCount maps an in-flight SMS request ID to the value of
+	// commitCycleCount when it was issued.
+	issueCommitCount map[uint64]uint64
+
+	// memOps tracks the number of loads and stores currently in the ROB
+	// (load/store queue occupancy).
+	memOps int
+
+	// staged holds an instruction fetched from the trace that could not be
+	// dispatched this cycle (e.g. the LSQ was full); it is dispatched first
+	// next cycle so no instruction is dropped.
+	staged    trace.Instruction
+	hasStaged bool
+
+	// Functional-unit usage in the current cycle.
+	fuIntALU, fuIntMul, fuFPALU, fuFPMul, fuMemPorts int
+
+	stats Stats
+
+	// Instruction budget: the core stops dispatching (and reports Done) after
+	// committing this many instructions. Zero means unlimited.
+	instLimit uint64
+}
+
+// New creates a core. generator provides the instruction stream, sharedMem
+// receives requests that miss in the private L1/L2 hierarchy.
+func New(id int, cfg *config.CMPConfig, generator *trace.Generator, sharedMem MemorySystem) (*Core, error) {
+	if generator == nil {
+		return nil, fmt.Errorf("cpu: core %d needs an instruction generator", id)
+	}
+	if sharedMem == nil {
+		return nil, fmt.Errorf("cpu: core %d needs a shared memory system", id)
+	}
+	l1d, err := cache.New(fmt.Sprintf("core%d-l1d", id), cfg.L1D.SizeBytes, cfg.L1D.Ways, cfg.L1D.LineBytes, cfg.L1D.LatencyCyc)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cache.New(fmt.Sprintf("core%d-l2", id), cfg.L2.SizeBytes, cfg.L2.Ways, cfg.L2.LineBytes, cfg.L2.LatencyCyc)
+	if err != nil {
+		return nil, err
+	}
+	return &Core{
+		id:               id,
+		cfg:              cfg.Core,
+		l1Lat:            cfg.L1D.LatencyCyc,
+		l2Lat:            cfg.L2.LatencyCyc,
+		l1MSHRs:          cfg.L1D.MSHRs,
+		gen:              generator,
+		l1d:              l1d,
+		l2:               l2,
+		shared:           sharedMem,
+		rob:              make([]robEntry, cfg.Core.ROBEntries),
+		pending:          make(map[uint64]*loadWaiters),
+		issueCommitCount: make(map[uint64]uint64),
+	}, nil
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Stats returns a copy of the core's cumulative statistics.
+func (c *Core) Stats() Stats { return c.stats }
+
+// L1D returns the core's L1 data cache (for diagnostics and tests).
+func (c *Core) L1D() *cache.Cache { return c.l1d }
+
+// L2 returns the core's private L2 cache.
+func (c *Core) L2() *cache.Cache { return c.l2 }
+
+// AttachProbe registers an accounting probe.
+func (c *Core) AttachProbe(p Probe) { c.probes = append(c.probes, p) }
+
+// SetInstructionLimit makes Done report true once the core has committed n
+// instructions. Zero disables the limit.
+func (c *Core) SetInstructionLimit(n uint64) { c.instLimit = n }
+
+// Done reports whether the core has reached its instruction limit.
+func (c *Core) Done() bool {
+	return c.instLimit > 0 && c.stats.Instructions >= c.instLimit
+}
+
+// lineAddr masks an address to its cache-line address.
+func lineAddr(addr uint64) uint64 { return addr &^ 63 }
+
+// robAt returns the ROB entry at queue position i (0 = oldest).
+func (c *Core) robAt(i int) *robEntry {
+	return &c.rob[(c.robHead+i)%len(c.rob)]
+}
+
+// entryFor returns the ROB entry holding instruction index idx, or nil if the
+// instruction has already committed (and is therefore complete).
+func (c *Core) entryFor(idx uint64) *robEntry {
+	if c.robCount == 0 {
+		return nil
+	}
+	oldest := c.robAt(0).index
+	if idx < oldest {
+		return nil
+	}
+	offset := int(idx - oldest)
+	if offset >= c.robCount {
+		return nil
+	}
+	return c.robAt(offset)
+}
+
+// depsReady reports whether the dependencies of entry e are satisfied at now,
+// and the cycle at which they become satisfied if known.
+func (c *Core) depsReady(e *robEntry, now uint64) bool {
+	for _, dist := range []int32{e.inst.Dep1, e.inst.Dep2} {
+		if dist <= 0 {
+			continue
+		}
+		if uint64(dist) > e.index {
+			continue
+		}
+		dep := c.entryFor(e.index - uint64(dist))
+		if dep == nil {
+			continue // already committed, hence complete
+		}
+		if dep.complete == unknownCycle || dep.complete > now {
+			return false
+		}
+	}
+	return true
+}
+
+// CompleteRequest is called by the simulation driver when a shared-memory
+// request issued by this core finishes. It wakes the waiting loads.
+func (c *Core) CompleteRequest(req *mem.Request, now uint64) {
+	if req.IsWrite {
+		return // store-buffer writes are fire-and-forget
+	}
+	key := lineAddr(req.Addr)
+	w, ok := c.pending[key]
+	if !ok {
+		return
+	}
+	delete(c.pending, key)
+	c.outstandingMisses--
+
+	latency := req.TotalLatency()
+	interference := req.TotalInterference()
+
+	w.primary.complete = now
+	w.primary.isSMS = true
+	for _, m := range w.merged {
+		m.complete = now + 1
+		m.isSMS = true
+	}
+
+	c.stats.SMSLoads++
+	c.stats.SMSLatencySum += latency
+	c.stats.SMSInterferenceSum += interference
+	if !req.LLCHit {
+		c.stats.LLCMisses++
+		pre := req.LLCArrival - req.IssueCycle + uint64(c.l2Lat)
+		c.stats.PreLLCLatSum += pre
+		if latency > pre {
+			c.stats.PostLLCLatSum += latency - pre
+		}
+	} else {
+		c.stats.PreLLCLatSum += latency
+	}
+	// Overlap (GDP-O): commit cycles observed while the request was in flight.
+	if issued, ok2 := c.issueCommitCount[req.ID]; ok2 {
+		c.stats.SMSOverlapSum += c.commitCycleCount - issued
+		delete(c.issueCommitCount, req.ID)
+	}
+
+	for _, p := range c.probes {
+		p.OnLoadCompleted(req.Addr, true, now, latency, interference)
+	}
+}
+
+// Tick advances the core by one cycle.
+func (c *Core) Tick(now uint64) {
+	c.stats.Cycles++
+	c.fuIntALU, c.fuIntMul, c.fuFPALU, c.fuFPMul, c.fuMemPorts = 0, 0, 0, 0, 0
+
+	committing, stall := c.commit(now)
+	c.execute(now)
+	c.dispatch(now)
+	c.drainStoreBuffer(now)
+
+	if committing {
+		c.stats.CommitCycles++
+		c.commitCycleCount++
+	} else {
+		switch stall {
+		case StallInd:
+			c.stats.StallInd++
+		case StallPMS:
+			c.stats.StallPMS++
+		case StallSMS:
+			c.stats.StallSMS++
+		case StallOther:
+			c.stats.StallOther++
+		}
+	}
+
+	if len(c.probes) > 0 {
+		c.emitCycleState(now, committing, stall)
+	}
+}
+
+// emitCycleState builds the per-cycle snapshot and hands it to every probe.
+func (c *Core) emitCycleState(now uint64, committing bool, stall StallKind) {
+	state := CycleState{
+		Cycle:      now,
+		Committing: committing,
+		Stall:      stall,
+		ROBFull:    c.robCount == len(c.rob),
+		ROBEmpty:   c.robCount == 0,
+	}
+	if c.robCount > 0 {
+		head := c.robAt(0)
+		if head.inst.Kind == trace.Load && (head.complete == unknownCycle || head.complete > now) {
+			state.HeadIsLoad = true
+			state.HeadLoadAddr = head.inst.Addr
+			state.HeadLoadSMS = head.req != nil
+			state.HeadReq = head.req
+		}
+	}
+	state.PendingSMSLoads = len(c.pending)
+	for _, w := range c.pending {
+		if w.req != nil && w.req.InterferenceMiss {
+			state.PendingInterferenceMisses++
+		}
+	}
+	for _, p := range c.probes {
+		p.OnCycle(state)
+	}
+}
+
+// commit retires completed instructions in order, classifying any stall.
+func (c *Core) commit(now uint64) (bool, StallKind) {
+	committed := 0
+	var stall StallKind = StallInd
+
+	for committed < c.cfg.CommitWidth && c.robCount > 0 {
+		head := c.robAt(0)
+		if head.complete == unknownCycle || head.complete > now {
+			stall = c.classifyStall(head, now)
+			break
+		}
+		if head.inst.Kind == trace.Store {
+			if len(c.storeBuffer) >= c.cfg.StoreBufferSize {
+				stall = StallOther
+				break
+			}
+			c.retireStore(head, now)
+		}
+		if head.inst.Kind.IsMem() {
+			c.memOps--
+		}
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robCount--
+		c.stats.Instructions++
+		committed++
+	}
+
+	committing := committed > 0
+	if committing {
+		if c.stalledOn != nil {
+			// Commit resumed after a load stall: Algorithm 3 trigger.
+			for _, p := range c.probes {
+				p.OnCommitResume(c.stalledOn.inst.Addr, c.stalledOn.isSMS, now)
+			}
+			c.stalledOn = nil
+		}
+		return true, StallNone
+	}
+
+	if c.robCount == 0 {
+		return false, StallInd
+	}
+	head := c.robAt(0)
+	if head.inst.Kind == trace.Load && !head.stallSeen && head.issued && head.isL1Miss {
+		head.stallSeen = true
+		c.stalledOn = head
+		for _, p := range c.probes {
+			p.OnCommitStall(head.inst.Addr, head.req != nil, now)
+		}
+	}
+	return false, stall
+}
+
+// classifyStall maps an incomplete head-of-ROB instruction to a stall kind.
+func (c *Core) classifyStall(head *robEntry, now uint64) StallKind {
+	switch head.inst.Kind {
+	case trace.Load:
+		if !head.issued {
+			return StallInd // waiting for its address operands
+		}
+		if head.req != nil {
+			return StallSMS
+		}
+		if head.isL1Miss {
+			return StallPMS
+		}
+		return StallPMS // L1 hit latency not yet elapsed
+	case trace.Store:
+		return StallOther
+	default:
+		return StallInd
+	}
+}
+
+// retireStore moves a committing store into the store buffer and starts its
+// (fire-and-forget) memory access.
+func (c *Core) retireStore(e *robEntry, now uint64) {
+	addr := e.inst.Addr
+	var drainAt uint64
+	if c.l1d.AccessAndFill(c.id, addr) {
+		drainAt = now + uint64(c.l1Lat)
+	} else if c.l2.AccessAndFill(c.id, addr) {
+		drainAt = now + uint64(c.l1Lat+c.l2Lat)
+	} else {
+		// Write misses the private hierarchy: send it to the shared memory
+		// system for bandwidth accounting, but free the buffer entry after the
+		// private-hierarchy latency (write-through, no completion wait).
+		c.shared.Submit(c.id, addr, true, now)
+		drainAt = now + uint64(c.l1Lat+c.l2Lat)
+	}
+	c.storeBuffer = append(c.storeBuffer, drainAt)
+}
+
+// drainStoreBuffer frees store-buffer entries whose writes have drained.
+func (c *Core) drainStoreBuffer(now uint64) {
+	kept := c.storeBuffer[:0]
+	for _, t := range c.storeBuffer {
+		if t > now {
+			kept = append(kept, t)
+		}
+	}
+	c.storeBuffer = kept
+}
+
+// execute starts execution of issue-queue entries whose dependencies are met.
+func (c *Core) execute(now uint64) {
+	issued := 0
+	kept := c.issueQueue[:0]
+	for _, e := range c.issueQueue {
+		if issued >= c.cfg.FetchWidth || !c.depsReady(e, now) || !c.fuAvailable(e.inst.Kind) {
+			kept = append(kept, e)
+			continue
+		}
+		if e.inst.Kind == trace.Load {
+			if !c.issueLoad(e, now) {
+				kept = append(kept, e)
+				continue
+			}
+		} else {
+			c.claimFU(e.inst.Kind)
+			e.complete = now + uint64(trace.ExecLatency(e.inst.Kind))
+		}
+		e.issued = true
+		issued++
+	}
+	c.issueQueue = kept
+
+	// Resolve branch redirects whose branch has executed.
+	if c.pendingRedirect != nil && c.pendingRedirect.complete != unknownCycle && c.pendingRedirect.complete <= now {
+		c.fetchStallUntil = c.pendingRedirect.complete + uint64(c.cfg.BranchMissPenalty)
+		c.pendingRedirect = nil
+	}
+}
+
+// fuAvailable reports whether a functional unit (or memory port) is free this
+// cycle for the given instruction kind.
+func (c *Core) fuAvailable(k trace.Kind) bool {
+	switch k {
+	case trace.IntOp, trace.Branch:
+		return c.fuIntALU < c.cfg.IntALUs
+	case trace.IntMul:
+		return c.fuIntMul < c.cfg.IntMulDiv
+	case trace.FPOp:
+		return c.fuFPALU < c.cfg.FPALUs
+	case trace.FPMul:
+		return c.fuFPMul < c.cfg.FPMulDiv
+	case trace.Load, trace.Store:
+		return c.fuMemPorts < 2
+	default:
+		return true
+	}
+}
+
+// claimFU consumes a functional-unit slot for this cycle.
+func (c *Core) claimFU(k trace.Kind) {
+	switch k {
+	case trace.IntOp, trace.Branch:
+		c.fuIntALU++
+	case trace.IntMul:
+		c.fuIntMul++
+	case trace.FPOp:
+		c.fuFPALU++
+	case trace.FPMul:
+		c.fuFPMul++
+	case trace.Load, trace.Store:
+		c.fuMemPorts++
+	}
+}
+
+// issueLoad performs the memory access of a load whose operands are ready.
+// It returns false when the access cannot start this cycle (MSHRs exhausted).
+func (c *Core) issueLoad(e *robEntry, now uint64) bool {
+	addr := e.inst.Addr
+	c.claimFU(trace.Load)
+	c.stats.Loads++
+
+	if c.l1d.AccessAndFill(c.id, addr) {
+		e.complete = now + uint64(c.l1Lat)
+		return true
+	}
+
+	// L1 miss.
+	key := lineAddr(addr)
+	if w, ok := c.pending[key]; ok {
+		// MSHR merge: this load completes when the outstanding request does.
+		w.merged = append(w.merged, e)
+		e.isL1Miss = true
+		e.req = w.req
+		c.stats.L1Misses++
+		return true
+	}
+	if c.outstandingMisses >= c.l1MSHRs {
+		c.stats.Loads-- // retry next cycle; do not double-count
+		c.fuMemPorts--
+		return false
+	}
+
+	e.isL1Miss = true
+	c.stats.L1Misses++
+	for _, p := range c.probes {
+		p.OnLoadIssued(addr, now)
+	}
+
+	if c.l2.AccessAndFill(c.id, addr) {
+		// PMS load: serviced by the private L2.
+		e.complete = now + uint64(c.l1Lat+c.l2Lat)
+		c.stats.PMSLoads++
+		for _, p := range c.probes {
+			p.OnLoadCompleted(addr, false, e.complete, uint64(c.l1Lat+c.l2Lat), 0)
+		}
+		return true
+	}
+
+	// SMS load: goes to the shared memory system.
+	req := c.shared.Submit(c.id, addr, false, now)
+	e.req = req
+	e.complete = unknownCycle
+	c.pending[key] = &loadWaiters{primary: e, req: req}
+	c.outstandingMisses++
+	c.issueCommitCount[req.ID] = c.commitCycleCount
+	return true
+}
+
+// dispatch brings new instructions from the trace into the ROB and issue
+// queue, respecting the fetch width, ROB/issue-queue/LSQ capacity and branch
+// redirect bubbles.
+func (c *Core) dispatch(now uint64) {
+	if c.Done() || c.pendingRedirect != nil || now < c.fetchStallUntil {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.robCount >= len(c.rob) || len(c.issueQueue) >= c.cfg.IssueQueueEntries {
+			return
+		}
+		var inst trace.Instruction
+		if c.hasStaged {
+			inst = c.staged
+			c.hasStaged = false
+		} else {
+			inst = c.gen.Next()
+		}
+		if inst.Kind.IsMem() && c.memOps >= c.cfg.LSQEntries {
+			// No LSQ entry: stage the instruction and retry next cycle.
+			c.staged = inst
+			c.hasStaged = true
+			return
+		}
+		pos := (c.robHead + c.robCount) % len(c.rob)
+		c.rob[pos] = robEntry{
+			inst:     inst,
+			index:    c.instIndex,
+			complete: unknownCycle,
+		}
+		e := &c.rob[pos]
+		c.instIndex++
+		c.robCount++
+		if inst.Kind.IsMem() {
+			c.memOps++
+		}
+		c.issueQueue = append(c.issueQueue, e)
+		if inst.Kind == trace.Branch && inst.Mispredicted {
+			// Stop dispatching past an unresolved mispredicted branch; the
+			// front end refills BranchMissPenalty cycles after it executes.
+			c.pendingRedirect = e
+			return
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package cpu
+
+import "repro/internal/mem"
+
+// StallKind classifies why the commit stage made no progress in a cycle.
+// The taxonomy follows Section III of the GDP paper.
+type StallKind int
+
+const (
+	// StallNone means at least one instruction committed this cycle.
+	StallNone StallKind = iota
+	// StallInd is a memory-independent stall (waiting on a compute result,
+	// an empty ROB after a branch redirect, and similar front-end effects).
+	StallInd
+	// StallPMS is a stall on a load serviced by the private memory system
+	// (L1 or L2 hit that has not completed yet).
+	StallPMS
+	// StallSMS is a stall on a load serviced by the shared memory system
+	// (the load crossed the ring to the LLC and possibly DRAM).
+	StallSMS
+	// StallOther covers the rare events of Section III: a full store buffer
+	// with a store at the head of the ROB, a blocked L1 data cache, and
+	// wrong-path-only ROB contents after a mispredict.
+	StallOther
+)
+
+// String returns a short name for the stall kind.
+func (k StallKind) String() string {
+	switch k {
+	case StallNone:
+		return "commit"
+	case StallInd:
+		return "ind"
+	case StallPMS:
+		return "pms"
+	case StallSMS:
+		return "sms"
+	case StallOther:
+		return "other"
+	default:
+		return "unknown"
+	}
+}
+
+// CycleState is the per-cycle architectural snapshot handed to accounting
+// probes. It contains exactly the observable state the transparent accounting
+// techniques in the paper monitor: commit activity, the stall cause, ROB
+// occupancy extremes, the load at the head of the ROB (if any) and the
+// population of outstanding shared-memory-system requests.
+type CycleState struct {
+	Cycle      uint64
+	Committing bool
+	Stall      StallKind
+
+	ROBFull  bool
+	ROBEmpty bool
+
+	// Head-of-ROB load information (zero values when the head is not an
+	// incomplete load).
+	HeadIsLoad  bool
+	HeadLoadSMS bool
+	HeadLoadAddr uint64
+	// HeadReq is the in-flight shared-memory request of the head load, when
+	// the head is an incomplete SMS load. Its interference counters update as
+	// the memory system simulates, so probes see the running values.
+	HeadReq *mem.Request
+
+	// Outstanding shared-memory-system loads of this core.
+	PendingSMSLoads           int
+	PendingInterferenceMisses int
+}
+
+// Probe observes the events the dataflow and architecture-centric accounting
+// techniques need. All methods are called synchronously from the core's Tick;
+// implementations must not retain the CycleState pointer past the call.
+type Probe interface {
+	// OnLoadIssued fires when a load misses in the L1 data cache and a request
+	// is issued towards the L2/shared memory system (GDP Algorithm 1).
+	OnLoadIssued(addr uint64, cycle uint64)
+	// OnLoadCompleted fires when an L1-miss load completes. sms reports
+	// whether the request visited the shared memory system; latency is the
+	// request's total latency and interference the portion DIEF attributes to
+	// other cores (GDP Algorithm 2).
+	OnLoadCompleted(addr uint64, sms bool, cycle uint64, latency, interference uint64)
+	// OnCommitStall fires when commit stops because an incomplete load is at
+	// the head of the ROB.
+	OnCommitStall(addr uint64, sms bool, cycle uint64)
+	// OnCommitResume fires when commit resumes after a load-induced stall
+	// (GDP Algorithm 3).
+	OnCommitResume(addr uint64, wasSMS bool, cycle uint64)
+	// OnCycle fires once per cycle with the architectural snapshot.
+	OnCycle(state CycleState)
+}
+
+// NopProbe is a Probe that ignores every event. Embed it to implement only a
+// subset of the interface.
+type NopProbe struct{}
+
+// OnLoadIssued implements Probe.
+func (NopProbe) OnLoadIssued(uint64, uint64) {}
+
+// OnLoadCompleted implements Probe.
+func (NopProbe) OnLoadCompleted(uint64, bool, uint64, uint64, uint64) {}
+
+// OnCommitStall implements Probe.
+func (NopProbe) OnCommitStall(uint64, bool, uint64) {}
+
+// OnCommitResume implements Probe.
+func (NopProbe) OnCommitResume(uint64, bool, uint64) {}
+
+// OnCycle implements Probe.
+func (NopProbe) OnCycle(CycleState) {}

@@ -1,0 +1,351 @@
+// Package dram models the off-chip memory system: per-channel memory
+// controllers with read/write queues, FR-FCFS scheduling, open-page row
+// buffers and DDR2/DDR4 timing. The model exposes the two hooks the GDP
+// evaluation needs beyond plain timing:
+//
+//   - a per-core priority override used by the invasive ASM accounting scheme
+//     (a prioritized core's requests are scheduled ahead of FR-FCFS order), and
+//   - per-request interference counters (queueing delay behind other cores and
+//     row-buffer locality destroyed by other cores) consumed by DIEF.
+package dram
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Timing holds device timing in CPU cycles.
+type Timing struct {
+	TRCD  int // activate to column command
+	TCAS  int // column command to data
+	TRP   int // precharge
+	Burst int // data-bus occupancy of one transfer
+}
+
+// Config describes one memory controller instance.
+type Config struct {
+	Channels     int
+	BanksPerChan int
+	ReadQueue    int
+	WriteQueue   int
+	PageBytes    int
+	LineBytes    int
+	Timing       Timing
+	// WriteDrainThreshold is the write-queue occupancy at which writes are
+	// drained even if reads are pending.
+	WriteDrainThreshold int
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels < 1:
+		return fmt.Errorf("dram: channels %d invalid", c.Channels)
+	case c.BanksPerChan < 1:
+		return fmt.Errorf("dram: banks %d invalid", c.BanksPerChan)
+	case c.ReadQueue < 1 || c.WriteQueue < 1:
+		return fmt.Errorf("dram: queue sizes %d/%d invalid", c.ReadQueue, c.WriteQueue)
+	case c.PageBytes < 64 || c.LineBytes < 1:
+		return fmt.Errorf("dram: page %d / line %d invalid", c.PageBytes, c.LineBytes)
+	case c.Timing.TRCD < 1 || c.Timing.TCAS < 1 || c.Timing.TRP < 1 || c.Timing.Burst < 1:
+		return fmt.Errorf("dram: timing %+v invalid", c.Timing)
+	}
+	return nil
+}
+
+// queued is a request waiting in a controller queue.
+type queued struct {
+	req     *mem.Request
+	arrival uint64
+	bank    int
+	row     uint64
+}
+
+// inflight is a request being serviced.
+type inflight struct {
+	req      *mem.Request
+	complete uint64
+}
+
+// bankState tracks the open row of one DRAM bank.
+type bankState struct {
+	rowOpen   bool
+	openRow   uint64
+	openedBy  int
+	busyUntil uint64
+	// lastRowByCore remembers the last row each core touched in this bank, to
+	// detect row-buffer locality destroyed by other cores (DIEF).
+	lastRowByCore map[int]uint64
+}
+
+// channel is one memory channel with its own queues, banks and data bus.
+type channel struct {
+	readQ    []queued
+	writeQ   []queued
+	banks    []bankState
+	busBusyUntil uint64
+	busOwner     int
+	inflight []inflight
+}
+
+// Controller is the multi-channel memory controller.
+type Controller struct {
+	cfg      Config
+	channels []channel
+
+	priorityCore int // core whose requests are scheduled first (-1 = none)
+
+	// Stats.
+	reads, writes   uint64
+	rowHits         uint64
+	rowMisses       uint64
+	rowConflicts    uint64
+	totalReadLat    uint64
+	completedReads  uint64
+}
+
+// New creates a memory controller.
+func New(cfg Config) (*Controller, error) {
+	if cfg.WriteDrainThreshold == 0 {
+		cfg.WriteDrainThreshold = cfg.WriteQueue * 3 / 4
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{cfg: cfg, priorityCore: -1}
+	c.channels = make([]channel, cfg.Channels)
+	for i := range c.channels {
+		c.channels[i].banks = make([]bankState, cfg.BanksPerChan)
+		for b := range c.channels[i].banks {
+			c.channels[i].banks[b].lastRowByCore = map[int]uint64{}
+		}
+		c.channels[i].busOwner = -1
+	}
+	return c, nil
+}
+
+// SetPriorityCore gives core the highest scheduling priority (ASM's invasive
+// mechanism). Pass -1 to restore pure FR-FCFS.
+func (c *Controller) SetPriorityCore(core int) { c.priorityCore = core }
+
+// PriorityCore returns the currently prioritized core, or -1.
+func (c *Controller) PriorityCore() int { return c.priorityCore }
+
+// mapAddress returns the channel, bank and row for an address. Pages are
+// interleaved across channels and banks so that accesses within one DRAM page
+// stay in the same bank and row (preserving row-buffer locality under the
+// open-page policy) while consecutive pages spread across channels and banks.
+func (c *Controller) mapAddress(addr uint64) (ch, bank int, row uint64) {
+	page := addr / uint64(c.cfg.PageBytes)
+	ch = int(page % uint64(c.cfg.Channels))
+	page /= uint64(c.cfg.Channels)
+	bank = int(page % uint64(c.cfg.BanksPerChan))
+	row = page / uint64(c.cfg.BanksPerChan)
+	return ch, bank, row
+}
+
+// Enqueue adds a request to the appropriate channel queue. It returns false
+// when the queue is full.
+func (c *Controller) Enqueue(req *mem.Request, now uint64) bool {
+	ch, bank, row := c.mapAddress(req.Addr)
+	chn := &c.channels[ch]
+	q := queued{req: req, arrival: now, bank: bank, row: row}
+	if req.IsWrite {
+		if len(chn.writeQ) >= c.cfg.WriteQueue {
+			return false
+		}
+		chn.writeQ = append(chn.writeQ, q)
+		c.writes++
+		return true
+	}
+	if len(chn.readQ) >= c.cfg.ReadQueue {
+		return false
+	}
+	chn.readQ = append(chn.readQ, q)
+	c.reads++
+	req.MemArrival = now
+	return true
+}
+
+// QueueOccupancy returns the total read-queue occupancy across channels.
+func (c *Controller) QueueOccupancy() int {
+	total := 0
+	for i := range c.channels {
+		total += len(c.channels[i].readQ)
+	}
+	return total
+}
+
+// CanAccept reports whether a read request to addr can currently be enqueued.
+func (c *Controller) CanAccept(addr uint64, isWrite bool) bool {
+	ch, _, _ := c.mapAddress(addr)
+	if isWrite {
+		return len(c.channels[ch].writeQ) < c.cfg.WriteQueue
+	}
+	return len(c.channels[ch].readQ) < c.cfg.ReadQueue
+}
+
+// serviceLatency returns the latency of servicing a request given the bank's
+// row state, and a row-state classification (0 hit, 1 closed, 2 conflict).
+func (c *Controller) serviceLatency(b *bankState, row uint64) (int, int) {
+	t := c.cfg.Timing
+	switch {
+	case b.rowOpen && b.openRow == row:
+		return t.TCAS + t.Burst, 0
+	case !b.rowOpen:
+		return t.TRCD + t.TCAS + t.Burst, 1
+	default:
+		return t.TRP + t.TRCD + t.TCAS + t.Burst, 2
+	}
+}
+
+// pickFRFCFS selects the index of the next request to service from q per
+// FR-FCFS with the optional priority core: priority-core requests first, then
+// row hits, then oldest-first. It only considers requests whose bank is free.
+// Returns -1 when nothing can issue.
+func (c *Controller) pickFRFCFS(chn *channel, q []queued, now uint64) int {
+	type cand struct {
+		idx      int
+		priority bool
+		rowHit   bool
+		arrival  uint64
+	}
+	var cands []cand
+	for i := range q {
+		b := &chn.banks[q[i].bank]
+		if b.busyUntil > now {
+			continue
+		}
+		rowHit := b.rowOpen && b.openRow == q[i].row
+		cands = append(cands, cand{
+			idx:      i,
+			priority: q[i].req.Core == c.priorityCore,
+			rowHit:   rowHit,
+			arrival:  q[i].arrival,
+		})
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].priority != cands[b].priority {
+			return cands[a].priority
+		}
+		if cands[a].rowHit != cands[b].rowHit {
+			return cands[a].rowHit
+		}
+		return cands[a].arrival < cands[b].arrival
+	})
+	return cands[0].idx
+}
+
+// Tick advances the controller by one cycle and returns the read requests
+// whose data transfer completed this cycle.
+func (c *Controller) Tick(now uint64) []*mem.Request {
+	var done []*mem.Request
+	for chIdx := range c.channels {
+		chn := &c.channels[chIdx]
+
+		// Complete in-flight transfers.
+		kept := chn.inflight[:0]
+		for _, f := range chn.inflight {
+			if f.complete <= now {
+				f.req.CompleteCycle = now
+				if !f.req.IsWrite {
+					c.totalReadLat += f.req.CompleteCycle - f.req.MemArrival
+					c.completedReads++
+					done = append(done, f.req)
+				}
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		chn.inflight = kept
+
+		// Charge queueing interference: a waiting read accumulates one cycle of
+		// memory interference for every cycle its bank or the data bus is busy
+		// with another core's request.
+		for i := range chn.readQ {
+			q := &chn.readQ[i]
+			b := &chn.banks[q.bank]
+			if (b.busyUntil > now && b.openedBy != q.req.Core) ||
+				(chn.busBusyUntil > now && chn.busOwner >= 0 && chn.busOwner != q.req.Core) {
+				q.req.MemInterference++
+			}
+		}
+
+		// Issue at most one new command per channel per cycle.
+		if chn.busBusyUntil > now {
+			continue
+		}
+		useWrites := len(chn.readQ) == 0 && len(chn.writeQ) > 0 ||
+			len(chn.writeQ) >= c.cfg.WriteDrainThreshold
+		q := &chn.readQ
+		if useWrites {
+			q = &chn.writeQ
+		}
+		idx := c.pickFRFCFS(chn, *q, now)
+		if idx < 0 {
+			continue
+		}
+		item := (*q)[idx]
+		*q = append((*q)[:idx], (*q)[idx+1:]...)
+
+		b := &chn.banks[item.bank]
+		lat, rowClass := c.serviceLatency(b, item.row)
+		switch rowClass {
+		case 0:
+			c.rowHits++
+		case 1:
+			c.rowMisses++
+		default:
+			c.rowConflicts++
+		}
+		// Row-buffer interference (DIEF): the request would have been a row hit
+		// in private mode (its core's previous access to this bank used the
+		// same row) but the row is now closed or holds another core's row.
+		if rowClass != 0 {
+			if prevRow, ok := b.lastRowByCore[item.req.Core]; ok && prevRow == item.row && b.openedBy != item.req.Core {
+				item.req.MemInterference += uint64(lat - (c.cfg.Timing.TCAS + c.cfg.Timing.Burst))
+			}
+		}
+
+		b.rowOpen = true
+		b.openRow = item.row
+		b.openedBy = item.req.Core
+		b.busyUntil = now + uint64(lat)
+		b.lastRowByCore[item.req.Core] = item.row
+		chn.busBusyUntil = now + uint64(lat)
+		chn.busOwner = item.req.Core
+		chn.inflight = append(chn.inflight, inflight{req: item.req, complete: now + uint64(lat)})
+	}
+	return done
+}
+
+// Stats summarizes controller activity.
+type Stats struct {
+	Reads, Writes                    uint64
+	RowHits, RowMisses, RowConflicts uint64
+	AvgReadLatency                   float64
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Controller) Stats() Stats {
+	s := Stats{
+		Reads: c.reads, Writes: c.writes,
+		RowHits: c.rowHits, RowMisses: c.rowMisses, RowConflicts: c.rowConflicts,
+	}
+	if c.completedReads > 0 {
+		s.AvgReadLatency = float64(c.totalReadLat) / float64(c.completedReads)
+	}
+	return s
+}
+
+// UnloadedReadLatency returns the latency of an isolated row-miss read: the
+// best-case private-mode latency DIEF uses as a sanity floor.
+func (c *Controller) UnloadedReadLatency() uint64 {
+	t := c.cfg.Timing
+	return uint64(t.TRCD + t.TCAS + t.Burst)
+}

@@ -1,0 +1,386 @@
+// Package experiments implements one driver per table and figure of the GDP
+// paper's evaluation section. Each driver generates workloads, runs the
+// shared-mode and private-mode simulations, and reduces the results to the
+// numbers the corresponding figure reports (RMS estimation errors, component
+// error distributions, system throughput under cache partitioning, and the
+// sensitivity sweeps).
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/accounting"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TechniqueNames lists the accounting techniques compared in Figures 3 and 4,
+// in the paper's order.
+var TechniqueNames = []string{"ITCA", "PTCA", "ASM", "GDP", "GDP-O"}
+
+// AccuracyOptions configure one accounting-accuracy study cell (one bar group
+// of Figure 3: a core count and a workload category).
+type AccuracyOptions struct {
+	Cores               int
+	Mix                 workload.MixKind
+	Workloads           int
+	InstructionsPerCore uint64
+	IntervalCycles      uint64
+	Seed                int64
+	// Config overrides the default scaled configuration (used by the
+	// sensitivity study); nil selects config.ScaledConfig(Cores).
+	Config *config.CMPConfig
+	// PRBEntries overrides the GDP/GDP-O Pending Request Buffer size
+	// (default 32).
+	PRBEntries int
+	// Techniques restricts the evaluated techniques (nil = all five).
+	Techniques []string
+}
+
+// withDefaults fills unset options.
+func (o AccuracyOptions) withDefaults() AccuracyOptions {
+	if o.Cores == 0 {
+		o.Cores = 4
+	}
+	if o.Workloads == 0 {
+		o.Workloads = 3
+	}
+	if o.InstructionsPerCore == 0 {
+		o.InstructionsPerCore = 6000
+	}
+	if o.IntervalCycles == 0 {
+		o.IntervalCycles = 5000
+	}
+	if o.Config == nil {
+		o.Config = config.ScaledConfig(o.Cores)
+	}
+	if o.PRBEntries == 0 {
+		o.PRBEntries = 32
+	}
+	if len(o.Techniques) == 0 {
+		o.Techniques = TechniqueNames
+	}
+	return o
+}
+
+// BenchmarkErrors holds the per-benchmark (per core slot of one workload)
+// RMS estimation errors of one technique.
+type BenchmarkErrors struct {
+	Workload  string
+	Core      int
+	Benchmark string
+
+	IPCAbsRMS   float64
+	IPCRelRMS   float64
+	StallAbsRMS float64
+	StallRelRMS float64
+}
+
+// TechniqueAccuracy aggregates one technique's errors over a study cell.
+type TechniqueAccuracy struct {
+	Technique string
+
+	// Per-benchmark series (one entry per core slot per workload); these feed
+	// the sorted distributions of Figure 4.
+	PerBenchmark []BenchmarkErrors
+
+	// Averages over the per-benchmark RMS errors (the bars of Figure 3).
+	MeanIPCAbsRMS   float64
+	MeanIPCRelRMS   float64
+	MeanStallAbsRMS float64
+}
+
+// ComponentAccuracy holds the GDP/GDP-O component error distributions of
+// Figure 5 (relative RMS errors, one entry per benchmark slot).
+type ComponentAccuracy struct {
+	CPLRelRMS     []float64
+	OverlapRelRMS []float64
+	LatencyRelRMS []float64
+}
+
+// AccuracyResult is the outcome of one study cell.
+type AccuracyResult struct {
+	Label      string
+	Options    AccuracyOptions
+	Techniques []TechniqueAccuracy
+	Components ComponentAccuracy
+}
+
+// Technique returns the named technique's aggregate, or nil.
+func (r *AccuracyResult) Technique(name string) *TechniqueAccuracy {
+	for i := range r.Techniques {
+		if r.Techniques[i].Technique == name {
+			return &r.Techniques[i]
+		}
+	}
+	return nil
+}
+
+// hasTechnique reports whether the study evaluates the named technique.
+func hasTechnique(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// buildAccountants instantiates the requested transparent techniques (ASM is
+// handled separately because it is invasive).
+func buildAccountants(opts AccuracyOptions) ([]accounting.Accountant, error) {
+	var out []accounting.Accountant
+	if hasTechnique(opts.Techniques, "GDP") {
+		a, err := accounting.NewGDP(opts.Cores, opts.PRBEntries, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	if hasTechnique(opts.Techniques, "GDP-O") {
+		a, err := accounting.NewGDP(opts.Cores, opts.PRBEntries, true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	if hasTechnique(opts.Techniques, "ITCA") {
+		a, err := accounting.NewITCA(opts.Cores)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	if hasTechnique(opts.Techniques, "PTCA") {
+		a, err := accounting.NewPTCA(opts.Cores)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// privateWindow returns the actual private-mode statistics of the window
+// ending at sample index k (delta between consecutive aligned snapshots).
+func privateWindow(priv *sim.PrivateReference, k int) cpu.Stats {
+	if k == 0 {
+		return priv.At[0]
+	}
+	return priv.At[k].Delta(priv.At[k-1])
+}
+
+// accumulateErrors walks one shared run and its aligned private references
+// and appends per-benchmark errors for every technique present in the run.
+func accumulateErrors(res *sim.Result, privs []*sim.PrivateReference, names []string,
+	perTechnique map[string][]BenchmarkErrors, comp *ComponentAccuracy, wl workload.Workload) {
+
+	for core := range res.Intervals {
+		priv := privs[core]
+		series := map[string]*struct {
+			ipc   metrics.ErrorSeries
+			stall metrics.ErrorSeries
+		}{}
+		for _, n := range names {
+			series[n] = &struct {
+				ipc   metrics.ErrorSeries
+				stall metrics.ErrorSeries
+			}{}
+		}
+		var cplSeries, overlapSeries, latSeries metrics.ErrorSeries
+
+		for k, rec := range res.Intervals[core] {
+			if rec.Shared.Instructions == 0 || k >= len(priv.At) {
+				continue
+			}
+			actual := privateWindow(priv, k)
+			if actual.Instructions == 0 || actual.Cycles == 0 {
+				continue
+			}
+			actualIPC := actual.IPC()
+			actualStall := float64(actual.StallSMS)
+
+			for _, n := range names {
+				est, ok := rec.Estimates[n]
+				if !ok {
+					continue
+				}
+				series[n].ipc.Add(est.PrivateIPC, actualIPC)
+				series[n].stall.Add(est.SMSStallCycles, actualStall)
+			}
+
+			// Component errors come from the GDP-O estimates (falling back to
+			// GDP when GDP-O is not part of the study).
+			refName := "GDP-O"
+			if _, ok := rec.Estimates[refName]; !ok {
+				refName = "GDP"
+			}
+			if est, ok := rec.Estimates[refName]; ok && comp != nil {
+				if k < len(priv.CPLAt) && priv.CPLAt[k] > 0 {
+					cplSeries.Add(float64(est.CPL), float64(priv.CPLAt[k]))
+				}
+				if k < len(priv.OverlapAt) && priv.OverlapAt[k] > 0 && est.AvgOverlap > 0 {
+					overlapSeries.Add(est.AvgOverlap, priv.OverlapAt[k])
+				}
+				if actual.SMSLoads > 0 && est.PrivateLatency > 0 {
+					latSeries.Add(est.PrivateLatency, actual.AvgSMSLatency())
+				}
+			}
+		}
+
+		for _, n := range names {
+			s := series[n]
+			if s.ipc.Len() == 0 {
+				continue
+			}
+			perTechnique[n] = append(perTechnique[n], BenchmarkErrors{
+				Workload:    wl.ID,
+				Core:        core,
+				Benchmark:   wl.Benchmarks[core].Name,
+				IPCAbsRMS:   s.ipc.AbsRMS(),
+				IPCRelRMS:   s.ipc.RelRMS(),
+				StallAbsRMS: s.stall.AbsRMS(),
+				StallRelRMS: s.stall.RelRMS(),
+			})
+		}
+		if comp != nil {
+			if cplSeries.Len() > 0 {
+				comp.CPLRelRMS = append(comp.CPLRelRMS, cplSeries.RelRMS())
+			}
+			if overlapSeries.Len() > 0 {
+				comp.OverlapRelRMS = append(comp.OverlapRelRMS, overlapSeries.RelRMS())
+			}
+			if latSeries.Len() > 0 {
+				comp.LatencyRelRMS = append(comp.LatencyRelRMS, latSeries.RelRMS())
+			}
+		}
+	}
+}
+
+// AccuracyStudy runs one cell of Figures 3-5: it generates the requested
+// workloads, runs the transparent techniques together on one shared-mode run
+// per workload, runs ASM on its own (invasive) shared-mode run, obtains the
+// aligned private-mode references, and reduces everything to RMS errors.
+func AccuracyStudy(opts AccuracyOptions) (*AccuracyResult, error) {
+	opts = opts.withDefaults()
+	workloads, err := workload.Generate(workload.GenerateOptions{
+		Cores: opts.Cores, Mix: opts.Mix, Count: opts.Workloads, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return accuracyStudyOver(workloads, opts)
+}
+
+// AccuracyStudyForWorkload runs the accuracy study over one explicit workload
+// (used by the CLI's run subcommand and by ad-hoc investigations).
+func AccuracyStudyForWorkload(wl workload.Workload, opts AccuracyOptions) (*AccuracyResult, error) {
+	opts.Cores = wl.Cores()
+	opts = opts.withDefaults()
+	return accuracyStudyOver([]workload.Workload{wl}, opts)
+}
+
+// accuracyStudyOver is the shared implementation of the accuracy studies.
+func accuracyStudyOver(workloads []workload.Workload, opts AccuracyOptions) (*AccuracyResult, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+
+	perTechnique := map[string][]BenchmarkErrors{}
+	comp := &ComponentAccuracy{}
+
+	for _, wl := range workloads {
+		// Transparent techniques share one run.
+		transparent, err := buildAccountants(opts)
+		if err != nil {
+			return nil, err
+		}
+		transparentNames := make([]string, 0, len(transparent))
+		for _, a := range transparent {
+			transparentNames = append(transparentNames, a.Name())
+		}
+		if len(transparent) > 0 {
+			res, err := sim.Run(sim.Options{
+				Config:              opts.Config,
+				Workload:            wl,
+				InstructionsPerCore: opts.InstructionsPerCore,
+				IntervalCycles:      opts.IntervalCycles,
+				Seed:                opts.Seed,
+				Accountants:         transparent,
+			})
+			if err != nil {
+				return nil, err
+			}
+			privs, err := privateReferences(opts, wl, res)
+			if err != nil {
+				return nil, err
+			}
+			accumulateErrors(res, privs, transparentNames, perTechnique, comp, wl)
+		}
+
+		// ASM runs on its own shared-mode simulation because it perturbs the
+		// memory controller.
+		if hasTechnique(opts.Techniques, "ASM") {
+			asm, err := accounting.NewASM(opts.Cores, opts.IntervalCycles/4, nil)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(sim.Options{
+				Config:              opts.Config,
+				Workload:            wl,
+				InstructionsPerCore: opts.InstructionsPerCore,
+				IntervalCycles:      opts.IntervalCycles,
+				Seed:                opts.Seed,
+				Accountants:         []accounting.Accountant{asm},
+			})
+			if err != nil {
+				return nil, err
+			}
+			privs, err := privateReferences(opts, wl, res)
+			if err != nil {
+				return nil, err
+			}
+			accumulateErrors(res, privs, []string{"ASM"}, perTechnique, nil, wl)
+		}
+	}
+
+	result := &AccuracyResult{
+		Label:      fmt.Sprintf("%dc-%s", opts.Cores, opts.Mix),
+		Options:    opts,
+		Components: *comp,
+	}
+	for _, name := range opts.Techniques {
+		errs := perTechnique[name]
+		ta := TechniqueAccuracy{Technique: name, PerBenchmark: errs}
+		var ipcAbs, ipcRel, stallAbs []float64
+		for _, e := range errs {
+			ipcAbs = append(ipcAbs, e.IPCAbsRMS)
+			ipcRel = append(ipcRel, e.IPCRelRMS)
+			stallAbs = append(stallAbs, e.StallAbsRMS)
+		}
+		ta.MeanIPCAbsRMS, _ = metrics.Mean(ipcAbs)
+		ta.MeanIPCRelRMS, _ = metrics.Mean(ipcRel)
+		ta.MeanStallAbsRMS, _ = metrics.Mean(stallAbs)
+		result.Techniques = append(result.Techniques, ta)
+	}
+	return result, nil
+}
+
+// privateReferences runs the private-mode simulations for every core of a
+// workload, aligned on the shared run's sample points. Identical benchmarks
+// on different cores still need separate references because their sample
+// points differ.
+func privateReferences(opts AccuracyOptions, wl workload.Workload, res *sim.Result) ([]*sim.PrivateReference, error) {
+	privs := make([]*sim.PrivateReference, wl.Cores())
+	for core, bench := range wl.Benchmarks {
+		p, err := sim.RunPrivate(opts.Config, bench, res.SamplePoints[core], opts.Seed+int64(core)*7919, 0)
+		if err != nil {
+			return nil, err
+		}
+		privs[core] = p
+	}
+	return privs, nil
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// quickScale keeps experiment tests fast: tiny samples, one workload per cell.
+func quickScale() StudyScale {
+	return StudyScale{
+		WorkloadsPerCell:    1,
+		InstructionsPerCore: 3000,
+		IntervalCycles:      3000,
+		Seed:                7,
+		CoreCounts:          []int{2},
+	}
+}
+
+func quickAccuracyOptions(techniques ...string) AccuracyOptions {
+	return AccuracyOptions{
+		Cores:               2,
+		Mix:                 workload.MixH,
+		Workloads:           1,
+		InstructionsPerCore: 3000,
+		IntervalCycles:      3000,
+		Seed:                7,
+		Techniques:          techniques,
+	}
+}
+
+func TestAccuracyStudyProducesErrorsForEveryTechnique(t *testing.T) {
+	res, err := AccuracyStudy(quickAccuracyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Label != "2c-H" {
+		t.Errorf("label = %q", res.Label)
+	}
+	if len(res.Techniques) != len(TechniqueNames) {
+		t.Fatalf("techniques = %d, want %d", len(res.Techniques), len(TechniqueNames))
+	}
+	for _, tech := range res.Techniques {
+		if len(tech.PerBenchmark) == 0 {
+			t.Errorf("%s produced no per-benchmark errors", tech.Technique)
+			continue
+		}
+		if tech.MeanIPCAbsRMS < 0 || tech.MeanStallAbsRMS < 0 {
+			t.Errorf("%s has negative mean errors", tech.Technique)
+		}
+	}
+	if res.Technique("GDP") == nil || res.Technique("nope") != nil {
+		t.Error("Technique lookup broken")
+	}
+}
+
+func TestAccuracyStudyComponentErrorsCollected(t *testing.T) {
+	res, err := AccuracyStudy(quickAccuracyOptions("GDP-O"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components.CPLRelRMS) == 0 {
+		t.Error("no CPL component errors collected")
+	}
+	if len(res.Components.LatencyRelRMS) == 0 {
+		t.Error("no latency component errors collected")
+	}
+}
+
+func TestAccuracyStudySubsetOfTechniques(t *testing.T) {
+	res, err := AccuracyStudy(quickAccuracyOptions("GDP"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Techniques) != 1 || res.Techniques[0].Technique != "GDP" {
+		t.Errorf("expected only GDP, got %+v", res.Techniques)
+	}
+}
+
+func TestFigure3AndDerivedFigures(t *testing.T) {
+	fig3, err := Figure3(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig3.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3 (one core count, three categories)", len(fig3.Cells))
+	}
+	rendered := fig3.Render()
+	for _, want := range []string{"Figure 3a", "Figure 3b", "GDP-O", "2c-H"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+
+	fig4 := Figure4(fig3)
+	series, ok := fig4.PerCoreCount[2]
+	if !ok || len(series) == 0 {
+		t.Fatal("Figure 4 has no series for 2 cores")
+	}
+	for _, s := range series {
+		for i := 1; i < len(s.Sorted); i++ {
+			if s.Sorted[i] < s.Sorted[i-1] {
+				t.Errorf("%s distribution not sorted", s.Technique)
+			}
+		}
+	}
+
+	fig5 := Figure5(fig3)
+	if len(fig5.PerCell) != 3 {
+		t.Errorf("Figure 5 cells = %d, want 3", len(fig5.PerCell))
+	}
+
+	heads := Headlines(fig3)
+	if len(heads) != len(fig3.Cells) {
+		t.Errorf("headlines = %d, want %d", len(heads), len(fig3.Cells))
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1(4)
+	if len(rows) == 0 {
+		t.Fatal("Table 1 empty")
+	}
+	joined := ""
+	for _, r := range rows {
+		joined += r.Parameter + " " + r.Value + "\n"
+	}
+	if !strings.Contains(joined, "reorder buffer") || !strings.Contains(joined, "FR-FCFS") {
+		t.Error("Table 1 missing expected parameters")
+	}
+}
+
+func TestPartitioningStudy(t *testing.T) {
+	res, err := PartitioningStudy(PartitioningOptions{
+		Cores:               2,
+		Mix:                 workload.MixH,
+		Workloads:           1,
+		InstructionsPerCore: 3000,
+		IntervalCycles:      2500,
+		Seed:                3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerWorkload) != 1 {
+		t.Fatalf("workloads = %d", len(res.PerWorkload))
+	}
+	for _, pol := range PolicyNames {
+		stp, ok := res.PerWorkload[0].STP[pol]
+		if !ok {
+			t.Errorf("policy %s missing", pol)
+			continue
+		}
+		if stp <= 0 || stp > 2.01 {
+			t.Errorf("%s STP = %v out of (0, cores]", pol, stp)
+		}
+		if res.AverageSTP[pol] <= 0 {
+			t.Errorf("%s average STP missing", pol)
+		}
+	}
+	rel := res.RelativeToLRU()
+	if len(rel) != 1 {
+		t.Fatal("relative-to-LRU missing")
+	}
+	if rel[0].STP["LRU"] != 1.0 {
+		t.Errorf("LRU relative STP = %v, want 1.0", rel[0].STP["LRU"])
+	}
+	if !strings.Contains(res.Render(), "Figure 6a") {
+		t.Error("render missing header")
+	}
+}
+
+func TestPartitioningStudySubset(t *testing.T) {
+	res, err := PartitioningStudy(PartitioningOptions{
+		Cores:               2,
+		Mix:                 workload.MixM,
+		Workloads:           1,
+		InstructionsPerCore: 2500,
+		IntervalCycles:      2500,
+		Seed:                3,
+		Policies:            []string{"LRU", "MCP"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.PerWorkload[0].STP["UCP"]; ok {
+		t.Error("UCP should not have been evaluated")
+	}
+	if _, ok := res.PerWorkload[0].STP["MCP"]; !ok {
+		t.Error("MCP missing")
+	}
+}
+
+func TestSensitivityPanels(t *testing.T) {
+	opts := SensitivityOptions{Scale: StudyScale{
+		WorkloadsPerCell:    1,
+		InstructionsPerCore: 2000,
+		IntervalCycles:      2000,
+		Seed:                11,
+	}}
+	// Run two representative panels (the full Figure 7 is exercised by the
+	// benchmark harness; running all six here would slow the test suite).
+	d, err := Figure7d(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 2 {
+		t.Errorf("Figure 7d points = %d, want 2", len(d.Points))
+	}
+	f, err := Figure7f(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 1 || len(f.Points[0].ErrorByMix) != 3 {
+		t.Errorf("Figure 7f should report the three mixed categories, got %+v", f.Points)
+	}
+	if !strings.Contains(d.Render(), "Figure 7d") {
+		t.Error("render missing panel name")
+	}
+}
+
+func TestDefaultAndPaperScale(t *testing.T) {
+	d := DefaultScale()
+	p := PaperScale()
+	if d.WorkloadsPerCell >= p.WorkloadsPerCell {
+		t.Error("paper scale should use more workloads than the default scale")
+	}
+	if len(p.CoreCounts) != 3 {
+		t.Error("paper scale should cover 2, 4 and 8 cores")
+	}
+}

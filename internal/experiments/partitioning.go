@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/accounting"
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// PolicyNames lists the LLC management policies compared in Figure 6, in the
+// paper's order.
+var PolicyNames = []string{"LRU", "UCP", "ASM", "MCP", "MCP-O"}
+
+// PartitioningOptions configure one partitioning-study cell (one bar group of
+// Figure 6a).
+type PartitioningOptions struct {
+	Cores               int
+	Mix                 workload.MixKind
+	Workloads           int
+	InstructionsPerCore uint64
+	IntervalCycles      uint64
+	Seed                int64
+	Config              *config.CMPConfig
+	// Policies restricts the evaluated policies (nil = all five).
+	Policies []string
+}
+
+func (o PartitioningOptions) withDefaults() PartitioningOptions {
+	if o.Cores == 0 {
+		o.Cores = 4
+	}
+	if o.Workloads == 0 {
+		o.Workloads = 2
+	}
+	if o.InstructionsPerCore == 0 {
+		o.InstructionsPerCore = 5000
+	}
+	if o.IntervalCycles == 0 {
+		o.IntervalCycles = 4000
+	}
+	if o.Config == nil {
+		o.Config = config.ScaledConfig(o.Cores)
+	}
+	if len(o.Policies) == 0 {
+		o.Policies = PolicyNames
+	}
+	return o
+}
+
+// WorkloadSTP is one workload's system throughput under every policy.
+type WorkloadSTP struct {
+	Workload string
+	STP      map[string]float64
+}
+
+// PartitioningResult is the outcome of one Figure 6 cell.
+type PartitioningResult struct {
+	Label      string
+	PerWorkload []WorkloadSTP
+	AverageSTP map[string]float64
+}
+
+// policyRun describes how to set up one policy's shared-mode run.
+func policyRun(name string, cores int, prb int) (acct []accounting.Accountant, pol partition.Policy, source string, err error) {
+	switch name {
+	case "LRU":
+		return nil, nil, "", nil
+	case "UCP":
+		return nil, partition.UCP{}, "", nil
+	case "ASM":
+		a, err := accounting.NewASM(cores, 1000, nil)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return []accounting.Accountant{a}, partition.MCP{PolicyName: "ASM"}, "ASM", nil
+	case "MCP":
+		a, err := accounting.NewGDP(cores, prb, false)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return []accounting.Accountant{a}, partition.MCP{}, "GDP", nil
+	case "MCP-O":
+		a, err := accounting.NewGDP(cores, prb, true)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return []accounting.Accountant{a}, partition.MCP{PolicyName: "MCP-O"}, "GDP-O", nil
+	default:
+		return nil, nil, "", fmt.Errorf("experiments: unknown policy %q", name)
+	}
+}
+
+// PartitioningStudy runs Figure 6's comparison for one core count and
+// workload category: every policy runs the same workloads, and system
+// throughput is computed against private-mode runs of each benchmark.
+func PartitioningStudy(opts PartitioningOptions) (*PartitioningResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	workloads, err := workload.Generate(workload.GenerateOptions{
+		Cores: opts.Cores, Mix: opts.Mix, Count: opts.Workloads, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	result := &PartitioningResult{
+		Label:      fmt.Sprintf("%dc-%s", opts.Cores, opts.Mix),
+		AverageSTP: map[string]float64{},
+	}
+	perPolicy := map[string][]float64{}
+
+	for _, wl := range workloads {
+		entry := WorkloadSTP{Workload: wl.ID, STP: map[string]float64{}}
+
+		// Private-mode CPI of every benchmark slot, on the unmanaged LLC, for
+		// the full instruction sample. This is policy independent.
+		privateCPI := make([]float64, wl.Cores())
+		for core, bench := range wl.Benchmarks {
+			priv, err := sim.RunPrivate(opts.Config, bench, []uint64{opts.InstructionsPerCore},
+				opts.Seed+int64(core)*7919, 0)
+			if err != nil {
+				return nil, err
+			}
+			privateCPI[core] = priv.At[0].CPI()
+		}
+
+		for _, polName := range opts.Policies {
+			accts, pol, source, err := policyRun(polName, opts.Cores, 32)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(sim.Options{
+				Config:              opts.Config,
+				Workload:            wl,
+				InstructionsPerCore: opts.InstructionsPerCore,
+				IntervalCycles:      opts.IntervalCycles,
+				Seed:                opts.Seed,
+				Accountants:         accts,
+				Partitioner:         pol,
+				PartitionSource:     source,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sharedCPI := make([]float64, wl.Cores())
+			for core := range sharedCPI {
+				sharedCPI[core] = res.SampleStats[core].CPI()
+			}
+			stp, err := metrics.STP(privateCPI, sharedCPI)
+			if err != nil {
+				return nil, err
+			}
+			entry.STP[polName] = stp
+			perPolicy[polName] = append(perPolicy[polName], stp)
+		}
+		result.PerWorkload = append(result.PerWorkload, entry)
+	}
+
+	for _, polName := range opts.Policies {
+		if avg, err := metrics.Mean(perPolicy[polName]); err == nil {
+			result.AverageSTP[polName] = avg
+		}
+	}
+	return result, nil
+}
+
+// RelativeToLRU returns each workload's STP normalized to the LRU baseline
+// (Figure 6b's presentation). Policies other than LRU are reported; a
+// workload is skipped when its LRU STP is missing or zero.
+func (r *PartitioningResult) RelativeToLRU() []WorkloadSTP {
+	var out []WorkloadSTP
+	for _, w := range r.PerWorkload {
+		base := w.STP["LRU"]
+		if base <= 0 {
+			continue
+		}
+		rel := WorkloadSTP{Workload: w.Workload, STP: map[string]float64{}}
+		for pol, stp := range w.STP {
+			rel.STP[pol] = stp / base
+		}
+		out = append(out, rel)
+	}
+	return out
+}
+
+// Render prints the Figure 6a table.
+func (r *PartitioningResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6a cell %s: average system throughput (STP)\n", r.Label)
+	fmt.Fprintf(&b, "%-10s", "policy")
+	for _, p := range PolicyNames {
+		fmt.Fprintf(&b, "%10s", p)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-10s", "avg STP")
+	for _, p := range PolicyNames {
+		fmt.Fprintf(&b, "%10.3f", r.AverageSTP[p])
+	}
+	b.WriteString("\n")
+	return b.String()
+}

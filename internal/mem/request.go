@@ -1,0 +1,57 @@
+// Package mem defines the memory-request type exchanged between the core
+// models, the ring interconnect, the shared last-level cache and the memory
+// controller, together with the per-request interference bookkeeping that the
+// DIEF latency estimator consumes.
+package mem
+
+import "fmt"
+
+// Request is one in-flight memory transaction in the shared memory system
+// (an SMS request in the paper's terminology: it missed in the private L1/L2
+// hierarchy of its core).
+type Request struct {
+	ID     uint64
+	Core   int
+	Addr   uint64
+	IsWrite bool
+
+	// Timeline (all in CPU cycles).
+	IssueCycle    uint64 // cycle the request entered the shared memory system
+	LLCArrival    uint64 // cycle the request reached the LLC bank
+	MemArrival    uint64 // cycle the request entered the memory-controller queue
+	CompleteCycle uint64 // cycle the response reached the private hierarchy
+
+	// Outcome.
+	LLCHit bool
+
+	// Interference bookkeeping for DIEF (cycles of delay attributable to
+	// other cores' requests).
+	RingInterference uint64
+	LLCInterference  uint64 // extra latency caused by an interference-induced LLC miss
+	MemInterference  uint64
+	InterferenceMiss bool // LLC miss that the per-core ATD classifies as interference-induced
+}
+
+// TotalLatency returns the shared-mode latency of a completed request.
+func (r *Request) TotalLatency() uint64 {
+	if r.CompleteCycle < r.IssueCycle {
+		return 0
+	}
+	return r.CompleteCycle - r.IssueCycle
+}
+
+// TotalInterference returns the total estimated interference latency of the
+// request across the interconnect, LLC and memory controller.
+func (r *Request) TotalInterference() uint64 {
+	return r.RingInterference + r.LLCInterference + r.MemInterference
+}
+
+// String renders a compact description for diagnostics.
+func (r *Request) String() string {
+	kind := "rd"
+	if r.IsWrite {
+		kind = "wr"
+	}
+	return fmt.Sprintf("req{%d core=%d %s addr=%#x hit=%v lat=%d intf=%d}",
+		r.ID, r.Core, kind, r.Addr, r.LLCHit, r.TotalLatency(), r.TotalInterference())
+}

@@ -1,0 +1,37 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTotalLatency(t *testing.T) {
+	r := &Request{IssueCycle: 100, CompleteCycle: 350}
+	if r.TotalLatency() != 250 {
+		t.Errorf("latency = %d, want 250", r.TotalLatency())
+	}
+	r = &Request{IssueCycle: 100, CompleteCycle: 50}
+	if r.TotalLatency() != 0 {
+		t.Error("inverted timeline should clamp to zero")
+	}
+}
+
+func TestTotalInterference(t *testing.T) {
+	r := &Request{RingInterference: 5, LLCInterference: 100, MemInterference: 45}
+	if r.TotalInterference() != 150 {
+		t.Errorf("interference = %d, want 150", r.TotalInterference())
+	}
+}
+
+func TestString(t *testing.T) {
+	r := &Request{ID: 7, Core: 2, Addr: 0x1000, IsWrite: true}
+	s := r.String()
+	for _, want := range []string{"7", "core=2", "wr", "0x1000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if !strings.Contains((&Request{}).String(), "rd") {
+		t.Error("read requests should render as rd")
+	}
+}

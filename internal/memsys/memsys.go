@@ -1,0 +1,358 @@
+// Package memsys composes the shared memory system of the simulated CMP:
+// the ring interconnect, the banked shared last-level cache (LLC) with
+// per-core auxiliary tag directories (ATDs), and the DRAM memory controller.
+//
+// Requests enter the system when a core's private hierarchy (L1/L2) misses —
+// these are the paper's SMS-loads. The system is ticked once per CPU cycle; a
+// request flows ingress queue -> request ring -> LLC bank -> (on a miss)
+// memory controller -> response ring -> completion. Contention in each stage
+// is emergent, and the per-request interference counters (ring queueing, LLC
+// interference misses, memory queueing and row-buffer interference) record
+// how much of each request's latency was caused by other cores, which is the
+// raw information DIEF turns into private-mode latency estimates.
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/ring"
+)
+
+// lookup is a request occupying an LLC bank.
+type lookup struct {
+	req     *mem.Request
+	readyAt uint64
+}
+
+// System is the shared memory system.
+type System struct {
+	cfg *config.CMPConfig
+
+	ring *ring.Ring
+	llc  *cache.Cache
+	atds []*cache.ATD
+	mc   *dram.Controller
+
+	// Per-core ingress queues ahead of the request ring (bounded by the
+	// private-cache MSHRs, so they never grow without bound).
+	ingress [][]*mem.Request
+
+	// Per-bank occupancy and pending lookups.
+	bankBusyUntil []uint64
+	bankQueue     [][]*mem.Request
+	inLookup      []lookup
+
+	// LLC misses waiting for space in the memory-controller queue.
+	toMemory []*mem.Request
+
+	// Responses waiting for space on the response ring.
+	toResponse []*mem.Request
+
+	// Completed requests per core, drained by the caller.
+	completed [][]*mem.Request
+
+	nextID uint64
+
+	stats Stats
+}
+
+// Stats aggregates system-level counters.
+type Stats struct {
+	Submitted     uint64
+	LLCHits       uint64
+	LLCMisses     uint64
+	InterferenceMisses uint64
+	Completed     uint64
+}
+
+// New builds a shared memory system from a validated CMP configuration.
+func New(cfg *config.CMPConfig) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r, err := ring.New(ring.Config{
+		Cores:         cfg.Cores,
+		HopLatency:    cfg.Ring.HopLatency,
+		QueueEntries:  cfg.Ring.QueueEntries,
+		RequestRings:  cfg.Ring.RequestRings,
+		ResponseRings: cfg.Ring.ResponseRings,
+	})
+	if err != nil {
+		return nil, err
+	}
+	llc, err := cache.New("llc", cfg.LLC.SizeBytes, cfg.LLC.Ways, cfg.LLC.LineBytes, cfg.LLC.LatencyCyc)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := dram.New(dram.Config{
+		Channels:     cfg.DRAM.Channels,
+		BanksPerChan: cfg.DRAM.BanksPerChan,
+		ReadQueue:    cfg.DRAM.ReadQueue,
+		WriteQueue:   cfg.DRAM.WriteQueue,
+		PageBytes:    cfg.DRAM.PageBytes,
+		LineBytes:    cfg.LLC.LineBytes,
+		Timing: dram.Timing{
+			TRCD:  cfg.DRAM.TRCD,
+			TCAS:  cfg.DRAM.TCAS,
+			TRP:   cfg.DRAM.TRP,
+			Burst: cfg.DRAM.BurstCyc,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:           cfg,
+		ring:          r,
+		llc:           llc,
+		mc:            mc,
+		ingress:       make([][]*mem.Request, cfg.Cores),
+		bankBusyUntil: make([]uint64, cfg.LLC.Banks),
+		bankQueue:     make([][]*mem.Request, cfg.LLC.Banks),
+		completed:     make([][]*mem.Request, cfg.Cores),
+	}
+	s.atds = make([]*cache.ATD, cfg.Cores)
+	for core := 0; core < cfg.Cores; core++ {
+		atd, err := cache.NewATD(core, llc.Sets(), cfg.LLC.Ways, cfg.ATDSampledSets, cfg.LLC.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.atds[core] = atd
+	}
+	return s, nil
+}
+
+// Config returns the configuration the system was built with.
+func (s *System) Config() *config.CMPConfig { return s.cfg }
+
+// LLC returns the shared cache (for partitioning policies and diagnostics).
+func (s *System) LLC() *cache.Cache { return s.llc }
+
+// ATD returns core's auxiliary tag directory.
+func (s *System) ATD(core int) *cache.ATD { return s.atds[core] }
+
+// Controller returns the memory controller (for ASM's priority hook).
+func (s *System) Controller() *dram.Controller { return s.mc }
+
+// Stats returns a copy of the accumulated counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// SetPartition installs an LLC way partition (nil disables partitioning).
+func (s *System) SetPartition(alloc []int) error { return s.llc.SetPartition(alloc) }
+
+// Submit injects a request from core into the shared memory system at the
+// current cycle and returns the request handle the caller can wait on.
+func (s *System) Submit(core int, addr uint64, isWrite bool, now uint64) *mem.Request {
+	if core < 0 || core >= s.cfg.Cores {
+		panic(fmt.Sprintf("memsys: core %d out of range", core))
+	}
+	s.nextID++
+	req := &mem.Request{
+		ID:         s.nextID,
+		Core:       core,
+		Addr:       addr,
+		IsWrite:    isWrite,
+		IssueCycle: now,
+	}
+	s.ingress[core] = append(s.ingress[core], req)
+	s.stats.Submitted++
+	return req
+}
+
+// Completed drains and returns the requests that finished for core since the
+// last call.
+func (s *System) Completed(core int) []*mem.Request {
+	out := s.completed[core]
+	s.completed[core] = nil
+	return out
+}
+
+// bankOf maps an address to an LLC bank.
+func (s *System) bankOf(addr uint64) int {
+	line := addr / uint64(s.cfg.LLC.LineBytes)
+	return int(line % uint64(len(s.bankBusyUntil)))
+}
+
+// Tick advances the shared memory system by one cycle.
+func (s *System) Tick(now uint64) {
+	s.drainMemoryController(now)
+	s.startLLCLookups(now)
+	s.finishLLCLookups(now)
+	s.moveIngressToRing(now)
+	s.deliverRequestsToBanks(now)
+	s.deliverResponses(now)
+	s.retryMemoryEnqueue(now)
+	s.retryResponses(now)
+}
+
+// moveIngressToRing moves per-core ingress entries onto the request ring in
+// round-robin order, respecting ring back-pressure.
+func (s *System) moveIngressToRing(now uint64) {
+	for core := 0; core < s.cfg.Cores; core++ {
+		q := s.ingress[core]
+		moved := 0
+		for _, req := range q {
+			if !s.ring.Submit(ring.RequestRing, req, now) {
+				break
+			}
+			moved++
+		}
+		s.ingress[core] = q[moved:]
+	}
+}
+
+// deliverRequestsToBanks takes requests off the request ring and places them
+// in their bank queues.
+func (s *System) deliverRequestsToBanks(now uint64) {
+	for _, req := range s.ring.Deliver(ring.RequestRing, now) {
+		req.LLCArrival = now
+		b := s.bankOf(req.Addr)
+		s.bankQueue[b] = append(s.bankQueue[b], req)
+	}
+}
+
+// startLLCLookups starts one lookup per free bank per cycle.
+func (s *System) startLLCLookups(now uint64) {
+	for b := range s.bankQueue {
+		if len(s.bankQueue[b]) == 0 || s.bankBusyUntil[b] > now {
+			continue
+		}
+		req := s.bankQueue[b][0]
+		s.bankQueue[b] = s.bankQueue[b][1:]
+		// Bank queueing behind another core's lookup counts as LLC interference.
+		if wait := now - req.LLCArrival; wait > 0 && s.otherCoreQueued(b, req.Core) {
+			req.LLCInterference += wait
+		}
+		s.bankBusyUntil[b] = now + uint64(s.cfg.LLC.LatencyCyc)
+		s.inLookup = append(s.inLookup, lookup{req: req, readyAt: now + uint64(s.cfg.LLC.LatencyCyc)})
+	}
+}
+
+// otherCoreQueued reports whether bank b's queue holds a request from a core
+// other than core.
+func (s *System) otherCoreQueued(b, core int) bool {
+	for _, r := range s.bankQueue[b] {
+		if r.Core != core {
+			return true
+		}
+	}
+	return false
+}
+
+// finishLLCLookups resolves lookups whose tag access completed: hits go to the
+// response path, misses go to the memory controller.
+func (s *System) finishLLCLookups(now uint64) {
+	kept := s.inLookup[:0]
+	for _, l := range s.inLookup {
+		if l.readyAt > now {
+			kept = append(kept, l)
+			continue
+		}
+		req := l.req
+		sampled, privateHit := s.atds[req.Core].Access(req.Addr)
+		hit := s.llc.Access(req.Core, req.Addr)
+		if hit {
+			req.LLCHit = true
+			s.stats.LLCHits++
+			s.toResponse = append(s.toResponse, req)
+			continue
+		}
+		s.stats.LLCMisses++
+		if sampled && privateHit {
+			// The access would have hit in private mode: interference miss.
+			req.InterferenceMiss = true
+			s.stats.InterferenceMisses++
+		}
+		s.toMemory = append(s.toMemory, req)
+	}
+	s.inLookup = kept
+}
+
+// retryMemoryEnqueue moves LLC misses into the memory controller, honoring
+// its queue capacity.
+func (s *System) retryMemoryEnqueue(now uint64) {
+	kept := s.toMemory[:0]
+	for _, req := range s.toMemory {
+		if !s.mc.Enqueue(req, now) {
+			kept = append(kept, req)
+			continue
+		}
+	}
+	s.toMemory = kept
+}
+
+// drainMemoryController completes DRAM accesses: the returned data fills the
+// LLC (honoring the way partition) and heads back to the core on the
+// response ring.
+func (s *System) drainMemoryController(now uint64) {
+	for _, req := range s.mc.Tick(now) {
+		s.llc.Fill(req.Core, req.Addr)
+		s.toResponse = append(s.toResponse, req)
+	}
+}
+
+// retryResponses pushes pending responses onto the response ring.
+func (s *System) retryResponses(now uint64) {
+	kept := s.toResponse[:0]
+	for _, req := range s.toResponse {
+		if !s.ring.Submit(ring.ResponseRing, req, now) {
+			kept = append(kept, req)
+			continue
+		}
+	}
+	s.toResponse = kept
+}
+
+// deliverResponses completes requests whose response reached the core.
+func (s *System) deliverResponses(now uint64) {
+	for _, req := range s.ring.Deliver(ring.ResponseRing, now) {
+		req.CompleteCycle = now
+		// For interference-induced LLC misses, the whole trip past the LLC would
+		// not have happened in private mode, so the extra latency beyond an LLC
+		// hit is interference (DIEF's LLC component). The queueing delay already
+		// charged to MemInterference is subtracted to avoid double counting.
+		if req.InterferenceMiss {
+			hitLatency := uint64(s.cfg.LLC.LatencyCyc) + 2*s.ring.Latency(req.Core)
+			if total := req.TotalLatency(); total > hitLatency {
+				extra := total - hitLatency
+				if extra > req.MemInterference {
+					req.LLCInterference += extra - req.MemInterference
+				}
+			}
+		}
+		s.stats.Completed++
+		s.completed[req.Core] = append(s.completed[req.Core], req)
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PendingCount returns the number of requests currently anywhere in the
+// shared memory system (useful for draining at the end of a run and in tests).
+func (s *System) PendingCount() int {
+	n := len(s.inLookup) + len(s.toMemory) + len(s.toResponse)
+	for _, q := range s.ingress {
+		n += len(q)
+	}
+	for _, q := range s.bankQueue {
+		n += len(q)
+	}
+	n += s.ring.QueueLen(ring.RequestRing) + s.ring.QueueLen(ring.ResponseRing)
+	n += s.mc.QueueOccupancy()
+	return n
+}
+
+// UnloadedSMSLatency returns the contention-free latency of an LLC hit for a
+// given core: ring traversal both ways plus the LLC lookup.
+func (s *System) UnloadedSMSLatency(core int) uint64 {
+	return 2*s.ring.Latency(core) + uint64(s.cfg.LLC.LatencyCyc)
+}

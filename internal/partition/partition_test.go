@@ -1,0 +1,208 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+)
+
+// flatCurve returns a miss curve that does not improve with more ways.
+func flatCurve(ways int, misses uint64) []uint64 {
+	c := make([]uint64, ways+1)
+	for i := range c {
+		c[i] = misses
+	}
+	return c
+}
+
+// decayCurve returns a miss curve where each way up to knee removes `step`
+// misses, flat afterwards.
+func decayCurve(ways int, total uint64, knee int, step uint64) []uint64 {
+	c := make([]uint64, ways+1)
+	for w := 0; w <= ways; w++ {
+		removed := uint64(w) * step
+		if w > knee {
+			removed = uint64(knee) * step
+		}
+		if removed > total {
+			removed = total
+		}
+		c[w] = total - removed
+	}
+	return c
+}
+
+func snapshot(curve []uint64, privCPI float64, memBound bool) CoreSnapshot {
+	iv := cpu.Stats{
+		Cycles:       1_000_000,
+		CommitCycles: 400_000,
+		StallInd:     100_000,
+		StallPMS:     50_000,
+		StallSMS:     400_000,
+		StallOther:   50_000,
+		Instructions: 500_000,
+		SMSLoads:     2_000,
+		SMSLatencySum: 600_000,
+		LLCMisses:     1_500,
+		PreLLCLatSum:  60_000,
+		PostLLCLatSum: 450_000,
+	}
+	if !memBound {
+		iv.StallSMS = 20_000
+		iv.StallInd = 480_000
+		iv.SMSLoads = 100
+		iv.SMSLatencySum = 30_000
+		iv.LLCMisses = 50
+		iv.PreLLCLatSum = 3_000
+		iv.PostLLCLatSum = 15_000
+	}
+	return CoreSnapshot{MissCurve: curve, Interval: iv, PrivateCPI: privCPI}
+}
+
+func TestLRUNeverPartitions(t *testing.T) {
+	d := LRU{}.Decide([]CoreSnapshot{snapshot(flatCurve(16, 100), 1, true)}, 16)
+	if d.Allocation != nil {
+		t.Error("LRU must not partition")
+	}
+	if (LRU{}).Name() != "LRU" {
+		t.Error("wrong name")
+	}
+}
+
+func TestUCPGivesWaysToTheUtilityHeavyCore(t *testing.T) {
+	// Core 0 benefits a lot from ways (steep curve), core 1 is a streaming
+	// application that never hits. UCP should give core 0 most of the cache.
+	snaps := []CoreSnapshot{
+		snapshot(decayCurve(16, 10_000, 12, 800), 1.0, true),
+		snapshot(flatCurve(16, 10_000), 1.0, true),
+	}
+	d := UCP{}.Decide(snaps, 16)
+	if len(d.Allocation) != 2 {
+		t.Fatalf("allocation = %v", d.Allocation)
+	}
+	if d.Allocation[0] <= d.Allocation[1] {
+		t.Errorf("UCP should favor the cache-sensitive core: %v", d.Allocation)
+	}
+	if d.Allocation[0]+d.Allocation[1] != 16 {
+		t.Errorf("allocation must use all ways: %v", d.Allocation)
+	}
+	if d.Allocation[1] < 1 {
+		t.Error("every core must keep at least one way")
+	}
+}
+
+func TestUCPSplitsBetweenTwoSensitiveCores(t *testing.T) {
+	snaps := []CoreSnapshot{
+		snapshot(decayCurve(16, 8_000, 8, 900), 1.0, true),
+		snapshot(decayCurve(16, 8_000, 8, 900), 1.0, true),
+	}
+	d := UCP{}.Decide(snaps, 16)
+	if d.Allocation[0] < 6 || d.Allocation[1] < 6 {
+		t.Errorf("identical cores should share roughly evenly: %v", d.Allocation)
+	}
+}
+
+func TestMCPFavorsCoreWithHigherThroughputGain(t *testing.T) {
+	// Both cores have identical miss curves, but core 1 is compute bound:
+	// extra ways barely change its throughput term. MCP (unlike UCP) should
+	// therefore give the memory-bound core 0 more of the cache.
+	snaps := []CoreSnapshot{
+		snapshot(decayCurve(16, 9_000, 12, 700), 2.0, true),
+		snapshot(decayCurve(16, 9_000, 12, 700), 0.8, false),
+	}
+	d := MCP{}.Decide(snaps, 16)
+	if len(d.Allocation) != 2 {
+		t.Fatalf("allocation = %v", d.Allocation)
+	}
+	if d.Allocation[0] <= d.Allocation[1] {
+		t.Errorf("MCP should favor the core whose STP term improves most: %v", d.Allocation)
+	}
+}
+
+func TestMCPNameVariants(t *testing.T) {
+	if (MCP{}).Name() != "MCP" {
+		t.Error("default name should be MCP")
+	}
+	if (MCP{PolicyName: "MCP-O"}).Name() != "MCP-O" {
+		t.Error("custom name not honored")
+	}
+}
+
+func TestDecideDegenerateInputs(t *testing.T) {
+	if d := (UCP{}).Decide(nil, 16); d.Allocation != nil {
+		t.Error("no cores should produce no allocation")
+	}
+	if d := (MCP{}).Decide(make([]CoreSnapshot, 20), 16); d.Allocation != nil {
+		t.Error("more cores than ways should produce no allocation")
+	}
+	// Empty intervals: policies must not panic and must still use all ways.
+	snaps := []CoreSnapshot{{MissCurve: flatCurve(8, 0)}, {MissCurve: flatCurve(8, 0)}}
+	d := MCP{}.Decide(snaps, 8)
+	if sum(d.Allocation) != 8 {
+		t.Errorf("allocation should use all ways even with empty models: %v", d.Allocation)
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestAllocationsAlwaysValidProperty(t *testing.T) {
+	f := func(seedA, seedB uint16, privA, privB uint8) bool {
+		snaps := []CoreSnapshot{
+			snapshot(decayCurve(16, uint64(seedA)+100, int(seedA%15)+1, uint64(seedA%900)+1), float64(privA%40)/10+0.5, true),
+			snapshot(decayCurve(16, uint64(seedB)+100, int(seedB%15)+1, uint64(seedB%900)+1), float64(privB%40)/10+0.5, seedB%2 == 0),
+		}
+		for _, p := range []Policy{UCP{}, MCP{}, MCP{PolicyName: "MCP-O"}} {
+			d := p.Decide(snaps, 16)
+			if len(d.Allocation) != 2 {
+				return false
+			}
+			if sum(d.Allocation) != 16 {
+				return false
+			}
+			for _, w := range d.Allocation {
+				if w < 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateSTPMonotoneInWays(t *testing.T) {
+	snaps := []CoreSnapshot{
+		snapshot(decayCurve(16, 9_000, 12, 700), 2.0, true),
+		snapshot(decayCurve(16, 9_000, 12, 700), 2.0, true),
+	}
+	small := EstimateSTP(snaps, []int{1, 1})
+	big := EstimateSTP(snaps, []int{8, 8})
+	if big <= small {
+		t.Errorf("more cache should not reduce estimated STP: %v vs %v", small, big)
+	}
+	if EstimateSTP(nil, nil) != 0 {
+		t.Error("empty input should give zero STP")
+	}
+}
+
+func TestMissesAtClamping(t *testing.T) {
+	curve := []uint64{10, 8, 6}
+	if missesAt(curve, -1) != 10 || missesAt(curve, 0) != 10 {
+		t.Error("low clamp broken")
+	}
+	if missesAt(curve, 5) != 6 {
+		t.Error("high clamp broken")
+	}
+	if missesAt(nil, 3) != 0 {
+		t.Error("empty curve should give zero")
+	}
+}

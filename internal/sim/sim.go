@@ -1,0 +1,350 @@
+// Package sim drives complete simulations of the modeled CMP: it instantiates
+// the cores and the shared memory system, attaches accounting techniques,
+// advances everything in lockstep, collects per-interval estimates, applies a
+// cache-partitioning policy at repartitioning intervals, and produces the
+// aligned shared-mode / private-mode measurements the paper's evaluation
+// methodology requires (Section VI).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/accounting"
+	"repro/internal/config"
+	gdpcore "repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/memsys"
+	"repro/internal/partition"
+	"repro/internal/workload"
+)
+
+// Options configure one shared-mode simulation run.
+type Options struct {
+	// Config describes the CMP. Required.
+	Config *config.CMPConfig
+	// Workload assigns one benchmark per core. Its size must match the core
+	// count. Required.
+	Workload workload.Workload
+	// InstructionsPerCore is the per-benchmark instruction sample. The run
+	// ends when every core has committed this many instructions (benchmarks
+	// keep executing past their sample, as in the paper, so contention does
+	// not artificially drop). Required.
+	InstructionsPerCore uint64
+	// IntervalCycles is the accounting / repartitioning interval (the paper
+	// uses 5M cycles on full-size samples; scaled runs use smaller values).
+	IntervalCycles uint64
+	// Seed randomizes the synthetic traces.
+	Seed int64
+	// Accountants are attached to the run and produce per-interval estimates.
+	Accountants []accounting.Accountant
+	// Partitioner, when non-nil, repartitions the LLC every interval.
+	Partitioner partition.Policy
+	// PartitionSource names the accountant whose private-CPI estimates feed
+	// the partitioner (must match one of Accountants). Empty selects the
+	// first accountant, or shared-mode CPI when there are none.
+	PartitionSource string
+	// MaxCycles bounds the run as a safety net. Zero selects a generous
+	// default derived from the instruction budget.
+	MaxCycles uint64
+}
+
+// IntervalRecord is one per-core, per-interval measurement with the estimates
+// every attached accountant produced for it.
+type IntervalRecord struct {
+	Core              int
+	StartInstructions uint64
+	EndInstructions   uint64
+	Shared            cpu.Stats
+	Estimates         map[string]accounting.Estimate
+}
+
+// Result is the outcome of a shared-mode run.
+type Result struct {
+	Config    *config.CMPConfig
+	Workload  workload.Workload
+	Cycles    uint64
+	CoreStats []cpu.Stats
+	// SampleStats[i] is core i's cumulative statistics at the moment it
+	// committed its instruction sample (used for STP).
+	SampleStats []cpu.Stats
+	// Intervals[i] lists core i's interval records in time order.
+	Intervals [][]IntervalRecord
+	// SamplePoints[i] lists core i's cumulative instruction counts at the end
+	// of every interval; private-mode runs align on these points.
+	SamplePoints [][]uint64
+}
+
+// validate checks the options.
+func (o *Options) validate() error {
+	if o.Config == nil {
+		return fmt.Errorf("sim: Config is required")
+	}
+	if err := o.Config.Validate(); err != nil {
+		return err
+	}
+	if o.Workload.Cores() != o.Config.Cores {
+		return fmt.Errorf("sim: workload has %d benchmarks for %d cores", o.Workload.Cores(), o.Config.Cores)
+	}
+	if o.InstructionsPerCore == 0 {
+		return fmt.Errorf("sim: InstructionsPerCore is required")
+	}
+	if o.IntervalCycles == 0 {
+		return fmt.Errorf("sim: IntervalCycles is required")
+	}
+	return nil
+}
+
+// latencyFloorSetter is implemented by accountants that want the unloaded SMS
+// latency as a lower bound for their private-latency estimates.
+type latencyFloorSetter interface {
+	SetLatencyFloor(core int, floor uint64)
+}
+
+// controllerBinder is implemented by invasive accountants (ASM) that need a
+// handle on the memory controller of the run they are attached to.
+type controllerBinder interface {
+	BindController(c *dram.Controller)
+}
+
+// Run executes a shared-mode simulation.
+func Run(opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	maxCycles := opts.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = opts.InstructionsPerCore * 500
+	}
+
+	shared, err := memsys.New(opts.Config)
+	if err != nil {
+		return nil, err
+	}
+	cores := make([]*cpu.Core, opts.Config.Cores)
+	for i := range cores {
+		gen, err := opts.Workload.Benchmarks[i].NewGenerator(opts.Seed + int64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		core, err := cpu.New(i, opts.Config, gen, shared)
+		if err != nil {
+			return nil, err
+		}
+		for _, acct := range opts.Accountants {
+			if p := acct.Probe(i); p != nil {
+				core.AttachProbe(p)
+			}
+		}
+		cores[i] = core
+	}
+	for _, acct := range opts.Accountants {
+		if fs, ok := acct.(latencyFloorSetter); ok {
+			for i := range cores {
+				fs.SetLatencyFloor(i, shared.UnloadedSMSLatency(i))
+			}
+		}
+		if cb, ok := acct.(controllerBinder); ok {
+			cb.BindController(shared.Controller())
+		}
+	}
+
+	res := &Result{
+		Config:       opts.Config,
+		Workload:     opts.Workload,
+		CoreStats:    make([]cpu.Stats, len(cores)),
+		SampleStats:  make([]cpu.Stats, len(cores)),
+		Intervals:    make([][]IntervalRecord, len(cores)),
+		SamplePoints: make([][]uint64, len(cores)),
+	}
+	sampleTaken := make([]bool, len(cores))
+	lastSnapshot := make([]cpu.Stats, len(cores))
+
+	now := uint64(0)
+	for ; now < maxCycles; now++ {
+		for _, acct := range opts.Accountants {
+			acct.Tick(now)
+		}
+		shared.Tick(now)
+		for i, core := range cores {
+			for _, req := range shared.Completed(i) {
+				core.CompleteRequest(req, now)
+				for _, acct := range opts.Accountants {
+					acct.ObserveRequest(i, req)
+				}
+			}
+			core.Tick(now)
+		}
+
+		// Record per-core sample completion for STP.
+		done := 0
+		for i, core := range cores {
+			st := core.Stats()
+			if !sampleTaken[i] && st.Instructions >= opts.InstructionsPerCore {
+				res.SampleStats[i] = st
+				sampleTaken[i] = true
+			}
+			if sampleTaken[i] {
+				done++
+			}
+			_ = st
+		}
+
+		// Interval boundary: estimates and repartitioning.
+		if (now+1)%opts.IntervalCycles == 0 {
+			recordInterval(opts, shared, cores, res, lastSnapshot)
+		}
+
+		if done == len(cores) {
+			now++
+			break
+		}
+	}
+
+	res.Cycles = now
+	for i, core := range cores {
+		res.CoreStats[i] = core.Stats()
+		if !sampleTaken[i] {
+			res.SampleStats[i] = core.Stats()
+		}
+	}
+	return res, nil
+}
+
+// recordInterval captures the interval deltas, queries every accountant,
+// optionally repartitions the LLC and resets interval state.
+func recordInterval(opts Options, shared *memsys.System, cores []*cpu.Core, res *Result, lastSnapshot []cpu.Stats) {
+	intervals := make([]cpu.Stats, len(cores))
+	records := make([]IntervalRecord, len(cores))
+	for i, core := range cores {
+		st := core.Stats()
+		intervals[i] = st.Delta(lastSnapshot[i])
+		records[i] = IntervalRecord{
+			Core:              i,
+			StartInstructions: lastSnapshot[i].Instructions,
+			EndInstructions:   st.Instructions,
+			Shared:            intervals[i],
+			Estimates:         make(map[string]accounting.Estimate, len(opts.Accountants)),
+		}
+		lastSnapshot[i] = st
+	}
+	for _, acct := range opts.Accountants {
+		for i := range cores {
+			records[i].Estimates[acct.Name()] = acct.Estimate(i, intervals[i])
+		}
+		acct.EndInterval()
+	}
+	for i := range cores {
+		res.Intervals[i] = append(res.Intervals[i], records[i])
+		res.SamplePoints[i] = append(res.SamplePoints[i], records[i].EndInstructions)
+	}
+
+	if opts.Partitioner != nil {
+		snapshots := make([]partition.CoreSnapshot, len(cores))
+		for i := range cores {
+			atd := shared.ATD(i)
+			snapshots[i] = partition.CoreSnapshot{
+				MissCurve: atd.MissCurve(),
+				Interval:  intervals[i],
+			}
+			if est, ok := records[i].Estimates[opts.PartitionSource]; ok {
+				snapshots[i].PrivateCPI = est.PrivateCPI
+			} else if len(opts.Accountants) > 0 {
+				snapshots[i].PrivateCPI = records[i].Estimates[opts.Accountants[0].Name()].PrivateCPI
+			} else {
+				snapshots[i].PrivateCPI = intervals[i].CPI()
+			}
+			atd.ResetCounters()
+		}
+		decision := opts.Partitioner.Decide(snapshots, opts.Config.LLC.Ways)
+		_ = shared.SetPartition(decision.Allocation)
+	} else {
+		// Keep ATD counters interval-scoped even without partitioning so miss
+		// curves stay meaningful for diagnostics.
+		for i := range cores {
+			shared.ATD(i).ResetCounters()
+		}
+	}
+}
+
+// PrivateReference holds the interference-free ground truth (and the
+// reference dataflow measurements) for one benchmark at the shared-mode
+// sample points.
+type PrivateReference struct {
+	Benchmark string
+	// Total is the cumulative statistics at the end of the private run.
+	Total cpu.Stats
+	// At[i] is the cumulative statistics when the benchmark reached shared-
+	// mode sample point i.
+	At []cpu.Stats
+	// CPLAt[i] and OverlapAt[i] are the reference (unbounded-buffer) dataflow
+	// CPL and average overlap measured in the private mode between sample
+	// points i-1 and i.
+	CPLAt     []uint64
+	OverlapAt []float64
+}
+
+// RunPrivate executes a benchmark alone on the CMP (all other cores idle) and
+// records its statistics at the supplied instruction sample points, which
+// come from a shared-mode run (Section VI's alignment methodology).
+func RunPrivate(cfg *config.CMPConfig, bench workload.Benchmark, samplePoints []uint64, seed int64, maxCycles uint64) (*PrivateReference, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shared, err := memsys.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := bench.NewGenerator(seed)
+	if err != nil {
+		return nil, err
+	}
+	core, err := cpu.New(0, cfg, gen, shared)
+	if err != nil {
+		return nil, err
+	}
+	// Reference dataflow unit: effectively unbounded PRB, overlap tracking on.
+	ref, err := gdpcore.New(gdpcore.Options{PRBEntries: 4096, TrackOverlap: true})
+	if err != nil {
+		return nil, err
+	}
+	core.AttachProbe(ref)
+
+	var target uint64
+	if len(samplePoints) > 0 {
+		target = samplePoints[len(samplePoints)-1]
+	}
+	if maxCycles == 0 {
+		maxCycles = (target + 1000) * 500
+	}
+
+	out := &PrivateReference{Benchmark: bench.Name}
+	next := 0
+	for now := uint64(0); now < maxCycles; now++ {
+		shared.Tick(now)
+		for _, req := range shared.Completed(0) {
+			core.CompleteRequest(req, now)
+		}
+		core.Tick(now)
+		st := core.Stats()
+		for next < len(samplePoints) && st.Instructions >= samplePoints[next] {
+			out.At = append(out.At, st)
+			cpl, overlap := ref.Retrieve()
+			out.CPLAt = append(out.CPLAt, cpl)
+			out.OverlapAt = append(out.OverlapAt, overlap)
+			next++
+		}
+		if next >= len(samplePoints) && st.Instructions >= target {
+			break
+		}
+	}
+	out.Total = core.Stats()
+	// Pad missing sample points (if the cycle budget ran out) with the final
+	// statistics so downstream indexing stays aligned.
+	for len(out.At) < len(samplePoints) {
+		out.At = append(out.At, out.Total)
+		out.CPLAt = append(out.CPLAt, 0)
+		out.OverlapAt = append(out.OverlapAt, 0)
+	}
+	return out, nil
+}

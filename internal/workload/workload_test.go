@@ -1,0 +1,282 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSuiteHas52Benchmarks(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 52 {
+		t.Fatalf("suite size = %d, want 52", len(suite))
+	}
+	names := map[string]bool{}
+	for _, b := range suite {
+		if names[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		names[b.Name] = true
+		if err := b.Params.Validate(); err != nil {
+			t.Errorf("benchmark %s has invalid params: %v", b.Name, err)
+		}
+		if b.Suite != "SPEC2000" && b.Suite != "SPEC2006" {
+			t.Errorf("benchmark %s has unexpected suite %q", b.Name, b.Suite)
+		}
+	}
+}
+
+func TestPaperClassMembership(t *testing.T) {
+	// Footnote 5 of the paper: high-sensitivity benchmarks.
+	high := []string{"apsi", "facerec", "galgel", "ammp", "art", "omnetpp", "lbm", "sphinx3"}
+	// Footnote 6: medium-sensitivity benchmarks.
+	medium := []string{"equake", "twolf", "parser", "vpr", "gromacs", "astar", "bzip2", "hmmer"}
+	for _, name := range high {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatalf("missing benchmark %s: %v", name, err)
+		}
+		if b.Class != HighSensitivity {
+			t.Errorf("%s class = %v, want H", name, b.Class)
+		}
+	}
+	for _, name := range medium {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatalf("missing benchmark %s: %v", name, err)
+		}
+		if b.Class != MediumSensitivity {
+			t.Errorf("%s class = %v, want M", name, b.Class)
+		}
+	}
+	if len(ByClass(HighSensitivity)) != 8 {
+		t.Errorf("H class size = %d, want 8", len(ByClass(HighSensitivity)))
+	}
+	if len(ByClass(MediumSensitivity)) != 8 {
+		t.Errorf("M class size = %d, want 8", len(ByClass(MediumSensitivity)))
+	}
+	if len(ByClass(LowSensitivity)) != 52-16 {
+		t.Errorf("L class size = %d, want 36", len(ByClass(LowSensitivity)))
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("no-such-benchmark"); err == nil {
+		t.Error("ByName should reject unknown benchmarks")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if HighSensitivity.String() != "H" || MediumSensitivity.String() != "M" || LowSensitivity.String() != "L" {
+		t.Error("unexpected class names")
+	}
+}
+
+func TestBenchmarkGeneratorDeterminism(t *testing.T) {
+	b, err := ByName("omnetpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := b.NewGenerator(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := b.NewGenerator(5)
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("benchmark generator not deterministic")
+		}
+	}
+}
+
+func TestGenerateSingleClassWorkloads(t *testing.T) {
+	for _, cores := range []int{2, 4, 8} {
+		for _, mix := range []MixKind{MixH, MixM, MixL} {
+			ws, err := Generate(GenerateOptions{Cores: cores, Mix: mix, Count: 5, Seed: 11})
+			if err != nil {
+				t.Fatalf("Generate(%dc %s): %v", cores, mix, err)
+			}
+			if len(ws) != 5 {
+				t.Fatalf("got %d workloads", len(ws))
+			}
+			wantClass := map[MixKind]Class{MixH: HighSensitivity, MixM: MediumSensitivity, MixL: LowSensitivity}[mix]
+			for _, w := range ws {
+				if w.Cores() != cores {
+					t.Errorf("workload %s has %d cores, want %d", w.ID, w.Cores(), cores)
+				}
+				for _, b := range w.Benchmarks {
+					if b.Class != wantClass {
+						t.Errorf("workload %s contains %s of class %v, want %v", w.ID, b.Name, b.Class, wantClass)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateRespectsReuseLimit(t *testing.T) {
+	// 4-core workloads must not repeat a benchmark (paper footnote 7).
+	ws, err := Generate(GenerateOptions{Cores: 4, Mix: MixH, Count: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		seen := map[string]int{}
+		for _, b := range w.Benchmarks {
+			seen[b.Name]++
+			if seen[b.Name] > 1 {
+				t.Errorf("4-core workload %s reuses %s", w.ID, b.Name)
+			}
+		}
+	}
+	// 8-core H workloads may use each benchmark at most twice.
+	ws8, err := Generate(GenerateOptions{Cores: 8, Mix: MixH, Count: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws8 {
+		seen := map[string]int{}
+		for _, b := range w.Benchmarks {
+			seen[b.Name]++
+			if seen[b.Name] > 2 {
+				t.Errorf("8-core workload %s uses %s more than twice", w.ID, b.Name)
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsImpossibleRequests(t *testing.T) {
+	// 16 H slots with at most one use of each of 8 H benchmarks is impossible.
+	if _, err := Generate(GenerateOptions{Cores: 16, Mix: MixH, Count: 1, Seed: 1, MaxUsesPerBenchmark: 1}); err == nil {
+		t.Error("expected error for unsatisfiable workload request")
+	}
+	if _, err := Generate(GenerateOptions{Cores: 0, Mix: MixH, Count: 1, Seed: 1}); err == nil {
+		t.Error("expected error for zero cores")
+	}
+	if _, err := Generate(GenerateOptions{Cores: 4, Mix: MixH, Count: 0, Seed: 1}); err == nil {
+		t.Error("expected error for zero count")
+	}
+}
+
+func TestGenerateDeterministicAcrossCalls(t *testing.T) {
+	a, _ := Generate(GenerateOptions{Cores: 4, Mix: MixH, Count: 10, Seed: 99})
+	b, _ := Generate(GenerateOptions{Cores: 4, Mix: MixH, Count: 10, Seed: 99})
+	for i := range a {
+		if strings.Join(a[i].Names(), ",") != strings.Join(b[i].Names(), ",") {
+			t.Fatal("workload generation is not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestMixedWorkloadPatterns(t *testing.T) {
+	countClasses := func(w Workload) map[Class]int {
+		out := map[Class]int{}
+		for _, b := range w.Benchmarks {
+			out[b.Class]++
+		}
+		return out
+	}
+	ws, err := Generate(GenerateOptions{Cores: 4, Mix: MixHHML, Count: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		c := countClasses(w)
+		if c[HighSensitivity] != 2 || c[MediumSensitivity] != 1 || c[LowSensitivity] != 1 {
+			t.Errorf("HHML workload %s has classes %v", w.ID, c)
+		}
+	}
+	ws, _ = Generate(GenerateOptions{Cores: 4, Mix: MixHMML, Count: 5, Seed: 7})
+	for _, w := range ws {
+		c := countClasses(w)
+		if c[HighSensitivity] != 1 || c[MediumSensitivity] != 2 || c[LowSensitivity] != 1 {
+			t.Errorf("HMML workload %s has classes %v", w.ID, c)
+		}
+	}
+	ws, _ = Generate(GenerateOptions{Cores: 4, Mix: MixHMLL, Count: 5, Seed: 7})
+	for _, w := range ws {
+		c := countClasses(w)
+		if c[HighSensitivity] != 1 || c[MediumSensitivity] != 1 || c[LowSensitivity] != 2 {
+			t.Errorf("HMLL workload %s has classes %v", w.ID, c)
+		}
+	}
+}
+
+func TestPaperSetCounts(t *testing.T) {
+	ws, err := PaperSet(4, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 50 {
+		t.Fatalf("PaperSet size = %d, want 50 (30 H + 15 M + 5 L)", len(ws))
+	}
+	counts := map[string]int{}
+	for _, w := range ws {
+		for _, mix := range []string{"-H-", "-M-", "-L-"} {
+			if strings.Contains(w.ID, mix) {
+				counts[mix]++
+			}
+		}
+	}
+	if counts["-H-"] != 30 || counts["-M-"] != 15 || counts["-L-"] != 5 {
+		t.Errorf("PaperSet mix counts = %v", counts)
+	}
+}
+
+func TestPaperSetScaling(t *testing.T) {
+	ws, err := PaperSet(4, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 6+3+1 {
+		t.Errorf("scaled PaperSet size = %d, want 10", len(ws))
+	}
+	// Degenerate divisor still yields at least one of each.
+	ws, _ = PaperSet(2, 1000, 1)
+	if len(ws) != 3 {
+		t.Errorf("heavily scaled PaperSet size = %d, want 3", len(ws))
+	}
+}
+
+func TestMixedSet(t *testing.T) {
+	sets, err := MixedSet(4, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 3 {
+		t.Fatalf("MixedSet kinds = %d, want 3", len(sets))
+	}
+	for mix, ws := range sets {
+		if len(ws) != 2 {
+			t.Errorf("MixedSet[%s] size = %d, want 2", mix, len(ws))
+		}
+	}
+}
+
+func TestWorkloadIDsUnique(t *testing.T) {
+	f := func(seed int64) bool {
+		ws, err := Generate(GenerateOptions{Cores: 4, Mix: MixM, Count: 8, Seed: seed})
+		if err != nil {
+			return false
+		}
+		ids := map[string]bool{}
+		for _, w := range ws {
+			if ids[w.ID] {
+				return false
+			}
+			ids[w.ID] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixKindString(t *testing.T) {
+	for mix, want := range map[MixKind]string{MixH: "H", MixM: "M", MixL: "L", MixHHML: "HHML", MixHMML: "HMML", MixHMLL: "HMLL"} {
+		if mix.String() != want {
+			t.Errorf("MixKind %d = %q, want %q", mix, mix.String(), want)
+		}
+	}
+}
