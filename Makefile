@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check bench bench-sweep clean
+
+all: build test vet fmt-check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt-check fails when any file is not gofmt-clean (CI-friendly: no rewrite).
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-sweep compares the runner's serial vs parallel accuracy-study
+# wall-clock (BenchmarkAccuracySweep/jobs=1 vs /jobs=N).
+bench-sweep:
+	$(GO) test -bench=BenchmarkAccuracySweep -run=^$$ .
+
+clean:
+	$(GO) clean ./...

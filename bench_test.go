@@ -1,9 +1,12 @@
 package gdp
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -207,6 +210,40 @@ func sizeName(entries int) string {
 		return "prb32"
 	default:
 		return "prb128"
+	}
+}
+
+// BenchmarkAccuracySweep measures the parallel speedup of the runner
+// subsystem: the same accuracy study fanned out on one worker versus all
+// CPUs (at least two, so the pool is exercised even on a single-CPU
+// machine). A fresh in-memory cache per iteration keeps the comparison
+// honest (no cross-iteration reference reuse).
+func BenchmarkAccuracySweep(b *testing.B) {
+	parallel := runtime.NumCPU()
+	if parallel < 2 {
+		parallel = 2
+	}
+	for _, jobs := range []int{1, parallel} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := AccuracyStudy(AccuracyOptions{
+					Cores:               4,
+					Mix:                 MixH,
+					Workloads:           4,
+					InstructionsPerCore: benchScale().InstructionsPerCore,
+					IntervalCycles:      benchScale().IntervalCycles,
+					Seed:                benchScale().Seed,
+					Jobs:                jobs,
+					Cache:               runner.NewCache(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Techniques) == 0 {
+					b.Fatal("empty study")
+				}
+			}
+		})
 	}
 }
 

@@ -10,10 +10,17 @@
 //	gdpsim headline               Headline ratios derived from fig3
 //	gdpsim overhead               Storage and latency overheads (Section IV)
 //	gdpsim run                    Run a single workload and print estimates
+//	gdpsim sweep                  Run a user-defined experiment grid
 //
 // Global flags select the experiment scale; by default a quick scale is used
 // so every command finishes in seconds. Use -paper-scale for a population
 // closer to the paper's.
+//
+// Every driver submits its simulation cells through the internal/runner
+// worker pool: -jobs selects the pool width (default: all CPUs), -progress
+// reports per-cell progress and ETA on stderr, and -cache-dir persists the
+// private-mode reference simulations across invocations. Output is
+// byte-identical for every -jobs value.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	gdpcore "repro/internal/core"
 	"repro/internal/dief"
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -45,13 +53,24 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "random seed")
 	cores := fs.Int("cores", 4, "core count for single-cell commands (run, fig6, overhead, table1)")
 	benchNames := fs.String("benchmarks", "", "comma-separated benchmark names for the run command")
+	jobs := fs.Int("jobs", 0, "worker-pool width for simulation cells (0 = all CPUs, 1 = serial)")
+	cacheDir := fs.String("cache-dir", "", "persist private-mode reference simulations in this directory")
+	progress := fs.Bool("progress", false, "report per-cell progress and ETA on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (table1, fig3, fig4, fig5, fig6, fig7, headline, overhead, run)")
+		return fmt.Errorf("missing subcommand (table1, fig3, fig4, fig5, fig6, fig7, headline, overhead, run, sweep)")
+	}
+
+	if *cacheDir != "" {
+		cache, err := runner.NewDiskCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		experiments.SetDefaultCache(cache)
 	}
 
 	scale := experiments.DefaultScale()
@@ -68,6 +87,10 @@ func run(args []string) error {
 		scale.IntervalCycles = *interval
 	}
 	scale.Seed = *seed
+	scale.Jobs = *jobs
+	if *progress {
+		scale.Progress = runner.ConsoleProgress(os.Stderr)
+	}
 
 	switch rest[0] {
 	case "table1":
@@ -88,6 +111,8 @@ func run(args []string) error {
 		return cmdOverhead(*cores)
 	case "run":
 		return cmdRun(scale, *cores, *benchNames)
+	case "sweep":
+		return cmdSweep(scale, rest[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", rest[0])
 	}
@@ -153,6 +178,8 @@ func cmdFig6(scale experiments.StudyScale, cores int) error {
 			InstructionsPerCore: scale.InstructionsPerCore,
 			IntervalCycles:      scale.IntervalCycles,
 			Seed:                scale.Seed,
+			Jobs:                scale.Jobs,
+			Progress:            scale.Progress,
 		})
 		if err != nil {
 			return err
@@ -239,6 +266,8 @@ func cmdRun(scale experiments.StudyScale, cores int, benchNames string) error {
 		InstructionsPerCore: scale.InstructionsPerCore,
 		IntervalCycles:      scale.IntervalCycles,
 		Seed:                scale.Seed,
+		Jobs:                scale.Jobs,
+		Progress:            scale.Progress,
 	})
 	if err != nil {
 		return err
@@ -247,6 +276,75 @@ func cmdRun(scale experiments.StudyScale, cores int, benchNames string) error {
 	for _, t := range res.Techniques {
 		fmt.Printf("  %-6s mean IPC abs RMS=%.4f  mean stall abs RMS=%.1f\n",
 			t.Technique, t.MeanIPCAbsRMS, t.MeanStallAbsRMS)
+	}
+	return nil
+}
+
+// cmdSweep runs a user-defined experiment grid (cores × mixes × PRB sizes,
+// plus optional partitioning policies) through the runner and exports the
+// flattened results.
+func cmdSweep(scale experiments.StudyScale, args []string) error {
+	fs := flag.NewFlagSet("gdpsim sweep", flag.ContinueOnError)
+	coresList := fs.String("cores", "4", "comma-separated core counts")
+	mixList := fs.String("mixes", "H,M,L", "comma-separated workload categories (H, M, L, HHML, HMML, HMLL)")
+	prbList := fs.String("prb", "32", "comma-separated Pending Request Buffer sizes")
+	techniques := fs.String("techniques", "", "comma-separated accounting techniques (default: all five)")
+	policies := fs.String("policies", "", "comma-separated LLC policies; adds one partitioning cell per (cores, mix)")
+	csvPath := fs.String("csv", "", "also export the rows as CSV to this file")
+	jsonPath := fs.String("json", "", "also export the result as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("sweep: unexpected argument %q", fs.Arg(0))
+	}
+
+	coreCounts, err := experiments.ParseIntList(*coresList)
+	if err != nil {
+		return err
+	}
+	mixes, err := experiments.ParseMixList(*mixList)
+	if err != nil {
+		return err
+	}
+	prbs, err := experiments.ParseIntList(*prbList)
+	if err != nil {
+		return err
+	}
+	opts := experiments.SweepOptions{
+		CoreCounts:          coreCounts,
+		Mixes:               mixes,
+		PRBSizes:            prbs,
+		Workloads:           scale.WorkloadsPerCell,
+		InstructionsPerCore: scale.InstructionsPerCore,
+		IntervalCycles:      scale.IntervalCycles,
+		Seed:                scale.Seed,
+		Jobs:                scale.Jobs,
+		Progress:            scale.Progress,
+	}
+	if *techniques != "" {
+		opts.Techniques = experiments.ParseStringList(*techniques)
+	}
+	if *policies != "" {
+		opts.Policies = experiments.ParseStringList(*policies)
+	}
+
+	res, err := experiments.Sweep(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	if *csvPath != "" {
+		if err := res.Table().WriteCSVFile(*csvPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	if *jsonPath != "" {
+		if err := runner.WriteJSONFile(*jsonPath, res); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 	return nil
 }

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunTable1(t *testing.T) {
 	if err := run([]string{"table1"}); err != nil {
@@ -36,5 +42,111 @@ func TestRunSingleWorkload(t *testing.T) {
 func TestRunRejectsUnknownBenchmark(t *testing.T) {
 	if err := run([]string{"-benchmarks", "not-a-benchmark", "run"}); err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+
+	outCh := make(chan string, 1)
+	go func() {
+		var buf strings.Builder
+		_, _ = io.Copy(&buf, r)
+		r.Close()
+		outCh <- buf.String()
+	}()
+	runErr := fn()
+	w.Close()
+	out := <-outCh
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return out
+}
+
+// TestFig3DeterministicAcrossJobs is the CLI-level acceptance check:
+// `gdpsim fig3 -jobs 8` must print exactly what `-jobs 1` prints.
+func TestFig3DeterministicAcrossJobs(t *testing.T) {
+	args := []string{"-workloads", "1", "-instructions", "2000", "-interval", "2000", "fig3"}
+	serial := captureStdout(t, func() error {
+		return run(append([]string{"-jobs", "1"}, args...))
+	})
+	parallel := captureStdout(t, func() error {
+		return run(append([]string{"-jobs", "8"}, args...))
+	})
+	if serial != parallel {
+		t.Errorf("fig3 output differs between -jobs 1 and -jobs 8:\n--- jobs=1\n%s--- jobs=8\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "Figure 3a") {
+		t.Errorf("fig3 output missing header:\n%s", serial)
+	}
+}
+
+func TestSweepSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "sweep.csv")
+	jsonPath := filepath.Join(dir, "sweep.json")
+	out := captureStdout(t, func() error {
+		return run([]string{
+			"-workloads", "1", "-instructions", "2000", "-interval", "2000",
+			"sweep",
+			"-cores", "2", "-mixes", "H", "-prb", "16,32",
+			"-techniques", "GDP-O", "-policies", "LRU,MCP",
+			"-csv", csvPath, "-json", jsonPath,
+		})
+	})
+	if !strings.Contains(out, "Sweep: 3 cells") {
+		t.Errorf("sweep output missing summary:\n%s", out)
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), "cores,mix,prb,kind,name") {
+		t.Errorf("csv missing header: %q", csv)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "\"rows\"") {
+		t.Errorf("json missing rows: %q", raw)
+	}
+}
+
+func TestSweepRejectsBadGrid(t *testing.T) {
+	if err := run([]string{"sweep", "-mixes", "nope"}); err == nil {
+		t.Error("bad mix list accepted")
+	}
+	if err := run([]string{"sweep", "-cores", "x"}); err == nil {
+		t.Error("bad cores list accepted")
+	}
+	if err := run([]string{"sweep", "extra"}); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+}
+
+func TestCacheDirFlag(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{
+		"-cache-dir", dir, "-workloads", "1", "-instructions", "2000", "-interval", "2000",
+		"-benchmarks", "omnetpp,lbm", "run",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Error("cache dir holds no persisted reference runs")
 	}
 }

@@ -1,11 +1,14 @@
 // Command accounting compares the accuracy of all five accounting techniques
 // (ITCA, PTCA, ASM, GDP, GDP-O) on a 4-core workload of highly LLC-sensitive
-// benchmarks — a single cell of the paper's Figure 3.
+// benchmarks — a single cell of the paper's Figure 3. The per-workload
+// simulations are submitted as jobs to the parallel experiment runner (one
+// worker per CPU); the printed result is identical to a serial run.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	gdp "repro"
 )
@@ -18,6 +21,8 @@ func main() {
 		InstructionsPerCore: 8000,
 		IntervalCycles:      5000,
 		Seed:                42,
+		Jobs:                0, // 0 = fan the workload runs out over all CPUs
+		Progress:            gdp.ConsoleProgress(os.Stderr),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -2,12 +2,15 @@
 // the same multi-programmed workloads under the LRU, UCP, ASM-driven, MCP and
 // MCP-O last-level-cache management policies and reports system throughput
 // (STP) for each, showing how accurate private-mode performance estimates let
-// MCP pick better way allocations.
+// MCP pick better way allocations. Every (workload, policy) pair runs as one
+// job on the parallel experiment runner, and the policy-independent
+// private-mode reference runs are shared through the result cache.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	gdp "repro"
 )
@@ -20,6 +23,7 @@ func main() {
 		InstructionsPerCore: 6000,
 		IntervalCycles:      4000,
 		Seed:                7,
+		Progress:            gdp.ConsoleProgress(os.Stderr),
 	})
 	if err != nil {
 		log.Fatal(err)

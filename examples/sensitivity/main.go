@@ -2,40 +2,42 @@
 // (Figure 7e of the paper) and the DRAM interface (Figure 7d), showing that a
 // 32-entry PRB captures almost all of the achievable accuracy and that the
 // technique is robust to memory-system changes.
+//
+// The PRB sweep is expressed as a grid for the parallel experiment runner:
+// every (mix, PRB size) cell is one job, all cells fan out over the CPUs, and
+// the private-mode reference runs shared between cells are simulated once
+// thanks to the result cache.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	gdp "repro"
 )
 
 func main() {
-	scale := gdp.StudyScale{
-		WorkloadsPerCell:    1,
+	fmt.Println("GDP-O accuracy vs PRB size (Figure 7e), swept in parallel:")
+	res, err := gdp.Sweep(gdp.SweepOptions{
+		CoreCounts:          []int{4},
+		Mixes:               []gdp.MixKind{gdp.MixH},
+		PRBSizes:            []int{8, 16, 32, 64},
+		Techniques:          []string{"GDP-O"},
+		Workloads:           1,
 		InstructionsPerCore: 5000,
 		IntervalCycles:      4000,
 		Seed:                21,
+		Progress:            gdp.ConsoleProgress(os.Stderr),
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	fmt.Println("GDP-O accuracy vs PRB size (Figure 7e):")
-	for _, entries := range []int{8, 16, 32, 64} {
-		res, err := gdp.AccuracyStudy(gdp.AccuracyOptions{
-			Cores:               4,
-			Mix:                 gdp.MixH,
-			Workloads:           scale.WorkloadsPerCell,
-			InstructionsPerCore: scale.InstructionsPerCore,
-			IntervalCycles:      scale.IntervalCycles,
-			Seed:                scale.Seed,
-			PRBEntries:          entries,
-			Techniques:          []string{"GDP-O"},
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		t := res.Technique("GDP-O")
-		fmt.Printf("  %4d entries: mean IPC abs RMS = %.4f\n", entries, t.MeanIPCAbsRMS)
+	for _, row := range res.Rows {
+		fmt.Printf("  %4d entries: mean IPC abs RMS = %.4f\n", row.PRB, row.MeanIPCAbsRMS)
+	}
+	if hits, misses := gdp.DefaultResultCache().Stats(); hits > 0 {
+		fmt.Printf("  (result cache reused %d of %d reference lookups)\n", hits, hits+misses)
 	}
 
 	fmt.Println("\nGDP-O accuracy: DDR2-800 vs DDR4-2666 (Figure 7d):")
@@ -44,10 +46,10 @@ func main() {
 		res, err := gdp.AccuracyStudy(gdp.AccuracyOptions{
 			Cores:               4,
 			Mix:                 gdp.MixH,
-			Workloads:           scale.WorkloadsPerCell,
-			InstructionsPerCore: scale.InstructionsPerCore,
-			IntervalCycles:      scale.IntervalCycles,
-			Seed:                scale.Seed,
+			Workloads:           1,
+			InstructionsPerCore: 5000,
+			IntervalCycles:      4000,
+			Seed:                21,
 			Config:              cfg,
 			Techniques:          []string{"GDP-O"},
 		})

@@ -9,19 +9,25 @@
 //   - the synthetic benchmark suite and multi-programmed workload generator,
 //   - the simulation driver (shared-mode and private-mode runs),
 //   - the accounting techniques (GDP, GDP-O, ITCA, PTCA, ASM),
-//   - the LLC partitioning policies (LRU, UCP, MCP, MCP-O), and
-//   - the experiment drivers that regenerate the paper's tables and figures.
+//   - the LLC partitioning policies (LRU, UCP, MCP, MCP-O),
+//   - the experiment drivers that regenerate the paper's tables and figures,
+//     and
+//   - the parallel experiment runner (worker-pool fan-out, result caching,
+//     progress reporting and grid sweeps).
 //
 // See examples/ for runnable programs built only on this package.
 package gdp
 
 import (
+	"io"
+
 	"repro/internal/accounting"
 	"repro/internal/config"
 	gdpcore "repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -213,3 +219,45 @@ func Figure3(scale StudyScale) (*Figure3Result, error) { return experiments.Figu
 func Figure7(opts SensitivityOptions) ([]*SensitivityResult, error) {
 	return experiments.Figure7(opts)
 }
+
+// Experiment runner.
+type (
+	// ResultCache memoizes simulation cells across studies (in memory and,
+	// for disk-backed caches, across processes).
+	ResultCache = runner.Cache
+	// RunnerProgress is one progress event of a study's worker pool.
+	RunnerProgress = runner.Progress
+	// ProgressFunc receives progress events.
+	ProgressFunc = runner.ProgressFunc
+	// SweepOptions describe a user-defined experiment grid.
+	SweepOptions = experiments.SweepOptions
+	// SweepResult is the outcome of a grid sweep.
+	SweepResult = experiments.SweepResult
+	// SweepRow is one flattened, export-ready result line of a sweep.
+	SweepRow = experiments.SweepRow
+	// ResultTable is a rectangular result set ready for CSV export.
+	ResultTable = runner.Table
+)
+
+// NewResultCache returns an in-memory result cache.
+func NewResultCache() *ResultCache { return runner.NewCache() }
+
+// NewDiskResultCache returns a result cache that also persists entries under
+// dir, so repeated processes reuse earlier simulations.
+func NewDiskResultCache(dir string) (*ResultCache, error) { return runner.NewDiskCache(dir) }
+
+// DefaultResultCache returns the process-wide cache every experiment driver
+// uses unless its options name another one.
+func DefaultResultCache() *ResultCache { return experiments.DefaultCache() }
+
+// SetDefaultResultCache replaces the process-wide result cache (for example
+// with a disk-backed one).
+func SetDefaultResultCache(c *ResultCache) { experiments.SetDefaultCache(c) }
+
+// ConsoleProgress returns a ProgressFunc that prints one line per completed
+// simulation cell to w.
+func ConsoleProgress(w io.Writer) ProgressFunc { return runner.ConsoleProgress(w) }
+
+// Sweep runs a user-defined experiment grid (cores × mixes × PRB sizes ×
+// policies) through the parallel runner.
+func Sweep(opts SweepOptions) (*SweepResult, error) { return experiments.Sweep(opts) }

@@ -110,3 +110,36 @@ func TestPublicScales(t *testing.T) {
 		t.Error("paper scale should be larger than default scale")
 	}
 }
+
+func TestPublicSweepAndCache(t *testing.T) {
+	cache := NewResultCache()
+	var events int
+	res, err := Sweep(SweepOptions{
+		CoreCounts:          []int{2},
+		Mixes:               []MixKind{MixH},
+		PRBSizes:            []int{32},
+		Techniques:          []string{"GDP-O"},
+		Workloads:           1,
+		InstructionsPerCore: 2000,
+		IntervalCycles:      2000,
+		Seed:                5,
+		Jobs:                2,
+		Cache:               cache,
+		Progress:            func(p RunnerProgress) { events++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Name != "GDP-O" {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	if events == 0 {
+		t.Error("no progress events delivered")
+	}
+	if _, misses := cache.Stats(); misses == 0 {
+		t.Error("cache saw no simulations")
+	}
+	if DefaultResultCache() == nil {
+		t.Error("no default result cache")
+	}
+}

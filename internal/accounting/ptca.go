@@ -29,10 +29,10 @@ type ptcaProbe struct {
 	accounted uint64
 
 	// Current stall tracking.
-	inStall          bool
-	stallCycles      uint64
-	stallROBFullCyc  uint64
-	stallReq         *mem.Request
+	inStall         bool
+	stallCycles     uint64
+	stallROBFullCyc uint64
+	stallReq        *mem.Request
 }
 
 // OnCycle accumulates the current stall's length and ROB-full portion.

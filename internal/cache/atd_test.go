@@ -33,8 +33,8 @@ func TestNewATDValidation(t *testing.T) {
 func TestATDSampling(t *testing.T) {
 	a := mustATD(t, 0, 128, 16, 32) // sample step = 4
 	// Set index bits are addr[12:6] for 128 sets of 64B lines.
-	sampledAddr := uint64(0 << 6)    // set 0: sampled
-	unsampledAddr := uint64(1 << 6)  // set 1: not sampled
+	sampledAddr := uint64(0 << 6)   // set 0: sampled
+	unsampledAddr := uint64(1 << 6) // set 1: not sampled
 	if !a.Sampled(sampledAddr) {
 		t.Error("set 0 should be sampled")
 	}

@@ -42,9 +42,9 @@ type Cache struct {
 
 // Stats aggregates cache access statistics.
 type Stats struct {
-	Accesses uint64
-	Hits     uint64
-	Misses   uint64
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
 	Evictions uint64
 }
 

@@ -49,12 +49,12 @@ type CoreConfig struct {
 
 // CacheConfig holds the parameters of one cache level.
 type CacheConfig struct {
-	SizeBytes   int
-	Ways        int
-	LineBytes   int
-	LatencyCyc  int
-	MSHRs       int
-	Banks       int // >1 only meaningful for the shared LLC
+	SizeBytes    int
+	Ways         int
+	LineBytes    int
+	LatencyCyc   int
+	MSHRs        int
+	Banks        int // >1 only meaningful for the shared LLC
 	MSHRsPerBank int
 }
 
@@ -94,16 +94,16 @@ type DRAMConfig struct {
 
 // CMPConfig is the complete description of one simulated chip multiprocessor.
 type CMPConfig struct {
-	Name      string
-	Cores     int
-	ClockGHz  float64
-	Core      CoreConfig
-	L1D       CacheConfig
-	L1I       CacheConfig
-	L2        CacheConfig
-	LLC       CacheConfig
-	Ring      RingConfig
-	DRAM      DRAMConfig
+	Name           string
+	Cores          int
+	ClockGHz       float64
+	Core           CoreConfig
+	L1D            CacheConfig
+	L1I            CacheConfig
+	L2             CacheConfig
+	LLC            CacheConfig
+	Ring           RingConfig
+	DRAM           DRAMConfig
 	ATDSampledSets int // number of LLC sets sampled by each auxiliary tag directory
 }
 

@@ -6,10 +6,10 @@ import "repro/internal/cpu"
 // measurement interval (Equation 2 of the paper).
 type Estimate struct {
 	// Inputs.
-	CPL               uint64
-	PrivateLatency    float64 // λ̂: estimated private-mode SMS load latency
-	AvgOverlap        float64 // O: average commit/load overlap (GDP-O only)
-	Instructions      uint64
+	CPL            uint64
+	PrivateLatency float64 // λ̂: estimated private-mode SMS load latency
+	AvgOverlap     float64 // O: average commit/load overlap (GDP-O only)
+	Instructions   uint64
 
 	// Outputs.
 	SMSStallCycles float64 // σ̂^SMS: estimated private-mode SMS stall cycles

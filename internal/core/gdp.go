@@ -75,9 +75,9 @@ type GDP struct {
 	overlapSMSLoads uint64
 
 	// Diagnostics.
-	insertions  uint64
-	evictions   uint64
-	cplUpdates  uint64
+	insertions uint64
+	evictions  uint64
+	cplUpdates uint64
 }
 
 // New creates a GDP unit.
@@ -267,17 +267,17 @@ func (g *GDP) Diagnostics() (insertions, evictions, cplUpdates uint64) {
 
 // Storage-overhead constants (Figure 2 field widths, in bits).
 const (
-	addrBits        = 48
-	depthBits       = 15
-	timestampBits   = 28
-	overlapBits     = 14
-	completedBits   = 1
-	validBits       = 1
-	pointerBits     = 5
-	overlapCtrBits  = 32
-	pcbDepthBits    = depthBits
-	pcbStartBits    = timestampBits
-	pcbStallBits    = timestampBits
+	addrBits       = 48
+	depthBits      = 15
+	timestampBits  = 28
+	overlapBits    = 14
+	completedBits  = 1
+	validBits      = 1
+	pointerBits    = 5
+	overlapCtrBits = 32
+	pcbDepthBits   = depthBits
+	pcbStartBits   = timestampBits
+	pcbStallBits   = timestampBits
 )
 
 // StorageBits returns the storage overhead of the unit in bits, reproducing

@@ -131,10 +131,10 @@ func TestFigure1EstimateMatchesPaperArithmetic(t *testing.T) {
 	// CPL 2, perfect private latency estimate of 140 cycles and average
 	// overlap 38. GDP estimates 2.5 CPI, GDP-O estimates 2.1 CPI.
 	interval := cpu.Stats{
-		CommitCycles: 190,
-		Instructions: 190,
-		StallSMS:     305, // shared-mode stalls (not used by the estimate)
-		SMSLoads:     5,
+		CommitCycles:  190,
+		Instructions:  190,
+		StallSMS:      305, // shared-mode stalls (not used by the estimate)
+		SMSLoads:      5,
 		SMSLatencySum: 5 * 180,
 	}
 	gdp := Estimator{UseOverlap: false}.Estimate(interval, 2, 38, 140)

@@ -47,8 +47,8 @@ type loadWaiters struct {
 
 // Core is one simulated processor core.
 type Core struct {
-	id   int
-	cfg  config.CoreConfig
+	id           int
+	cfg          config.CoreConfig
 	l1Lat, l2Lat int
 	l1MSHRs      int
 

@@ -239,13 +239,13 @@ func TestStatsDelta(t *testing.T) {
 
 // recordingProbe captures probe events for inspection.
 type recordingProbe struct {
-	issued    int
-	completed int
+	issued       int
+	completed    int
 	completedSMS int
-	stalls    int
-	resumes   int
-	cycles    int
-	commits   int
+	stalls       int
+	resumes      int
+	cycles       int
+	commits      int
 }
 
 func (r *recordingProbe) OnLoadIssued(uint64, uint64) { r.issued++ }

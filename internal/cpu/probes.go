@@ -57,8 +57,8 @@ type CycleState struct {
 
 	// Head-of-ROB load information (zero values when the head is not an
 	// incomplete load).
-	HeadIsLoad  bool
-	HeadLoadSMS bool
+	HeadIsLoad   bool
+	HeadLoadSMS  bool
 	HeadLoadAddr uint64
 	// HeadReq is the in-flight shared-memory request of the head load, when
 	// the head is an incomplete SMS load. Its interference counters update as

@@ -14,10 +14,10 @@ type Stats struct {
 	Instructions uint64
 
 	// Load population.
-	Loads        uint64
-	L1Misses     uint64
-	PMSLoads     uint64 // L1 misses serviced by the private L2
-	SMSLoads     uint64 // L1 misses serviced by the shared memory system
+	Loads    uint64
+	L1Misses uint64
+	PMSLoads uint64 // L1 misses serviced by the private L2
+	SMSLoads uint64 // L1 misses serviced by the shared memory system
 
 	// Shared-memory-system latency aggregates (completed SMS loads).
 	SMSLatencySum      uint64
@@ -25,9 +25,9 @@ type Stats struct {
 	SMSOverlapSum      uint64 // cycles the core committed while each SMS load was pending
 
 	// LLC decomposition for the MCP performance model.
-	LLCMisses      uint64 // SMS loads that missed in the LLC
-	PreLLCLatSum   uint64 // issue -> LLC portion of SMS latencies (plus LLC lookup)
-	PostLLCLatSum  uint64 // LLC -> DRAM -> back portion for LLC misses
+	LLCMisses     uint64 // SMS loads that missed in the LLC
+	PreLLCLatSum  uint64 // issue -> LLC portion of SMS latencies (plus LLC lookup)
+	PostLLCLatSum uint64 // LLC -> DRAM -> back portion for LLC misses
 }
 
 // TotalStall returns the sum of all stall cycles.

@@ -82,12 +82,12 @@ type bankState struct {
 
 // channel is one memory channel with its own queues, banks and data bus.
 type channel struct {
-	readQ    []queued
-	writeQ   []queued
-	banks    []bankState
+	readQ        []queued
+	writeQ       []queued
+	banks        []bankState
 	busBusyUntil uint64
 	busOwner     int
-	inflight []inflight
+	inflight     []inflight
 }
 
 // Controller is the multi-channel memory controller.
@@ -98,12 +98,12 @@ type Controller struct {
 	priorityCore int // core whose requests are scheduled first (-1 = none)
 
 	// Stats.
-	reads, writes   uint64
-	rowHits         uint64
-	rowMisses       uint64
-	rowConflicts    uint64
-	totalReadLat    uint64
-	completedReads  uint64
+	reads, writes  uint64
+	rowHits        uint64
+	rowMisses      uint64
+	rowConflicts   uint64
+	totalReadLat   uint64
+	completedReads uint64
 }
 
 // New creates a memory controller.

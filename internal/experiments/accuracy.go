@@ -1,21 +1,77 @@
 // Package experiments implements one driver per table and figure of the GDP
-// paper's evaluation section. Each driver generates workloads, runs the
-// shared-mode and private-mode simulations, and reduces the results to the
-// numbers the corresponding figure reports (RMS estimation errors, component
-// error distributions, system throughput under cache partitioning, and the
-// sensitivity sweeps).
+// paper's evaluation section. Each driver generates workloads, fans the
+// shared-mode and private-mode simulations out over the runner subsystem's
+// worker pool, and reduces the results to the numbers the corresponding
+// figure reports (RMS estimation errors, component error distributions,
+// system throughput under cache partitioning, and the sensitivity sweeps).
+//
+// All simulation cells are submitted as runner jobs: results are aggregated
+// by job index, and per-job seeds are derived from the study seed and the
+// workload index, so every driver produces byte-identical output whether it
+// runs on one worker or on runtime.NumCPU() workers. Private-mode reference
+// runs are memoized in a shared result cache (see DefaultCache) because
+// several studies align on the same reference simulations.
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/accounting"
 	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// defaultCache memoizes simulation cells (most importantly the private-mode
+// reference runs) across every study executed in this process.
+var (
+	defaultCacheMu sync.Mutex
+	defaultCache   = runner.NewCache()
+)
+
+// DefaultCache returns the process-wide result cache shared by all drivers.
+func DefaultCache() *runner.Cache {
+	defaultCacheMu.Lock()
+	defer defaultCacheMu.Unlock()
+	return defaultCache
+}
+
+// SetDefaultCache replaces the process-wide result cache; the CLI uses this
+// to install a disk-backed cache (-cache-dir).
+func SetDefaultCache(c *runner.Cache) {
+	defaultCacheMu.Lock()
+	defer defaultCacheMu.Unlock()
+	defaultCache = c
+}
+
+// privateRefSpec is the cache key of one private-mode reference run; it
+// captures everything sim.RunPrivate's outcome depends on.
+type privateRefSpec struct {
+	Op           string
+	Config       *config.CMPConfig
+	Benchmark    workload.Benchmark
+	SamplePoints []uint64
+	Seed         int64
+}
+
+// memoPrivateRef runs (or recalls) one private-mode reference simulation.
+func memoPrivateRef(cache *runner.Cache, cfg *config.CMPConfig, bench workload.Benchmark,
+	samplePoints []uint64, seed int64) (*sim.PrivateReference, error) {
+
+	spec := privateRefSpec{
+		Op: "RunPrivate/v1", Config: cfg, Benchmark: bench,
+		SamplePoints: samplePoints, Seed: seed,
+	}
+	ref, _, err := runner.Memo(cache, spec, func() (*sim.PrivateReference, error) {
+		return sim.RunPrivate(cfg, bench, samplePoints, seed, 0)
+	})
+	return ref, err
+}
 
 // TechniqueNames lists the accounting techniques compared in Figures 3 and 4,
 // in the paper's order.
@@ -38,6 +94,15 @@ type AccuracyOptions struct {
 	PRBEntries int
 	// Techniques restricts the evaluated techniques (nil = all five).
 	Techniques []string
+	// Jobs is the worker-pool width for the per-workload simulations
+	// (0 = runtime.NumCPU(), 1 = serial). Results are identical for any
+	// value: aggregation is ordered by job index and per-job seeds are
+	// derived from Seed and the workload index.
+	Jobs int
+	// Cache memoizes private-mode reference runs (nil = DefaultCache()).
+	Cache *runner.Cache
+	// Progress, when non-nil, receives one event per completed job.
+	Progress runner.ProgressFunc
 }
 
 // withDefaults fills unset options.
@@ -62,6 +127,9 @@ func (o AccuracyOptions) withDefaults() AccuracyOptions {
 	}
 	if len(o.Techniques) == 0 {
 		o.Techniques = TechniqueNames
+	}
+	if o.Cache == nil {
+		o.Cache = DefaultCache()
 	}
 	return o
 }
@@ -265,6 +333,14 @@ func accumulateErrors(res *sim.Result, privs []*sim.PrivateReference, names []st
 // per workload, runs ASM on its own (invasive) shared-mode run, obtains the
 // aligned private-mode references, and reduces everything to RMS errors.
 func AccuracyStudy(opts AccuracyOptions) (*AccuracyResult, error) {
+	return AccuracyStudyContext(context.Background(), opts)
+}
+
+// AccuracyStudyContext is AccuracyStudy with cancellation: when ctx is
+// cancelled the worker pool stops scheduling further simulations and returns
+// the context error (a simulation already in flight runs to completion
+// first, since the cycle-level simulator does not poll the context).
+func AccuracyStudyContext(ctx context.Context, opts AccuracyOptions) (*AccuracyResult, error) {
 	opts = opts.withDefaults()
 	workloads, err := workload.Generate(workload.GenerateOptions{
 		Cores: opts.Cores, Mix: opts.Mix, Count: opts.Workloads, Seed: opts.Seed,
@@ -272,7 +348,7 @@ func AccuracyStudy(opts AccuracyOptions) (*AccuracyResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return accuracyStudyOver(workloads, opts)
+	return accuracyStudyOver(ctx, workloads, opts)
 }
 
 // AccuracyStudyForWorkload runs the accuracy study over one explicit workload
@@ -280,71 +356,140 @@ func AccuracyStudy(opts AccuracyOptions) (*AccuracyResult, error) {
 func AccuracyStudyForWorkload(wl workload.Workload, opts AccuracyOptions) (*AccuracyResult, error) {
 	opts.Cores = wl.Cores()
 	opts = opts.withDefaults()
-	return accuracyStudyOver([]workload.Workload{wl}, opts)
+	return accuracyStudyOver(context.Background(), []workload.Workload{wl}, opts)
 }
 
-// accuracyStudyOver is the shared implementation of the accuracy studies.
-func accuracyStudyOver(workloads []workload.Workload, opts AccuracyOptions) (*AccuracyResult, error) {
+// accuracyPartial is the result of one runner job: the errors one workload's
+// shared-mode run (transparent or ASM) contributes to the study.
+type accuracyPartial struct {
+	PerTechnique map[string][]BenchmarkErrors
+	Comp         ComponentAccuracy
+}
+
+// accuracyJobs builds the study's job list: per workload, one job for the
+// shared transparent-technique run and one for ASM's invasive run. The job
+// order (and therefore the aggregation order and the derived seeds) is fixed
+// by the workload order, never by scheduling.
+func accuracyJobs(workloads []workload.Workload, opts AccuracyOptions) []runner.Job[accuracyPartial] {
+	var jobs []runner.Job[accuracyPartial]
+	wantTransparent := false
+	for _, n := range opts.Techniques {
+		if n != "ASM" {
+			wantTransparent = true
+		}
+	}
+	for i, wl := range workloads {
+		wl := wl
+		// Per-job seed derivation: every workload simulates with its own
+		// seed so parallel execution order cannot leak into the results.
+		simSeed := opts.Seed + int64(i)
+		if wantTransparent {
+			jobs = append(jobs, runner.Job[accuracyPartial]{
+				Label: fmt.Sprintf("%s/transparent", wl.ID),
+				Fn: func(ctx context.Context) (accuracyPartial, error) {
+					return runTransparentCell(wl, opts, simSeed)
+				},
+			})
+		}
+		if hasTechnique(opts.Techniques, "ASM") {
+			jobs = append(jobs, runner.Job[accuracyPartial]{
+				Label: fmt.Sprintf("%s/asm", wl.ID),
+				Fn: func(ctx context.Context) (accuracyPartial, error) {
+					return runASMCell(wl, opts, simSeed)
+				},
+			})
+		}
+	}
+	return jobs
+}
+
+// runTransparentCell runs one workload's shared-mode simulation with every
+// transparent technique attached and reduces it against the private-mode
+// references.
+func runTransparentCell(wl workload.Workload, opts AccuracyOptions, simSeed int64) (accuracyPartial, error) {
+	partial := accuracyPartial{PerTechnique: map[string][]BenchmarkErrors{}}
+	transparent, err := buildAccountants(opts)
+	if err != nil {
+		return partial, err
+	}
+	if len(transparent) == 0 {
+		return partial, nil
+	}
+	transparentNames := make([]string, 0, len(transparent))
+	for _, a := range transparent {
+		transparentNames = append(transparentNames, a.Name())
+	}
+	res, err := sim.Run(sim.Options{
+		Config:              opts.Config,
+		Workload:            wl,
+		InstructionsPerCore: opts.InstructionsPerCore,
+		IntervalCycles:      opts.IntervalCycles,
+		Seed:                simSeed,
+		Accountants:         transparent,
+	})
+	if err != nil {
+		return partial, err
+	}
+	privs, err := privateReferences(opts, wl, res, simSeed)
+	if err != nil {
+		return partial, err
+	}
+	accumulateErrors(res, privs, transparentNames, partial.PerTechnique, &partial.Comp, wl)
+	return partial, nil
+}
+
+// runASMCell runs ASM on its own shared-mode simulation because it perturbs
+// the memory controller.
+func runASMCell(wl workload.Workload, opts AccuracyOptions, simSeed int64) (accuracyPartial, error) {
+	partial := accuracyPartial{PerTechnique: map[string][]BenchmarkErrors{}}
+	asm, err := accounting.NewASM(opts.Cores, opts.IntervalCycles/4, nil)
+	if err != nil {
+		return partial, err
+	}
+	res, err := sim.Run(sim.Options{
+		Config:              opts.Config,
+		Workload:            wl,
+		InstructionsPerCore: opts.InstructionsPerCore,
+		IntervalCycles:      opts.IntervalCycles,
+		Seed:                simSeed,
+		Accountants:         []accounting.Accountant{asm},
+	})
+	if err != nil {
+		return partial, err
+	}
+	privs, err := privateReferences(opts, wl, res, simSeed)
+	if err != nil {
+		return partial, err
+	}
+	accumulateErrors(res, privs, []string{"ASM"}, partial.PerTechnique, nil, wl)
+	return partial, nil
+}
+
+// accuracyStudyOver is the shared implementation of the accuracy studies: it
+// fans the per-workload simulations out over the worker pool and merges the
+// partial results in job order.
+func accuracyStudyOver(ctx context.Context, workloads []workload.Workload, opts AccuracyOptions) (*AccuracyResult, error) {
 	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+
+	partials, err := runner.Run(ctx, accuracyJobs(workloads, opts), runner.Options{
+		Workers:  opts.Jobs,
+		Progress: opts.Progress,
+	})
+	if err != nil {
 		return nil, err
 	}
 
 	perTechnique := map[string][]BenchmarkErrors{}
 	comp := &ComponentAccuracy{}
-
-	for _, wl := range workloads {
-		// Transparent techniques share one run.
-		transparent, err := buildAccountants(opts)
-		if err != nil {
-			return nil, err
+	for _, p := range partials {
+		for name, errs := range p.PerTechnique {
+			perTechnique[name] = append(perTechnique[name], errs...)
 		}
-		transparentNames := make([]string, 0, len(transparent))
-		for _, a := range transparent {
-			transparentNames = append(transparentNames, a.Name())
-		}
-		if len(transparent) > 0 {
-			res, err := sim.Run(sim.Options{
-				Config:              opts.Config,
-				Workload:            wl,
-				InstructionsPerCore: opts.InstructionsPerCore,
-				IntervalCycles:      opts.IntervalCycles,
-				Seed:                opts.Seed,
-				Accountants:         transparent,
-			})
-			if err != nil {
-				return nil, err
-			}
-			privs, err := privateReferences(opts, wl, res)
-			if err != nil {
-				return nil, err
-			}
-			accumulateErrors(res, privs, transparentNames, perTechnique, comp, wl)
-		}
-
-		// ASM runs on its own shared-mode simulation because it perturbs the
-		// memory controller.
-		if hasTechnique(opts.Techniques, "ASM") {
-			asm, err := accounting.NewASM(opts.Cores, opts.IntervalCycles/4, nil)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(sim.Options{
-				Config:              opts.Config,
-				Workload:            wl,
-				InstructionsPerCore: opts.InstructionsPerCore,
-				IntervalCycles:      opts.IntervalCycles,
-				Seed:                opts.Seed,
-				Accountants:         []accounting.Accountant{asm},
-			})
-			if err != nil {
-				return nil, err
-			}
-			privs, err := privateReferences(opts, wl, res)
-			if err != nil {
-				return nil, err
-			}
-			accumulateErrors(res, privs, []string{"ASM"}, perTechnique, nil, wl)
-		}
+		comp.CPLRelRMS = append(comp.CPLRelRMS, p.Comp.CPLRelRMS...)
+		comp.OverlapRelRMS = append(comp.OverlapRelRMS, p.Comp.OverlapRelRMS...)
+		comp.LatencyRelRMS = append(comp.LatencyRelRMS, p.Comp.LatencyRelRMS...)
 	}
 
 	result := &AccuracyResult{
@@ -369,14 +514,16 @@ func accuracyStudyOver(workloads []workload.Workload, opts AccuracyOptions) (*Ac
 	return result, nil
 }
 
-// privateReferences runs the private-mode simulations for every core of a
+// privateReferences obtains the private-mode simulations for every core of a
 // workload, aligned on the shared run's sample points. Identical benchmarks
 // on different cores still need separate references because their sample
-// points differ.
-func privateReferences(opts AccuracyOptions, wl workload.Workload, res *sim.Result) ([]*sim.PrivateReference, error) {
+// points differ. References go through the result cache: the transparent and
+// ASM runs of a workload (and repeated studies over the same population)
+// share reference simulations whenever their sample points coincide.
+func privateReferences(opts AccuracyOptions, wl workload.Workload, res *sim.Result, simSeed int64) ([]*sim.PrivateReference, error) {
 	privs := make([]*sim.PrivateReference, wl.Cores())
 	for core, bench := range wl.Benchmarks {
-		p, err := sim.RunPrivate(opts.Config, bench, res.SamplePoints[core], opts.Seed+int64(core)*7919, 0)
+		p, err := memoPrivateRef(opts.Cache, opts.Config, bench, res.SamplePoints[core], simSeed+int64(core)*7919)
 		if err != nil {
 			return nil, err
 		}

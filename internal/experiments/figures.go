@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -20,6 +21,13 @@ type StudyScale struct {
 	IntervalCycles      uint64
 	Seed                int64
 	CoreCounts          []int
+	// Jobs is the runner worker-pool width used by every driver that accepts
+	// this scale (0 = runtime.NumCPU(), 1 = serial). Output is identical for
+	// any value.
+	Jobs int
+	// Progress, when non-nil, receives one runner event per completed
+	// simulation job.
+	Progress runner.ProgressFunc
 }
 
 // DefaultScale returns the quick-run scale used by tests and benchmarks.
@@ -48,10 +56,10 @@ func PaperScale() StudyScale {
 // Figure3Cell is one bar group of Figures 3a/3b: a core count and category
 // with the per-technique mean RMS errors.
 type Figure3Cell struct {
-	Label           string
-	IPCAbsRMS       map[string]float64
-	StallAbsRMS     map[string]float64
-	IPCRelRMS       map[string]float64
+	Label       string
+	IPCAbsRMS   map[string]float64
+	StallAbsRMS map[string]float64
+	IPCRelRMS   map[string]float64
 }
 
 // Figure3Result covers Figures 3a and 3b (and feeds Figures 4 and 5, whose
@@ -78,6 +86,8 @@ func Figure3(scale StudyScale) (*Figure3Result, error) {
 				InstructionsPerCore: scale.InstructionsPerCore,
 				IntervalCycles:      scale.IntervalCycles,
 				Seed:                scale.Seed,
+				Jobs:                scale.Jobs,
+				Progress:            scale.Progress,
 			})
 			if err != nil {
 				return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -28,6 +30,15 @@ type PartitioningOptions struct {
 	Config              *config.CMPConfig
 	// Policies restricts the evaluated policies (nil = all five).
 	Policies []string
+	// Jobs is the worker-pool width for the per-(workload, policy)
+	// simulations (0 = runtime.NumCPU(), 1 = serial); results are identical
+	// for any value.
+	Jobs int
+	// Cache memoizes the policy-independent private-mode runs
+	// (nil = DefaultCache()).
+	Cache *runner.Cache
+	// Progress, when non-nil, receives one event per completed job.
+	Progress runner.ProgressFunc
 }
 
 func (o PartitioningOptions) withDefaults() PartitioningOptions {
@@ -49,6 +60,9 @@ func (o PartitioningOptions) withDefaults() PartitioningOptions {
 	if len(o.Policies) == 0 {
 		o.Policies = PolicyNames
 	}
+	if o.Cache == nil {
+		o.Cache = DefaultCache()
+	}
 	return o
 }
 
@@ -60,9 +74,9 @@ type WorkloadSTP struct {
 
 // PartitioningResult is the outcome of one Figure 6 cell.
 type PartitioningResult struct {
-	Label      string
+	Label       string
 	PerWorkload []WorkloadSTP
-	AverageSTP map[string]float64
+	AverageSTP  map[string]float64
 }
 
 // policyRun describes how to set up one policy's shared-mode run.
@@ -95,10 +109,36 @@ func policyRun(name string, cores int, prb int) (acct []accounting.Accountant, p
 	}
 }
 
+// privateCPIs obtains the private-mode CPI of every benchmark slot of a
+// workload, on the unmanaged LLC, for the full instruction sample. This is
+// policy independent, so the per-core reference runs are memoized: the five
+// policy jobs of a workload (and any later study over the same population)
+// trigger each reference simulation once.
+func privateCPIs(opts PartitioningOptions, wl workload.Workload, simSeed int64) ([]float64, error) {
+	privateCPI := make([]float64, wl.Cores())
+	for core, bench := range wl.Benchmarks {
+		priv, err := memoPrivateRef(opts.Cache, opts.Config, bench,
+			[]uint64{opts.InstructionsPerCore}, simSeed+int64(core)*7919)
+		if err != nil {
+			return nil, err
+		}
+		privateCPI[core] = priv.At[0].CPI()
+	}
+	return privateCPI, nil
+}
+
 // PartitioningStudy runs Figure 6's comparison for one core count and
 // workload category: every policy runs the same workloads, and system
 // throughput is computed against private-mode runs of each benchmark.
 func PartitioningStudy(opts PartitioningOptions) (*PartitioningResult, error) {
+	return PartitioningStudyContext(context.Background(), opts)
+}
+
+// PartitioningStudyContext is PartitioningStudy with cancellation (the pool
+// stops scheduling new simulations promptly; one already in flight finishes
+// first). Every (workload, policy) pair is one runner job; STP values are
+// aggregated by job index so the result is independent of the worker count.
+func PartitioningStudyContext(ctx context.Context, opts PartitioningOptions) (*PartitioningResult, error) {
 	opts = opts.withDefaults()
 	if err := opts.Config.Validate(); err != nil {
 		return nil, err
@@ -110,65 +150,80 @@ func PartitioningStudy(opts PartitioningOptions) (*PartitioningResult, error) {
 		return nil, err
 	}
 
+	var jobs []runner.Job[float64]
+	for i, wl := range workloads {
+		wl := wl
+		simSeed := opts.Seed + int64(i) // per-job derived seed, shared by the
+		// policies of one workload so they stay directly comparable
+		for _, polName := range opts.Policies {
+			polName := polName
+			jobs = append(jobs, runner.Job[float64]{
+				Label: fmt.Sprintf("%s/%s", wl.ID, polName),
+				Fn: func(ctx context.Context) (float64, error) {
+					return runPolicyCell(opts, wl, polName, simSeed)
+				},
+			})
+		}
+	}
+	stps, err := runner.Run(ctx, jobs, runner.Options{
+		Workers:  opts.Jobs,
+		Progress: opts.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	result := &PartitioningResult{
 		Label:      fmt.Sprintf("%dc-%s", opts.Cores, opts.Mix),
 		AverageSTP: map[string]float64{},
 	}
 	perPolicy := map[string][]float64{}
-
-	for _, wl := range workloads {
+	for i, wl := range workloads {
 		entry := WorkloadSTP{Workload: wl.ID, STP: map[string]float64{}}
-
-		// Private-mode CPI of every benchmark slot, on the unmanaged LLC, for
-		// the full instruction sample. This is policy independent.
-		privateCPI := make([]float64, wl.Cores())
-		for core, bench := range wl.Benchmarks {
-			priv, err := sim.RunPrivate(opts.Config, bench, []uint64{opts.InstructionsPerCore},
-				opts.Seed+int64(core)*7919, 0)
-			if err != nil {
-				return nil, err
-			}
-			privateCPI[core] = priv.At[0].CPI()
-		}
-
-		for _, polName := range opts.Policies {
-			accts, pol, source, err := policyRun(polName, opts.Cores, 32)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(sim.Options{
-				Config:              opts.Config,
-				Workload:            wl,
-				InstructionsPerCore: opts.InstructionsPerCore,
-				IntervalCycles:      opts.IntervalCycles,
-				Seed:                opts.Seed,
-				Accountants:         accts,
-				Partitioner:         pol,
-				PartitionSource:     source,
-			})
-			if err != nil {
-				return nil, err
-			}
-			sharedCPI := make([]float64, wl.Cores())
-			for core := range sharedCPI {
-				sharedCPI[core] = res.SampleStats[core].CPI()
-			}
-			stp, err := metrics.STP(privateCPI, sharedCPI)
-			if err != nil {
-				return nil, err
-			}
+		for j, polName := range opts.Policies {
+			stp := stps[i*len(opts.Policies)+j]
 			entry.STP[polName] = stp
 			perPolicy[polName] = append(perPolicy[polName], stp)
 		}
 		result.PerWorkload = append(result.PerWorkload, entry)
 	}
-
 	for _, polName := range opts.Policies {
 		if avg, err := metrics.Mean(perPolicy[polName]); err == nil {
 			result.AverageSTP[polName] = avg
 		}
 	}
 	return result, nil
+}
+
+// runPolicyCell runs one policy's shared-mode simulation of one workload and
+// reduces it to system throughput.
+func runPolicyCell(opts PartitioningOptions, wl workload.Workload, polName string, simSeed int64) (float64, error) {
+	privateCPI, err := privateCPIs(opts, wl, simSeed)
+	if err != nil {
+		return 0, err
+	}
+	accts, pol, source, err := policyRun(polName, opts.Cores, 32)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Run(sim.Options{
+		Config:              opts.Config,
+		Workload:            wl,
+		InstructionsPerCore: opts.InstructionsPerCore,
+		IntervalCycles:      opts.IntervalCycles,
+		Seed:                simSeed,
+		Accountants:         accts,
+		Partitioner:         pol,
+		PartitionSource:     source,
+	})
+	if err != nil {
+		return 0, err
+	}
+	sharedCPI := make([]float64, wl.Cores())
+	for core := range sharedCPI {
+		sharedCPI[core] = res.SampleStats[core].CPI()
+	}
+	return metrics.STP(privateCPI, sharedCPI)
 }
 
 // RelativeToLRU returns each workload's STP normalized to the LRU baseline

@@ -44,6 +44,8 @@ func gdpoErrorByMix(scale StudyScale, cfg *config.CMPConfig, prbEntries int, mix
 			Config:              cfg,
 			PRBEntries:          prbEntries,
 			Techniques:          []string{"GDP-O"},
+			Jobs:                scale.Jobs,
+			Progress:            scale.Progress,
 		})
 		if err != nil {
 			return nil, err

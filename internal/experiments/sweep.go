@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// SweepOptions describe a user-defined experiment grid: the cross product of
+// core counts, workload categories and PRB sizes is evaluated as one accuracy
+// cell each, and, when Policies is non-empty, one partitioning cell per
+// (cores, mix) pair rides along. The whole grid fans out over the runner.
+type SweepOptions struct {
+	// CoreCounts lists the CMP sizes to sweep (default {4}).
+	CoreCounts []int
+	// Mixes lists the workload categories (default {H, M, L}).
+	Mixes []workload.MixKind
+	// PRBSizes lists the GDP/GDP-O Pending Request Buffer sizes (default {32}).
+	PRBSizes []int
+	// Techniques restricts the accounting techniques (nil = all five).
+	Techniques []string
+	// Policies, when non-empty, adds one partitioning cell per (cores, mix)
+	// pair evaluating the named LLC policies.
+	Policies []string
+
+	// Workloads, InstructionsPerCore, IntervalCycles and Seed have the same
+	// meaning as in AccuracyOptions; zero values select the same defaults.
+	Workloads           int
+	InstructionsPerCore uint64
+	IntervalCycles      uint64
+	Seed                int64
+
+	// Jobs is the worker-pool width for the grid (0 = runtime.NumCPU()).
+	Jobs int
+	// Cache memoizes private-mode reference runs (nil = DefaultCache()).
+	Cache *runner.Cache
+	// Progress, when non-nil, receives one event per completed grid cell.
+	Progress runner.ProgressFunc
+}
+
+// withDefaults fills unset sweep options.
+func (o SweepOptions) withDefaults() SweepOptions {
+	if len(o.CoreCounts) == 0 {
+		o.CoreCounts = []int{4}
+	}
+	if len(o.Mixes) == 0 {
+		o.Mixes = []workload.MixKind{workload.MixH, workload.MixM, workload.MixL}
+	}
+	if len(o.PRBSizes) == 0 {
+		o.PRBSizes = []int{32}
+	}
+	if len(o.Techniques) == 0 {
+		o.Techniques = TechniqueNames
+	}
+	if o.Cache == nil {
+		o.Cache = DefaultCache()
+	}
+	return o
+}
+
+// SweepRow is one flattened result line of a sweep, ready for CSV/JSON
+// export: an accuracy row reports one technique's mean RMS errors in one grid
+// cell, a partitioning row reports one policy's average STP.
+type SweepRow struct {
+	Cores int    `json:"cores"`
+	Mix   string `json:"mix"`
+	PRB   int    `json:"prb,omitempty"`
+	Kind  string `json:"kind"` // "accuracy" or "partitioning"
+	Name  string `json:"name"` // technique or policy name
+
+	// The metric fields are always present in the JSON export (a measured
+	// zero must stay distinguishable in downstream tooling); Kind tells
+	// which of them apply to a row.
+	MeanIPCAbsRMS   float64 `json:"mean_ipc_abs_rms"`
+	MeanIPCRelRMS   float64 `json:"mean_ipc_rel_rms"`
+	MeanStallAbsRMS float64 `json:"mean_stall_abs_rms"`
+	AverageSTP      float64 `json:"average_stp"`
+}
+
+// SweepResult is the outcome of one grid sweep.
+type SweepResult struct {
+	Rows  []SweepRow `json:"rows"`
+	Cells int        `json:"cells"`
+}
+
+// sweepCell is one grid cell prior to execution.
+type sweepCell struct {
+	kind  string // "accuracy" or "partitioning"
+	cores int
+	mix   workload.MixKind
+	prb   int
+}
+
+// Sweep runs a user-defined experiment grid through the runner.
+func Sweep(opts SweepOptions) (*SweepResult, error) {
+	return SweepContext(context.Background(), opts)
+}
+
+// SweepContext is Sweep with cancellation: the pool stops scheduling new
+// cells promptly, though a cell already simulating runs to completion. Cells
+// are enumerated in a fixed order (accuracy cells over cores × mixes × PRB
+// sizes, then partitioning cells over cores × mixes) and each cell derives
+// its seed from the base seed and its (cores, mix) values, so the result is
+// independent of both the worker count and the rest of the grid.
+func SweepContext(ctx context.Context, opts SweepOptions) (*SweepResult, error) {
+	opts = opts.withDefaults()
+
+	// Cells that differ only in the PRB size (or in kind) share a seed so
+	// they evaluate the same workload population and the comparison isolates
+	// the swept parameter, as in the paper's Figure 7e. Seeds derive from
+	// the (cores, mix) values themselves — not from the pair's position in
+	// the grid — so the same logical cell produces the same numbers (and
+	// reuses the same cached reference runs) no matter what else the grid
+	// contains.
+	var cells []sweepCell
+	pairSeed := func(cores int, mix workload.MixKind) int64 {
+		return opts.Seed + int64(cores)*8 + int64(mix)
+	}
+	for _, cores := range opts.CoreCounts {
+		for _, mix := range opts.Mixes {
+			for _, prb := range opts.PRBSizes {
+				cells = append(cells, sweepCell{kind: "accuracy", cores: cores, mix: mix, prb: prb})
+			}
+		}
+	}
+	if len(opts.Policies) > 0 {
+		for _, cores := range opts.CoreCounts {
+			for _, mix := range opts.Mixes {
+				cells = append(cells, sweepCell{kind: "partitioning", cores: cores, mix: mix})
+			}
+		}
+	}
+
+	jobs := make([]runner.Job[[]SweepRow], len(cells))
+	for i, cell := range cells {
+		cell := cell
+		cellSeed := pairSeed(cell.cores, cell.mix)
+		label := fmt.Sprintf("%s/%dc-%s", cell.kind, cell.cores, cell.mix)
+		if cell.kind == "accuracy" {
+			label += fmt.Sprintf("/prb%d", cell.prb)
+		}
+		jobs[i] = runner.Job[[]SweepRow]{
+			Label: label,
+			Fn: func(ctx context.Context) ([]SweepRow, error) {
+				return runSweepCell(ctx, cell, cellSeed, opts)
+			},
+		}
+	}
+
+	rowGroups, err := runner.Run(ctx, jobs, runner.Options{
+		Workers:  opts.Jobs,
+		Progress: opts.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{Cells: len(cells)}
+	for _, rows := range rowGroups {
+		out.Rows = append(out.Rows, rows...)
+	}
+	return out, nil
+}
+
+// runSweepCell executes one grid cell. Cell-level fan-out already saturates
+// the pool, so the inner study runs serially (Jobs: 1) to avoid nesting
+// worker pools.
+func runSweepCell(ctx context.Context, cell sweepCell, seed int64, opts SweepOptions) ([]SweepRow, error) {
+	switch cell.kind {
+	case "accuracy":
+		res, err := AccuracyStudyContext(ctx, AccuracyOptions{
+			Cores:               cell.cores,
+			Mix:                 cell.mix,
+			Workloads:           opts.Workloads,
+			InstructionsPerCore: opts.InstructionsPerCore,
+			IntervalCycles:      opts.IntervalCycles,
+			Seed:                seed,
+			PRBEntries:          cell.prb,
+			Techniques:          opts.Techniques,
+			Jobs:                1,
+			Cache:               opts.Cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]SweepRow, 0, len(res.Techniques))
+		for _, t := range res.Techniques {
+			rows = append(rows, SweepRow{
+				Cores: cell.cores, Mix: cell.mix.String(), PRB: cell.prb,
+				Kind: "accuracy", Name: t.Technique,
+				MeanIPCAbsRMS:   t.MeanIPCAbsRMS,
+				MeanIPCRelRMS:   t.MeanIPCRelRMS,
+				MeanStallAbsRMS: t.MeanStallAbsRMS,
+			})
+		}
+		return rows, nil
+	case "partitioning":
+		res, err := PartitioningStudyContext(ctx, PartitioningOptions{
+			Cores:               cell.cores,
+			Mix:                 cell.mix,
+			Workloads:           opts.Workloads,
+			InstructionsPerCore: opts.InstructionsPerCore,
+			IntervalCycles:      opts.IntervalCycles,
+			Seed:                seed,
+			Policies:            opts.Policies,
+			Jobs:                1,
+			Cache:               opts.Cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]SweepRow, 0, len(opts.Policies))
+		for _, pol := range opts.Policies {
+			rows = append(rows, SweepRow{
+				Cores: cell.cores, Mix: cell.mix.String(),
+				Kind: "partitioning", Name: pol,
+				AverageSTP: res.AverageSTP[pol],
+			})
+		}
+		return rows, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown sweep cell kind %q", cell.kind)
+	}
+}
+
+// Table flattens the sweep into a CSV-ready table.
+func (r *SweepResult) Table() runner.Table {
+	t := runner.Table{Header: []string{
+		"cores", "mix", "prb", "kind", "name",
+		"mean_ipc_abs_rms", "mean_ipc_rel_rms", "mean_stall_abs_rms", "average_stp",
+	}}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(row.Cores), row.Mix, strconv.Itoa(row.PRB), row.Kind, row.Name,
+			f(row.MeanIPCAbsRMS), f(row.MeanIPCRelRMS), f(row.MeanStallAbsRMS), f(row.AverageSTP),
+		})
+	}
+	return t
+}
+
+// Render prints the sweep as an aligned text table.
+func (r *SweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sweep: %d cells, %d rows\n", r.Cells, len(r.Rows))
+	fmt.Fprintf(&b, "%-6s %-6s %-5s %-14s %-8s %12s %12s %14s %10s\n",
+		"cores", "mix", "prb", "kind", "name", "ipc-abs-rms", "ipc-rel-rms", "stall-abs-rms", "avg-stp")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-6d %-6s %-5d %-14s %-8s %12.4g %12.4g %14.4g %10.4g\n",
+			row.Cores, row.Mix, row.PRB, row.Kind, row.Name,
+			row.MeanIPCAbsRMS, row.MeanIPCRelRMS, row.MeanStallAbsRMS, row.AverageSTP)
+	}
+	return b.String()
+}
+
+// ParseStringList splits a comma-separated list, trimming whitespace and
+// dropping empty elements.
+func ParseStringList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// ParseMixList parses a comma-separated list of mix names (H, M, L, HHML,
+// HMML, HMLL) as printed in the paper's figures.
+func ParseMixList(s string) ([]workload.MixKind, error) {
+	names := map[string]workload.MixKind{
+		"H": workload.MixH, "M": workload.MixM, "L": workload.MixL,
+		"HHML": workload.MixHHML, "HMML": workload.MixHMML, "HMLL": workload.MixHMLL,
+	}
+	var out []workload.MixKind
+	for _, part := range ParseStringList(s) {
+		mix, ok := names[strings.ToUpper(part)]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown mix %q (want H, M, L, HHML, HMML or HMLL)", part)
+		}
+		out = append(out, mix)
+	}
+	return out, nil
+}
+
+// ParseIntList parses a comma-separated list of integers.
+func ParseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range ParseStringList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bad integer %q in list", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

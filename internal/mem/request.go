@@ -10,9 +10,9 @@ import "fmt"
 // (an SMS request in the paper's terminology: it missed in the private L1/L2
 // hierarchy of its core).
 type Request struct {
-	ID     uint64
-	Core   int
-	Addr   uint64
+	ID      uint64
+	Core    int
+	Addr    uint64
 	IsWrite bool
 
 	// Timeline (all in CPU cycles).

@@ -62,11 +62,11 @@ type System struct {
 
 // Stats aggregates system-level counters.
 type Stats struct {
-	Submitted     uint64
-	LLCHits       uint64
-	LLCMisses     uint64
+	Submitted          uint64
+	LLCHits            uint64
+	LLCMisses          uint64
 	InterferenceMisses uint64
-	Completed     uint64
+	Completed          uint64
 }
 
 // New builds a shared memory system from a validated CMP configuration.

@@ -35,14 +35,14 @@ func decayCurve(ways int, total uint64, knee int, step uint64) []uint64 {
 
 func snapshot(curve []uint64, privCPI float64, memBound bool) CoreSnapshot {
 	iv := cpu.Stats{
-		Cycles:       1_000_000,
-		CommitCycles: 400_000,
-		StallInd:     100_000,
-		StallPMS:     50_000,
-		StallSMS:     400_000,
-		StallOther:   50_000,
-		Instructions: 500_000,
-		SMSLoads:     2_000,
+		Cycles:        1_000_000,
+		CommitCycles:  400_000,
+		StallInd:      100_000,
+		StallPMS:      50_000,
+		StallSMS:      400_000,
+		StallOther:    50_000,
+		Instructions:  500_000,
+		SMSLoads:      2_000,
 		SMSLatencySum: 600_000,
 		LLCMisses:     1_500,
 		PreLLCLatSum:  60_000,

@@ -45,8 +45,8 @@ type Ring struct {
 	rspQueue []entry
 
 	// Stats.
-	reqDelivered uint64
-	rspDelivered uint64
+	reqDelivered  uint64
+	rspDelivered  uint64
 	totalQueueing uint64
 }
 

@@ -1,0 +1,162 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a content-addressed result cache. Entries are keyed by a hash of
+// the job spec (SpecKey), held in memory for the lifetime of the process and,
+// when a directory is configured, mirrored to disk as JSON so repeated CLI
+// invocations can reuse earlier simulations.
+//
+// Concurrent lookups of the same key are deduplicated: while one goroutine
+// computes a result, others requesting the same spec block and share the
+// outcome, so a private-mode reference needed by several studies is simulated
+// exactly once.
+type Cache struct {
+	mu       sync.Mutex
+	mem      map[string]any
+	inflight map[string]*inflightCall
+	dir      string // empty = memory only
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type inflightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewCache returns an in-memory cache.
+func NewCache() *Cache {
+	return &Cache{mem: map[string]any{}, inflight: map[string]*inflightCall{}}
+}
+
+// NewDiskCache returns a cache that additionally persists every entry under
+// dir (one JSON file per key), creating the directory if needed.
+func NewDiskCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cache dir: %w", err)
+	}
+	c := NewCache()
+	c.dir = dir
+	return c, nil
+}
+
+// Stats reports the cache's hit and miss counters.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// SpecKey returns the content hash of a job spec: the hex SHA-256 of its
+// canonical JSON encoding. Go's encoding/json sorts map keys, so structurally
+// equal specs always hash identically.
+func SpecKey(spec any) (string, error) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("runner: spec not hashable: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Memo returns the cached result for spec, computing it with fn on a miss.
+// Concurrent calls with the same spec run fn once. The result type must
+// survive a JSON round-trip when the cache is disk-backed.
+func Memo[T any](c *Cache, spec any, fn func() (T, error)) (T, bool, error) {
+	var zero T
+	if c == nil {
+		v, err := fn()
+		return v, false, err
+	}
+	key, err := SpecKey(spec)
+	if err != nil {
+		return zero, false, err
+	}
+
+	c.mu.Lock()
+	if v, ok := c.mem[key]; ok {
+		c.mu.Unlock()
+		typed, ok := v.(T)
+		if !ok {
+			return zero, false, fmt.Errorf("runner: cache entry %s holds %T, want %T", key[:12], v, zero)
+		}
+		c.hits.Add(1)
+		return typed, true, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return zero, false, call.err
+		}
+		typed, ok := call.val.(T)
+		if !ok {
+			return zero, false, fmt.Errorf("runner: cache entry %s holds %T, want %T", key[:12], call.val, zero)
+		}
+		c.hits.Add(1)
+		return typed, true, nil
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	val, fromDisk, err := computeCached(c, key, fn)
+	call.val, call.err = val, err
+	c.mu.Lock()
+	if err == nil {
+		c.mem[key] = val
+	}
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(call.done)
+	if err != nil {
+		return zero, false, err
+	}
+	if fromDisk {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return val, fromDisk, nil
+}
+
+// computeCached loads the value from disk or runs fn and persists the result.
+func computeCached[T any](c *Cache, key string, fn func() (T, error)) (T, bool, error) {
+	var zero T
+	if c.dir != "" {
+		if raw, err := os.ReadFile(c.path(key)); err == nil {
+			var v T
+			if err := json.Unmarshal(raw, &v); err == nil {
+				return v, true, nil
+			}
+			// A corrupt entry is recomputed, not fatal.
+		}
+	}
+	v, err := fn()
+	if err != nil {
+		return zero, false, err
+	}
+	if c.dir != "" {
+		if raw, err := json.Marshal(v); err == nil {
+			tmp := c.path(key) + ".tmp"
+			if err := os.WriteFile(tmp, raw, 0o644); err == nil {
+				_ = os.Rename(tmp, c.path(key))
+			}
+		}
+	}
+	return v, false, nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

@@ -1,0 +1,281 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sleepJobs builds jobs whose execution time is inversely related to their
+// index, so completion order differs from submission order under parallelism.
+func sleepJobs(n int) []Job[int] {
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Label: fmt.Sprintf("job-%d", i),
+			Fn: func(ctx context.Context) (int, error) {
+				time.Sleep(time.Duration(n-i) * time.Millisecond)
+				return i * i, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestRunCollectsByIndexRegardlessOfWorkers(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		res, err := Run(context.Background(), sleepJobs(12), Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range res {
+			if v != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	res, err := Run[int](context.Background(), nil, Options{})
+	if err != nil || res != nil {
+		t.Fatalf("empty run: %v %v", res, err)
+	}
+}
+
+func TestRunReportsLowestIndexError(t *testing.T) {
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Label: fmt.Sprintf("job-%d", i),
+			Fn: func(ctx context.Context) (int, error) {
+				if i >= 3 {
+					return 0, fmt.Errorf("boom %d", i)
+				}
+				return i, nil
+			},
+		}
+	}
+	_, err := Run(context.Background(), jobs, Options{Workers: 8})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "job-") {
+		t.Fatalf("error %v does not identify the failing job", err)
+	}
+	// Serial execution pins the failure to the lowest-index failing job.
+	_, err = Run(context.Background(), jobs, Options{Workers: 1})
+	if err == nil || !strings.Contains(err.Error(), "job-3") {
+		t.Fatalf("serial error = %v, want job-3's failure", err)
+	}
+}
+
+func TestRunCancellationStopsWorkersPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	jobs := make([]Job[int], 64)
+	for i := range jobs {
+		jobs[i] = Job[int]{Fn: func(ctx context.Context) (int, error) {
+			started.Add(1)
+			select {
+			case <-release:
+				return 0, nil
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		}}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, jobs, Options{Workers: 4})
+		done <- err
+	}()
+	for started.Load() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return promptly after cancellation")
+	}
+	if n := started.Load(); n >= 64 {
+		t.Fatalf("all %d jobs started despite cancellation", n)
+	}
+	close(release)
+}
+
+type specV struct {
+	Op   string
+	Seed int64
+}
+
+func TestMemoDeduplicatesConcurrentCalls(t *testing.T) {
+	cache := NewCache()
+	var computed atomic.Int64
+	jobs := make([]Job[int], 16)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Spec: specV{Op: "same", Seed: 1},
+			Fn: func(ctx context.Context) (int, error) {
+				computed.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return 42, nil
+			},
+		}
+	}
+	res, err := Run(context.Background(), jobs, Options{Workers: 16, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res {
+		if v != 42 {
+			t.Fatalf("got %d, want 42", v)
+		}
+	}
+	if n := computed.Load(); n != 1 {
+		t.Fatalf("identical spec computed %d times, want 1", n)
+	}
+	hits, misses := cache.Stats()
+	if misses != 1 || hits != 15 {
+		t.Fatalf("hits=%d misses=%d, want 15/1", hits, misses)
+	}
+}
+
+func TestDiskCachePersistsAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computed atomic.Int64
+	fn := func() (map[string]float64, error) {
+		computed.Add(1)
+		return map[string]float64{"stp": 1.5}, nil
+	}
+	if _, hit, err := Memo(c1, specV{Op: "cell", Seed: 7}, fn); err != nil || hit {
+		t.Fatalf("first call: hit=%v err=%v", hit, err)
+	}
+
+	// A fresh cache instance (a new process, conceptually) must find the
+	// entry on disk without recomputing.
+	c2, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, hit, err := Memo(c2, specV{Op: "cell", Seed: 7}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || v["stp"] != 1.5 {
+		t.Fatalf("disk recall failed: hit=%v v=%v", hit, v)
+	}
+	if computed.Load() != 1 {
+		t.Fatalf("computed %d times, want 1", computed.Load())
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("cache dir holds %d files, want 1", len(files))
+	}
+}
+
+func TestMemoErrorNotCached(t *testing.T) {
+	cache := NewCache()
+	calls := 0
+	fail := errors.New("transient")
+	fn := func() (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, fail
+		}
+		return 7, nil
+	}
+	if _, _, err := Memo(cache, specV{Op: "x"}, fn); !errors.Is(err, fail) {
+		t.Fatalf("err = %v, want %v", err, fail)
+	}
+	v, hit, err := Memo(cache, specV{Op: "x"}, fn)
+	if err != nil || hit || v != 7 {
+		t.Fatalf("retry after error: v=%d hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestSpecKeyStableAndDistinct(t *testing.T) {
+	a1, err := SpecKey(specV{Op: "a", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := SpecKey(specV{Op: "a", Seed: 1})
+	b, _ := SpecKey(specV{Op: "a", Seed: 2})
+	if a1 != a2 {
+		t.Error("equal specs hash differently")
+	}
+	if a1 == b {
+		t.Error("distinct specs collide")
+	}
+	if _, err := SpecKey(func() {}); err == nil {
+		t.Error("unhashable spec accepted")
+	}
+}
+
+func TestTableCSVAndJSON(t *testing.T) {
+	tab := Table{
+		Header: []string{"cores", "mix", "stp"},
+		Rows:   [][]string{{"2", "H", "1.52"}, {"4", "M", "2.91"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "cores,mix,stp\n2,H,1.52\n4,M,2.91\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+
+	bad := Table{Header: []string{"a"}, Rows: [][]string{{"1", "2"}}}
+	if err := bad.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Error("ragged table accepted")
+	}
+
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteJSONFile(path, map[string]int{"n": 3}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "\"n\": 3") {
+		t.Errorf("json file = %q", raw)
+	}
+}
+
+func TestConsoleProgressFormat(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := Run(context.Background(), sleepJobs(3), Options{
+		Workers:  1,
+		Progress: ConsoleProgress(&buf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[1/3]") || !strings.Contains(out, "[3/3]") {
+		t.Errorf("progress output missing counters:\n%s", out)
+	}
+	if !strings.Contains(out, "eta=") {
+		t.Errorf("progress output missing ETA:\n%s", out)
+	}
+}

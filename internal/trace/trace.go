@@ -72,12 +72,12 @@ type Instruction struct {
 // every field. All fractions are in [0,1].
 type Params struct {
 	// Instruction mix.
-	LoadFrac   float64
-	StoreFrac  float64
-	FPFrac     float64 // fraction of non-memory instructions that are FP
-	FPMulFrac  float64 // fraction of FP instructions that are multiply/divide
-	IntMulFrac float64 // fraction of integer instructions that are multiply/divide
-	BranchFrac float64
+	LoadFrac       float64
+	StoreFrac      float64
+	FPFrac         float64 // fraction of non-memory instructions that are FP
+	FPMulFrac      float64 // fraction of FP instructions that are multiply/divide
+	IntMulFrac     float64 // fraction of integer instructions that are multiply/divide
+	BranchFrac     float64
 	MispredictRate float64
 
 	// Memory behaviour. Working-set sizes are in bytes; AccessProb gives the

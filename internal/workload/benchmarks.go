@@ -45,9 +45,9 @@ func (c Class) String() string {
 // Benchmark couples a benchmark name with its synthetic trace parameters and
 // its LLC-sensitivity class.
 type Benchmark struct {
-	Name  string
-	Suite string // "SPEC2000" or "SPEC2006" (provenance of the name)
-	Class Class
+	Name   string
+	Suite  string // "SPEC2000" or "SPEC2006" (provenance of the name)
+	Class  Class
 	Params trace.Params
 }
 
