@@ -1,6 +1,7 @@
 package gdp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -160,14 +161,14 @@ func BenchmarkFigure6STP(b *testing.B) {
 func BenchmarkFigure7Sensitivity(b *testing.B) {
 	opts := experiments.SensitivityOptions{Scale: benchScale()}
 	for i := 0; i < b.N; i++ {
-		d, err := experiments.Figure7d(opts)
+		d, err := experiments.Figure7d(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(d.Points) != 2 {
 			b.Fatal("Figure 7d incomplete")
 		}
-		f, err := experiments.Figure7f(opts)
+		f, err := experiments.Figure7f(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,5 +1,6 @@
 // Command gdpsim runs the experiments of the GDP reproduction from the
-// command line. Each subcommand regenerates one table or figure of the paper:
+// command line. Each subcommand regenerates one table or figure of the paper,
+// and `serve` turns the same engine into a long-lived HTTP service:
 //
 //	gdpsim table1                 Table I (CMP model parameters)
 //	gdpsim fig3                   Figures 3a/3b (accounting accuracy)
@@ -11,40 +12,52 @@
 //	gdpsim overhead               Storage and latency overheads (Section IV)
 //	gdpsim run                    Run a single workload and print estimates
 //	gdpsim sweep                  Run a user-defined experiment grid
+//	gdpsim serve                  Serve estimation queries over HTTP/JSON
 //
-// Global flags select the experiment scale; by default a quick scale is used
-// so every command finishes in seconds. Use -paper-scale for a population
-// closer to the paper's.
-//
-// Every driver submits its simulation cells through the internal/runner
-// worker pool: -jobs selects the pool width (default: all CPUs), -progress
-// reports per-cell progress and ETA on stderr, and -cache-dir persists the
-// private-mode reference simulations across invocations. Output is
-// byte-identical for every -jobs value.
+// Every subcommand runs on one shared gdp.Engine built from the global flags:
+// -jobs selects the worker-pool width, -progress reports per-cell progress
+// and ETA on stderr, and -cache-dir persists the private-mode reference
+// simulations across invocations. Output is byte-identical for every -jobs
+// value. SIGINT/SIGTERM cancel the root context; a running simulation aborts
+// at its next interval boundary and `serve` shuts down gracefully, draining
+// in-flight requests first.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
+	gdp "repro"
 	"repro/internal/config"
 	gdpcore "repro/internal/core"
 	"repro/internal/dief"
 	"repro/internal/experiments"
-	"repro/internal/runner"
-	"repro/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "gdpsim: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "gdpsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gdpsim", flag.ContinueOnError)
 	paperScale := fs.Bool("paper-scale", false, "use the larger paper-like workload population")
 	workloads := fs.Int("workloads", 0, "override the number of workloads per cell")
@@ -62,20 +75,12 @@ func run(args []string) error {
 	rest := fs.Args()
 	if len(rest) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (table1, fig3, fig4, fig5, fig6, fig7, headline, overhead, run, sweep)")
+		return fmt.Errorf("missing subcommand (table1, fig3, fig4, fig5, fig6, fig7, headline, overhead, run, sweep, serve)")
 	}
 
-	if *cacheDir != "" {
-		cache, err := runner.NewDiskCache(*cacheDir)
-		if err != nil {
-			return err
-		}
-		experiments.SetDefaultCache(cache)
-	}
-
-	scale := experiments.DefaultScale()
+	scale := gdp.DefaultScale()
 	if *paperScale {
-		scale = experiments.PaperScale()
+		scale = gdp.PaperScale()
 	}
 	if *workloads > 0 {
 		scale.WorkloadsPerCell = *workloads
@@ -87,32 +92,46 @@ func run(args []string) error {
 		scale.IntervalCycles = *interval
 	}
 	scale.Seed = *seed
-	scale.Jobs = *jobs
+
+	engineOpts := []gdp.EngineOption{gdp.WithScale(scale), gdp.WithJobs(*jobs)}
+	if *cacheDir != "" {
+		cache, err := gdp.NewDiskResultCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		engineOpts = append(engineOpts, gdp.WithCache(cache))
+	}
 	if *progress {
-		scale.Progress = runner.ConsoleProgress(os.Stderr)
+		engineOpts = append(engineOpts, gdp.WithProgress(gdp.ConsoleProgress(os.Stderr)))
+	}
+	engine, err := gdp.NewEngine(engineOpts...)
+	if err != nil {
+		return err
 	}
 
 	switch rest[0] {
 	case "table1":
 		return cmdTable1(*cores)
 	case "fig3":
-		return cmdFig3(scale)
+		return cmdFig3(ctx, engine)
 	case "fig4":
-		return cmdFig4(scale)
+		return cmdFig4(ctx, engine)
 	case "fig5":
-		return cmdFig5(scale)
+		return cmdFig5(ctx, engine)
 	case "fig6":
-		return cmdFig6(scale, *cores)
+		return cmdFig6(ctx, engine, *cores)
 	case "fig7":
-		return cmdFig7(scale)
+		return cmdFig7(ctx, engine)
 	case "headline":
-		return cmdHeadline(scale)
+		return cmdHeadline(ctx, engine)
 	case "overhead":
 		return cmdOverhead(*cores)
 	case "run":
-		return cmdRun(scale, *cores, *benchNames)
+		return cmdRun(ctx, engine, *cores, *benchNames)
 	case "sweep":
-		return cmdSweep(scale, rest[1:])
+		return cmdSweep(ctx, engine, rest[1:])
+	case "serve":
+		return cmdServe(ctx, engine, rest[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", rest[0])
 	}
@@ -126,8 +145,8 @@ func cmdTable1(cores int) error {
 	return nil
 }
 
-func cmdFig3(scale experiments.StudyScale) error {
-	res, err := experiments.Figure3(scale)
+func cmdFig3(ctx context.Context, engine *gdp.Engine) error {
+	res, err := engine.Figure3(ctx, gdp.StudyScale{})
 	if err != nil {
 		return err
 	}
@@ -135,8 +154,8 @@ func cmdFig3(scale experiments.StudyScale) error {
 	return nil
 }
 
-func cmdFig4(scale experiments.StudyScale) error {
-	fig3, err := experiments.Figure3(scale)
+func cmdFig4(ctx context.Context, engine *gdp.Engine) error {
+	fig3, err := engine.Figure3(ctx, gdp.StudyScale{})
 	if err != nil {
 		return err
 	}
@@ -155,8 +174,8 @@ func cmdFig4(scale experiments.StudyScale) error {
 	return nil
 }
 
-func cmdFig5(scale experiments.StudyScale) error {
-	fig3, err := experiments.Figure3(scale)
+func cmdFig5(ctx context.Context, engine *gdp.Engine) error {
+	fig3, err := engine.Figure3(ctx, gdp.StudyScale{})
 	if err != nil {
 		return err
 	}
@@ -169,17 +188,16 @@ func cmdFig5(scale experiments.StudyScale) error {
 	return nil
 }
 
-func cmdFig6(scale experiments.StudyScale, cores int) error {
-	for _, mix := range []workload.MixKind{workload.MixH, workload.MixM, workload.MixL} {
-		res, err := experiments.PartitioningStudy(experiments.PartitioningOptions{
+func cmdFig6(ctx context.Context, engine *gdp.Engine, cores int) error {
+	scale := engine.Scale()
+	for _, mix := range []gdp.MixKind{gdp.MixH, gdp.MixM, gdp.MixL} {
+		res, err := engine.PartitioningStudy(ctx, gdp.PartitioningOptions{
 			Cores:               cores,
 			Mix:                 mix,
 			Workloads:           scale.WorkloadsPerCell,
 			InstructionsPerCore: scale.InstructionsPerCore,
 			IntervalCycles:      scale.IntervalCycles,
 			Seed:                scale.Seed,
-			Jobs:                scale.Jobs,
-			Progress:            scale.Progress,
 		})
 		if err != nil {
 			return err
@@ -197,8 +215,8 @@ func cmdFig6(scale experiments.StudyScale, cores int) error {
 	return nil
 }
 
-func cmdFig7(scale experiments.StudyScale) error {
-	res, err := experiments.Figure7(experiments.SensitivityOptions{Scale: scale})
+func cmdFig7(ctx context.Context, engine *gdp.Engine) error {
+	res, err := engine.Figure7(ctx, gdp.SensitivityOptions{})
 	if err != nil {
 		return err
 	}
@@ -208,8 +226,8 @@ func cmdFig7(scale experiments.StudyScale) error {
 	return nil
 }
 
-func cmdHeadline(scale experiments.StudyScale) error {
-	fig3, err := experiments.Figure3(scale)
+func cmdHeadline(ctx context.Context, engine *gdp.Engine) error {
+	fig3, err := engine.Figure3(ctx, gdp.StudyScale{})
 	if err != nil {
 		return err
 	}
@@ -241,12 +259,13 @@ func cmdOverhead(cores int) error {
 	return nil
 }
 
-func cmdRun(scale experiments.StudyScale, cores int, benchNames string) error {
-	var wl workload.Workload
+func cmdRun(ctx context.Context, engine *gdp.Engine, cores int, benchNames string) error {
+	scale := engine.Scale()
+	var wl gdp.Workload
 	if benchNames != "" {
 		wl.ID = "custom"
 		for _, name := range strings.Split(benchNames, ",") {
-			b, err := workload.ByName(strings.TrimSpace(name))
+			b, err := gdp.BenchmarkByName(strings.TrimSpace(name))
 			if err != nil {
 				return err
 			}
@@ -254,20 +273,18 @@ func cmdRun(scale experiments.StudyScale, cores int, benchNames string) error {
 		}
 		cores = wl.Cores()
 	} else {
-		ws, err := workload.Generate(workload.GenerateOptions{Cores: cores, Mix: workload.MixH, Count: 1, Seed: scale.Seed})
+		ws, err := gdp.GenerateWorkloads(cores, gdp.MixH, 1, scale.Seed)
 		if err != nil {
 			return err
 		}
 		wl = ws[0]
 	}
-	res, err := experiments.AccuracyStudyForWorkload(wl, experiments.AccuracyOptions{
+	res, err := engine.AccuracyStudyForWorkload(ctx, wl, gdp.AccuracyOptions{
 		Cores:               cores,
 		Workloads:           1,
 		InstructionsPerCore: scale.InstructionsPerCore,
 		IntervalCycles:      scale.IntervalCycles,
 		Seed:                scale.Seed,
-		Jobs:                scale.Jobs,
-		Progress:            scale.Progress,
 	})
 	if err != nil {
 		return err
@@ -281,9 +298,9 @@ func cmdRun(scale experiments.StudyScale, cores int, benchNames string) error {
 }
 
 // cmdSweep runs a user-defined experiment grid (cores × mixes × PRB sizes,
-// plus optional partitioning policies) through the runner and exports the
+// plus optional partitioning policies) through the engine and exports the
 // flattened results.
-func cmdSweep(scale experiments.StudyScale, args []string) error {
+func cmdSweep(ctx context.Context, engine *gdp.Engine, args []string) error {
 	fs := flag.NewFlagSet("gdpsim sweep", flag.ContinueOnError)
 	coresList := fs.String("cores", "4", "comma-separated core counts")
 	mixList := fs.String("mixes", "H,M,L", "comma-separated workload categories (H, M, L, HHML, HMML, HMLL)")
@@ -311,7 +328,8 @@ func cmdSweep(scale experiments.StudyScale, args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := experiments.SweepOptions{
+	scale := engine.Scale()
+	opts := gdp.SweepOptions{
 		CoreCounts:          coreCounts,
 		Mixes:               mixes,
 		PRBSizes:            prbs,
@@ -319,8 +337,6 @@ func cmdSweep(scale experiments.StudyScale, args []string) error {
 		InstructionsPerCore: scale.InstructionsPerCore,
 		IntervalCycles:      scale.IntervalCycles,
 		Seed:                scale.Seed,
-		Jobs:                scale.Jobs,
-		Progress:            scale.Progress,
 	}
 	if *techniques != "" {
 		opts.Techniques = experiments.ParseStringList(*techniques)
@@ -329,7 +345,7 @@ func cmdSweep(scale experiments.StudyScale, args []string) error {
 		opts.Policies = experiments.ParseStringList(*policies)
 	}
 
-	res, err := experiments.Sweep(opts)
+	res, err := engine.Sweep(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -341,10 +357,69 @@ func cmdSweep(scale experiments.StudyScale, args []string) error {
 		fmt.Printf("wrote %s\n", *csvPath)
 	}
 	if *jsonPath != "" {
-		if err := runner.WriteJSONFile(*jsonPath, res); err != nil {
+		if err := gdp.WriteJSONFile(*jsonPath, res); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
+}
+
+// cmdServe runs the HTTP/JSON estimation service on one shared engine until
+// ctx is cancelled (SIGINT/SIGTERM), then shuts down gracefully: the
+// listener closes, in-flight requests drain (bounded by -shutdown-timeout)
+// and only then does the command return.
+func cmdServe(ctx context.Context, engine *gdp.Engine, args []string) error {
+	fs := flag.NewFlagSet("gdpsim serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	maxConcurrent := fs.Int("max-concurrent", 0, "concurrent estimation/sweep requests (0 = 2x CPUs)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "how long to drain in-flight requests on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve: unexpected argument %q", fs.Arg(0))
+	}
+	var srvOpts []gdp.ServerOption
+	if *maxConcurrent > 0 {
+		srvOpts = append(srvOpts, gdp.WithMaxConcurrent(*maxConcurrent))
+	}
+	handler, err := gdp.NewServer(engine, srvOpts...)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	return serveUntilDone(ctx, ln, handler, *shutdownTimeout, os.Stderr)
+}
+
+// serveUntilDone serves handler on ln until ctx is cancelled, then performs a
+// graceful shutdown. Split from cmdServe so tests can drive it with their own
+// listener and context.
+func serveUntilDone(ctx context.Context, ln net.Listener, handler http.Handler, shutdownTimeout time.Duration, logw io.Writer) error {
+	httpSrv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(logw, "gdpsim: serving on http://%s (POST /v1/estimate, POST /v1/sweep, GET /healthz)\n", ln.Addr())
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(logw, "gdpsim: shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
 	}
 	return nil
 }

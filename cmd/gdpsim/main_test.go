@@ -1,46 +1,53 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	gdp "repro"
 )
 
 func TestRunTable1(t *testing.T) {
-	if err := run([]string{"table1"}); err != nil {
+	if err := run(context.Background(), []string{"table1"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-cores", "8", "table1"}); err != nil {
+	if err := run(context.Background(), []string{"-cores", "8", "table1"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunOverhead(t *testing.T) {
-	if err := run([]string{"overhead"}); err != nil {
+	if err := run(context.Background(), []string{"overhead"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownSubcommand(t *testing.T) {
-	if err := run([]string{"nope"}); err == nil {
+	if err := run(context.Background(), []string{"nope"}); err == nil {
 		t.Error("unknown subcommand accepted")
 	}
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Error("missing subcommand accepted")
 	}
 }
 
 func TestRunSingleWorkload(t *testing.T) {
-	err := run([]string{"-instructions", "2500", "-interval", "2500", "-benchmarks", "omnetpp,lbm", "run"})
+	err := run(context.Background(), []string{"-instructions", "2500", "-interval", "2500", "-benchmarks", "omnetpp,lbm", "run"})
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknownBenchmark(t *testing.T) {
-	if err := run([]string{"-benchmarks", "not-a-benchmark", "run"}); err == nil {
+	if err := run(context.Background(), []string{"-benchmarks", "not-a-benchmark", "run"}); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
@@ -77,10 +84,10 @@ func captureStdout(t *testing.T, fn func() error) string {
 func TestFig3DeterministicAcrossJobs(t *testing.T) {
 	args := []string{"-workloads", "1", "-instructions", "2000", "-interval", "2000", "fig3"}
 	serial := captureStdout(t, func() error {
-		return run(append([]string{"-jobs", "1"}, args...))
+		return run(context.Background(), append([]string{"-jobs", "1"}, args...))
 	})
 	parallel := captureStdout(t, func() error {
-		return run(append([]string{"-jobs", "8"}, args...))
+		return run(context.Background(), append([]string{"-jobs", "8"}, args...))
 	})
 	if serial != parallel {
 		t.Errorf("fig3 output differs between -jobs 1 and -jobs 8:\n--- jobs=1\n%s--- jobs=8\n%s", serial, parallel)
@@ -95,7 +102,7 @@ func TestSweepSubcommand(t *testing.T) {
 	csvPath := filepath.Join(dir, "sweep.csv")
 	jsonPath := filepath.Join(dir, "sweep.json")
 	out := captureStdout(t, func() error {
-		return run([]string{
+		return run(context.Background(), []string{
 			"-workloads", "1", "-instructions", "2000", "-interval", "2000",
 			"sweep",
 			"-cores", "2", "-mixes", "H", "-prb", "16,32",
@@ -123,20 +130,20 @@ func TestSweepSubcommand(t *testing.T) {
 }
 
 func TestSweepRejectsBadGrid(t *testing.T) {
-	if err := run([]string{"sweep", "-mixes", "nope"}); err == nil {
+	if err := run(context.Background(), []string{"sweep", "-mixes", "nope"}); err == nil {
 		t.Error("bad mix list accepted")
 	}
-	if err := run([]string{"sweep", "-cores", "x"}); err == nil {
+	if err := run(context.Background(), []string{"sweep", "-cores", "x"}); err == nil {
 		t.Error("bad cores list accepted")
 	}
-	if err := run([]string{"sweep", "extra"}); err == nil {
+	if err := run(context.Background(), []string{"sweep", "extra"}); err == nil {
 		t.Error("stray positional argument accepted")
 	}
 }
 
 func TestCacheDirFlag(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{
+	if err := run(context.Background(), []string{
 		"-cache-dir", dir, "-workloads", "1", "-instructions", "2000", "-interval", "2000",
 		"-benchmarks", "omnetpp,lbm", "run",
 	}); err != nil {
@@ -148,5 +155,94 @@ func TestCacheDirFlag(t *testing.T) {
 	}
 	if len(files) == 0 {
 		t.Error("cache dir holds no persisted reference runs")
+	}
+}
+
+// TestServeEndToEnd drives the serve subcommand's core loop: it starts the
+// service on an ephemeral loopback port, answers a 4-core H-mix estimate
+// request, then cancels the root context (what SIGTERM does via
+// signal.NotifyContext) and checks the server drains and exits cleanly.
+func TestServeEndToEnd(t *testing.T) {
+	engine, err := gdp.NewEngine(gdp.WithScale(gdp.StudyScale{
+		WorkloadsPerCell:    1,
+		InstructionsPerCore: 3000,
+		IntervalCycles:      2000,
+		Seed:                1,
+		CoreCounts:          []int{2},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, err := gdp.NewServer(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveUntilDone(ctx, ln, handler, 10*time.Second, os.Stderr) }()
+
+	base := "http://" + ln.Addr().String()
+	resp, err := http.Post(base+"/v1/estimate", "application/json",
+		strings.NewReader(`{"cores": 4, "mix": "H"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate status = %d, body = %s", resp.StatusCode, body)
+	}
+	var est gdp.EstimateResponse
+	if err := json.Unmarshal(body, &est); err != nil {
+		t.Fatalf("estimate response not JSON: %v", err)
+	}
+	if len(est.Cores) != 4 {
+		t.Fatalf("estimate covers %d cores, want 4", len(est.Cores))
+	}
+
+	cancel() // SIGTERM equivalent
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve loop returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve loop did not shut down")
+	}
+}
+
+func TestServeRejectsBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"serve", "extra"}); err == nil {
+		t.Error("stray serve argument accepted")
+	}
+	if err := run(context.Background(), []string{"serve", "-addr", "999.999.999.999:0"}); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}
+
+// TestCacheDirFlagFigureDriver guards the engine-cache plumbing of the
+// figure drivers: fig3 builds its study options internally from the scale,
+// and -cache-dir must still reach those studies' reference runs.
+func TestCacheDirFlagFigureDriver(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(context.Background(), []string{
+		"-cache-dir", dir, "-workloads", "1", "-instructions", "2000", "-interval", "2000", "fig3",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Error("fig3 persisted no reference runs in the cache dir")
 	}
 }

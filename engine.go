@@ -1,0 +1,280 @@
+package gdp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// Engine is the long-lived entry point of the library: constructed once, it
+// owns a result cache and the worker-pool configuration, and every method
+// takes a context.Context that is honored down to the simulator's cycle loop
+// (polled at interval boundaries). A single Engine safely serves concurrent
+// callers — the `gdpsim serve` HTTP endpoint runs every request off one
+// shared Engine — and repeated studies share private-mode reference
+// simulations through the Engine's cache.
+//
+// The zero configuration is useful: NewEngine() yields an Engine with a fresh
+// in-memory cache, a worker pool as wide as the machine and the quick-run
+// experiment scale.
+type Engine struct {
+	jobs     int
+	cache    *runner.Cache
+	progress runner.ProgressFunc
+	scale    StudyScale
+	// processCache marks the engine behind the deprecated package-level
+	// functions: it resolves its cache through the process-wide default at
+	// every call, so SetDefaultResultCache keeps affecting legacy callers.
+	processCache bool
+}
+
+// EngineOption configures an Engine at construction time.
+type EngineOption func(*Engine) error
+
+// WithJobs sets the default worker-pool width for the Engine's studies
+// (0 = runtime.NumCPU(), 1 = serial). Options that carry their own Jobs field
+// override it per call.
+func WithJobs(n int) EngineOption {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("gdp: WithJobs(%d): width must be >= 0", n)
+		}
+		e.jobs = n
+		return nil
+	}
+}
+
+// WithCache installs the result cache the Engine's studies share (for example
+// a disk-backed cache from NewDiskResultCache). nil is rejected: construct
+// the Engine without the option to get a fresh in-memory cache.
+func WithCache(c *ResultCache) EngineOption {
+	return func(e *Engine) error {
+		if c == nil {
+			return errors.New("gdp: WithCache(nil)")
+		}
+		e.cache = c
+		return nil
+	}
+}
+
+// WithProgress installs the default progress sink for the Engine's studies.
+func WithProgress(p ProgressFunc) EngineOption {
+	return func(e *Engine) error {
+		e.progress = p
+		return nil
+	}
+}
+
+// WithScale sets the experiment scale the figure drivers and the service
+// layer fall back to when a call does not specify one.
+func WithScale(s StudyScale) EngineOption {
+	return func(e *Engine) error {
+		if s.WorkloadsPerCell <= 0 || s.InstructionsPerCore == 0 || s.IntervalCycles == 0 {
+			return fmt.Errorf("gdp: WithScale: incomplete scale %+v", s)
+		}
+		e.scale = s
+		return nil
+	}
+}
+
+// NewEngine constructs an Engine from functional options.
+func NewEngine(opts ...EngineOption) (*Engine, error) {
+	e := &Engine{scale: experiments.DefaultScale()}
+	for _, opt := range opts {
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	if e.cache == nil {
+		e.cache = runner.NewCache()
+	}
+	return e, nil
+}
+
+// Cache returns the Engine's result cache.
+func (e *Engine) Cache() *ResultCache {
+	if e.processCache {
+		return experiments.DefaultCache()
+	}
+	return e.cache
+}
+
+// Scale returns the Engine's default experiment scale with the Engine's
+// worker-pool width, cache and progress sink filled in.
+func (e *Engine) Scale() StudyScale {
+	s := e.scale
+	if s.Jobs == 0 {
+		s.Jobs = e.jobs
+	}
+	if s.Cache == nil && !e.processCache {
+		s.Cache = e.cache
+	}
+	if s.Progress == nil {
+		s.Progress = e.progress
+	}
+	return s
+}
+
+// fillScale resolves a per-call scale against the Engine defaults: a zero
+// scale selects the Engine's, and unset Jobs/Cache/Progress inherit the
+// Engine's.
+func (e *Engine) fillScale(s StudyScale) StudyScale {
+	if s.WorkloadsPerCell == 0 && s.InstructionsPerCore == 0 && len(s.CoreCounts) == 0 {
+		return e.Scale()
+	}
+	if s.Jobs == 0 {
+		s.Jobs = e.jobs
+	}
+	if s.Cache == nil && !e.processCache {
+		s.Cache = e.cache
+	}
+	if s.Progress == nil {
+		s.Progress = e.progress
+	}
+	return s
+}
+
+// Run executes a shared-mode simulation. The context is polled at every
+// interval boundary: an already-expired context returns its error without
+// completing a single interval.
+func (e *Engine) Run(ctx context.Context, opts SimOptions) (*SimResult, error) {
+	return sim.RunContext(ctx, opts)
+}
+
+// RunPrivate executes a benchmark alone on the CMP, aligned on the supplied
+// instruction sample points. maxCycles bounds the run as a safety net; zero
+// selects a generous default derived from the last sample point. (The
+// deprecated package-level RunPrivate always defaulted this bound.)
+func (e *Engine) RunPrivate(ctx context.Context, cfg *CMPConfig, bench Benchmark,
+	samplePoints []uint64, seed int64, maxCycles uint64) (*PrivateReference, error) {
+	return sim.RunPrivateContext(ctx, cfg, bench, samplePoints, seed, maxCycles)
+}
+
+// ErrStreamStopped reports that a Stream consumer abandoned the sequence
+// before the simulation finished.
+var ErrStreamStopped = errors.New("gdp: stream stopped before the simulation finished")
+
+// Stream executes a shared-mode simulation and yields every IntervalRecord as
+// soon as its interval completes, instead of accumulating them in memory
+// (records arrive in core order within an interval and in time order across
+// intervals; Result.Intervals stays empty). The simulation advances in the
+// consumer's goroutine while the sequence is iterated.
+//
+// The sequence yields (record, nil) pairs and ends either when the simulation
+// completes, when the consumer breaks out, or — after cancellation or a
+// simulation error — with one final (zero, err) pair.
+//
+// The returned result function reports the run's outcome once the sequence
+// has ended: the final SimResult (with cumulative statistics and sample
+// points, but no interval records) on success, ErrStreamStopped if the
+// consumer broke out early, the context's error on cancellation.
+func (e *Engine) Stream(ctx context.Context, opts SimOptions) (iter.Seq2[IntervalRecord, error], func() (*SimResult, error)) {
+	var (
+		res      *SimResult
+		runErr   error = ErrStreamStopped // until the sequence actually ends
+		consumed bool
+	)
+	seq := func(yield func(IntervalRecord, error) bool) {
+		if consumed {
+			yield(IntervalRecord{}, errors.New("gdp: stream iterated twice"))
+			return
+		}
+		consumed = true
+		simOpts := opts
+		simOpts.DiscardIntervals = true
+		stopped := false
+		simOpts.OnInterval = func(rec sim.IntervalRecord) error {
+			if !yield(rec, nil) {
+				stopped = true
+				return ErrStreamStopped
+			}
+			return nil
+		}
+		res, runErr = sim.RunContext(ctx, simOpts)
+		if runErr != nil && !stopped {
+			// Deliver terminal errors (cancellation, validation, simulation
+			// failures) in-band; a consumer that broke out is not re-entered.
+			yield(IntervalRecord{}, runErr)
+		}
+	}
+	result := func() (*SimResult, error) { return res, runErr }
+	return seq, result
+}
+
+// AccuracyStudy runs one cell of the accounting-accuracy evaluation
+// (Figures 3-5). Unset Jobs/Cache/Progress options inherit the Engine's.
+func (e *Engine) AccuracyStudy(ctx context.Context, opts AccuracyOptions) (*AccuracyResult, error) {
+	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress)
+	return experiments.AccuracyStudyContext(ctx, opts)
+}
+
+// AccuracyStudyForWorkload runs the accuracy study over one explicit
+// workload.
+func (e *Engine) AccuracyStudyForWorkload(ctx context.Context, wl Workload, opts AccuracyOptions) (*AccuracyResult, error) {
+	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress)
+	return experiments.AccuracyStudyForWorkloadContext(ctx, wl, opts)
+}
+
+// PartitioningStudy runs one cell of the LLC-partitioning evaluation
+// (Figure 6). Unset Jobs/Cache/Progress options inherit the Engine's.
+func (e *Engine) PartitioningStudy(ctx context.Context, opts PartitioningOptions) (*PartitioningResult, error) {
+	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress)
+	return experiments.PartitioningStudyContext(ctx, opts)
+}
+
+// Sweep runs a user-defined experiment grid through the Engine's worker pool.
+// Unset Jobs/Cache/Progress options inherit the Engine's.
+func (e *Engine) Sweep(ctx context.Context, opts SweepOptions) (*SweepResult, error) {
+	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress)
+	return experiments.SweepContext(ctx, opts)
+}
+
+// Figure3 regenerates Figures 3a/3b. A zero scale selects the Engine's.
+func (e *Engine) Figure3(ctx context.Context, scale StudyScale) (*Figure3Result, error) {
+	return experiments.Figure3Context(ctx, e.fillScale(scale))
+}
+
+// Figure7 regenerates every panel of the sensitivity study. A zero
+// opts.Scale selects the Engine's.
+func (e *Engine) Figure7(ctx context.Context, opts SensitivityOptions) ([]*SensitivityResult, error) {
+	opts.Scale = e.fillScale(opts.Scale)
+	return experiments.Figure7Context(ctx, opts)
+}
+
+// fillStudy applies the Engine defaults to a study's Jobs/Cache/Progress
+// option fields when the caller left them unset.
+func (e *Engine) fillStudy(jobs *int, cache **ResultCache, progress *ProgressFunc) {
+	if *jobs == 0 {
+		*jobs = e.jobs
+	}
+	if *cache == nil && !e.processCache {
+		*cache = e.cache
+	}
+	if *progress == nil {
+		*progress = e.progress
+	}
+}
+
+// defaultEngine backs the deprecated package-level functions. It shares the
+// process-wide default cache so SetDefaultResultCache keeps working for
+// legacy callers.
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the process-wide Engine the deprecated package-level
+// functions run on. Its studies use the process-wide default result cache
+// (DefaultResultCache), so SetDefaultResultCache affects it.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() {
+		defaultEngine = &Engine{scale: experiments.DefaultScale(), processCache: true}
+	})
+	return defaultEngine
+}

@@ -1,11 +1,13 @@
 // Command accounting compares the accuracy of all five accounting techniques
 // (ITCA, PTCA, ASM, GDP, GDP-O) on a 4-core workload of highly LLC-sensitive
-// benchmarks — a single cell of the paper's Figure 3. The per-workload
-// simulations are submitted as jobs to the parallel experiment runner (one
-// worker per CPU); the printed result is identical to a serial run.
+// benchmarks — a single cell of the paper's Figure 3. The study runs on a
+// gdp.Engine: the per-workload simulations fan out over the engine's worker
+// pool (one worker per CPU) and the printed result is identical to a serial
+// run.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -14,15 +16,17 @@ import (
 )
 
 func main() {
-	res, err := gdp.AccuracyStudy(gdp.AccuracyOptions{
+	engine, err := gdp.NewEngine(gdp.WithProgress(gdp.ConsoleProgress(os.Stderr)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.AccuracyStudy(context.Background(), gdp.AccuracyOptions{
 		Cores:               4,
 		Mix:                 gdp.MixH,
 		Workloads:           2,
 		InstructionsPerCore: 8000,
 		IntervalCycles:      5000,
 		Seed:                42,
-		Jobs:                0, // 0 = fan the workload runs out over all CPUs
-		Progress:            gdp.ConsoleProgress(os.Stderr),
 	})
 	if err != nil {
 		log.Fatal(err)

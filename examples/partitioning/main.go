@@ -3,11 +3,12 @@
 // MCP-O last-level-cache management policies and reports system throughput
 // (STP) for each, showing how accurate private-mode performance estimates let
 // MCP pick better way allocations. Every (workload, policy) pair runs as one
-// job on the parallel experiment runner, and the policy-independent
-// private-mode reference runs are shared through the result cache.
+// job on the engine's worker pool, and the policy-independent private-mode
+// reference runs are shared through the engine's result cache.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -16,14 +17,17 @@ import (
 )
 
 func main() {
-	res, err := gdp.PartitioningStudy(gdp.PartitioningOptions{
+	engine, err := gdp.NewEngine(gdp.WithProgress(gdp.ConsoleProgress(os.Stderr)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.PartitioningStudy(context.Background(), gdp.PartitioningOptions{
 		Cores:               4,
 		Mix:                 gdp.MixH,
 		Workloads:           2,
 		InstructionsPerCore: 6000,
 		IntervalCycles:      4000,
 		Seed:                7,
-		Progress:            gdp.ConsoleProgress(os.Stderr),
 	})
 	if err != nil {
 		log.Fatal(err)

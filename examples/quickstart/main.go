@@ -1,10 +1,12 @@
-// Command quickstart is the smallest end-to-end use of the library: it builds
-// a 2-core workload, attaches the GDP-O accounting technique, runs a
-// shared-mode simulation and prints, for every measurement interval, the
+// Command quickstart is the smallest end-to-end use of the library: it
+// constructs a gdp.Engine, builds a 2-core workload, attaches the GDP-O
+// accounting technique and *streams* the shared-mode simulation — every
+// measurement interval is printed the moment it completes, with the
 // shared-mode CPI next to GDP-O's estimate of the interference-free CPI.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +14,11 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	engine, err := gdp.NewEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := gdp.ScaledConfig(2)
 
 	// Two memory-intensive benchmarks that fight for the shared LLC.
@@ -30,7 +37,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := gdp.Run(gdp.SimOptions{
+	// Stream the run: records arrive while the simulation advances, nothing
+	// is accumulated in memory.
+	fmt.Printf("%-6s %-10s %-12s %-12s %-8s %s\n", "core", "bench", "shared CPI", "GDP-O CPI", "CPL", "lambda")
+	seq, result := engine.Stream(ctx, gdp.SimOptions{
 		Config:              cfg,
 		Workload:            wl,
 		InstructionsPerCore: 10000,
@@ -38,28 +48,27 @@ func main() {
 		Seed:                1,
 		Accountants:         []gdp.Accountant{acct},
 	})
+	for rec, err := range seq {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rec.Shared.Instructions == 0 {
+			continue
+		}
+		est := rec.Estimates["GDP-O"]
+		fmt.Printf("%-6d %-10s %-12.3f %-12.3f %-8d %.1f\n",
+			rec.Core, wl.Benchmarks[rec.Core].Name, rec.Shared.CPI(), est.PrivateCPI, est.CPL, est.PrivateLatency)
+	}
+	res, err := result()
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Printf("simulated %d cycles\n", res.Cycles)
-	for core := range res.Intervals {
-		fmt.Printf("\ncore %d (%s):\n", core, wl.Benchmarks[core].Name)
-		fmt.Printf("  %-10s %-12s %-12s %-8s %s\n", "interval", "shared CPI", "GDP-O CPI", "CPL", "lambda")
-		for k, rec := range res.Intervals[core] {
-			if rec.Shared.Instructions == 0 {
-				continue
-			}
-			est := rec.Estimates["GDP-O"]
-			fmt.Printf("  %-10d %-12.3f %-12.3f %-8d %.1f\n",
-				k, rec.Shared.CPI(), est.PrivateCPI, est.CPL, est.PrivateLatency)
-		}
-	}
+	fmt.Printf("\nsimulated %d cycles\n", res.Cycles)
 
 	// Ground truth: run each benchmark alone and compare whole-sample CPIs.
 	fmt.Println("\nwhole-sample comparison (shared vs actual private):")
 	for core, bench := range wl.Benchmarks {
-		priv, err := gdp.RunPrivate(cfg, bench, res.SamplePoints[core], 1+int64(core)*7919)
+		priv, err := engine.RunPrivate(ctx, cfg, bench, res.SamplePoints[core], 1+int64(core)*7919, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,13 +3,13 @@
 // 32-entry PRB captures almost all of the achievable accuracy and that the
 // technique is robust to memory-system changes.
 //
-// The PRB sweep is expressed as a grid for the parallel experiment runner:
-// every (mix, PRB size) cell is one job, all cells fan out over the CPUs, and
-// the private-mode reference runs shared between cells are simulated once
-// thanks to the result cache.
+// Both studies run on one gdp.Engine: the PRB grid fans out over the engine's
+// worker pool, and the private-mode reference runs shared between cells are
+// simulated once thanks to the engine's result cache.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -18,8 +18,14 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	engine, err := gdp.NewEngine(gdp.WithProgress(gdp.ConsoleProgress(os.Stderr)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("GDP-O accuracy vs PRB size (Figure 7e), swept in parallel:")
-	res, err := gdp.Sweep(gdp.SweepOptions{
+	res, err := engine.Sweep(ctx, gdp.SweepOptions{
 		CoreCounts:          []int{4},
 		Mixes:               []gdp.MixKind{gdp.MixH},
 		PRBSizes:            []int{8, 16, 32, 64},
@@ -28,7 +34,6 @@ func main() {
 		InstructionsPerCore: 5000,
 		IntervalCycles:      4000,
 		Seed:                21,
-		Progress:            gdp.ConsoleProgress(os.Stderr),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -36,14 +41,14 @@ func main() {
 	for _, row := range res.Rows {
 		fmt.Printf("  %4d entries: mean IPC abs RMS = %.4f\n", row.PRB, row.MeanIPCAbsRMS)
 	}
-	if hits, misses := gdp.DefaultResultCache().Stats(); hits > 0 {
+	if hits, misses := engine.Cache().Stats(); hits > 0 {
 		fmt.Printf("  (result cache reused %d of %d reference lookups)\n", hits, hits+misses)
 	}
 
 	fmt.Println("\nGDP-O accuracy: DDR2-800 vs DDR4-2666 (Figure 7d):")
 	for _, kind := range []gdp.DRAMKind{gdp.DDR2, gdp.DDR4} {
 		cfg := gdp.ScaledConfig(4).WithDRAM(kind, 1)
-		res, err := gdp.AccuracyStudy(gdp.AccuracyOptions{
+		res, err := engine.AccuracyStudy(ctx, gdp.AccuracyOptions{
 			Cores:               4,
 			Mix:                 gdp.MixH,
 			Workloads:           1,

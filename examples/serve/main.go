@@ -1,0 +1,123 @@
+// Command serve exercises the service surface of the library end to end, in
+// one process and without flags:
+//
+//  1. it constructs a gdp.Engine and *streams* a short shared-mode run,
+//     printing GDP-O's interference-free estimates as intervals complete;
+//  2. it wraps the same engine in a gdp.Server, serves it on an ephemeral
+//     loopback port, and queries POST /v1/estimate and GET /healthz over
+//     real HTTP like an external client would;
+//  3. it shuts the server down gracefully.
+//
+// For a long-lived deployment of the same endpoint, use `gdpsim serve`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	gdp "repro"
+)
+
+func main() {
+	ctx := context.Background()
+	engine, err := gdp.NewEngine(gdp.WithScale(gdp.DefaultScale()))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Streaming: consume interval estimates while the simulation runs.
+	ws, err := gdp.GenerateWorkloads(2, gdp.MixH, 1, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acct, err := gdp.NewGDPO(2, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("streaming GDP-O estimates (shared CPI -> estimated private CPI):")
+	seq, result := engine.Stream(ctx, gdp.SimOptions{
+		Config:              gdp.ScaledConfig(2),
+		Workload:            ws[0],
+		InstructionsPerCore: 6000,
+		IntervalCycles:      3000,
+		Seed:                7,
+		Accountants:         []gdp.Accountant{acct},
+	})
+	for rec, err := range seq {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rec.Shared.Instructions == 0 {
+			continue
+		}
+		est := rec.Estimates["GDP-O"]
+		fmt.Printf("  core %d: %.3f -> %.3f\n", rec.Core, rec.Shared.CPI(), est.PrivateCPI)
+	}
+	if _, err := result(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The same engine as an HTTP service.
+	handler, err := gdp.NewServer(engine, gdp.WithMaxConcurrent(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: handler}
+	go func() {
+		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("\nserving on %s\n", base)
+
+	resp, err := http.Post(base+"/v1/estimate", "application/json", strings.NewReader(
+		`{"cores": 4, "mix": "H", "technique": "GDP-O", "instructions_per_core": 5000, "interval_cycles": 2500}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("estimate: %s: %s", resp.Status, body)
+	}
+	var est gdp.EstimateResponse
+	if err := json.Unmarshal(body, &est); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("POST /v1/estimate -> %s, %d cycles simulated\n", resp.Status, est.Cycles)
+	for _, c := range est.Cores {
+		fmt.Printf("  core %d (%s): shared CPI=%.3f  estimated private CPI=%.3f  slowdown=%.2fx\n",
+			c.Core, c.Benchmark, c.SharedCPI, c.EstimatedPrivateCPI, c.EstimatedSlowdown)
+	}
+
+	health, err := http.Get(base + "/healthz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, health.Body)
+	health.Body.Close()
+	fmt.Printf("GET /healthz -> %s\n", health.Status)
+
+	// 3. Graceful shutdown.
+	shutdownCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server shut down gracefully")
+}

@@ -1,0 +1,39 @@
+package gdp
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesBuild compiles every examples/* package. The examples are the
+// library's executable documentation; this keeps them honest against API
+// changes without running their (multi-second) simulations in the test
+// suite.
+func TestExamplesBuild(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		pkg := "./" + filepath.Join("examples", e.Name())
+		cmd := exec.Command(goBin, "build", "-o", os.DevNull, pkg)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Errorf("%s does not compile:\n%s", pkg, out)
+		}
+		built++
+	}
+	if built == 0 {
+		t.Fatal("no example packages found")
+	}
+}

@@ -2,8 +2,20 @@
 // Properties to Accurately Estimate Interference-Free Performance at Runtime"
 // (Jahre & Eeckhout, HPCA 2018).
 //
-// The package re-exports the stable surface of the internal packages so that
-// downstream users never import internal/... directly:
+// The central type is Engine: a long-lived service object constructed once
+// via functional options (WithCache, WithJobs, WithProgress, WithScale) that
+// owns the worker-pool configuration and the result cache and exposes
+// context-first methods — Engine.Run, Engine.Stream, Engine.AccuracyStudy,
+// Engine.PartitioningStudy, Engine.Sweep, Engine.Figure3, Engine.Figure7 and
+// Engine.Estimate. Cancellation reaches the simulator's cycle loop (polled at
+// interval boundaries), and Engine.Stream yields interval records as the
+// simulation advances instead of accumulating them. Server wraps an Engine
+// as an HTTP/JSON service (POST /v1/estimate, POST /v1/sweep, GET /healthz);
+// `gdpsim serve` runs it from the command line.
+//
+// Around the Engine the package re-exports the stable surface of the
+// internal packages so that downstream users never import internal/...
+// directly:
 //
 //   - CMP configuration (Table I parameter sets),
 //   - the synthetic benchmark suite and multi-programmed workload generator,
@@ -15,10 +27,15 @@
 //   - the parallel experiment runner (worker-pool fan-out, result caching,
 //     progress reporting and grid sweeps).
 //
+// The batch-style package-level functions (Run, AccuracyStudy, Sweep, ...)
+// are deprecated shims over a process-wide default Engine; new code should
+// construct an Engine.
+//
 // See examples/ for runnable programs built only on this package.
 package gdp
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/accounting"
@@ -156,12 +173,19 @@ type (
 )
 
 // Run executes a shared-mode simulation.
-func Run(opts SimOptions) (*SimResult, error) { return sim.Run(opts) }
+//
+// Deprecated: use Engine.Run, which takes a context honored mid-simulation.
+func Run(opts SimOptions) (*SimResult, error) {
+	return DefaultEngine().Run(context.Background(), opts)
+}
 
 // RunPrivate executes a benchmark alone on the CMP, aligned on the supplied
 // instruction sample points.
+//
+// Deprecated: use Engine.RunPrivate, which takes a context and exposes the
+// run's cycle bound instead of always defaulting it.
 func RunPrivate(cfg *CMPConfig, bench Benchmark, samplePoints []uint64, seed int64) (*PrivateReference, error) {
-	return sim.RunPrivate(cfg, bench, samplePoints, seed, 0)
+	return DefaultEngine().RunPrivate(context.Background(), cfg, bench, samplePoints, seed, 0)
 }
 
 // Metrics.
@@ -203,21 +227,31 @@ func DefaultScale() StudyScale { return experiments.DefaultScale() }
 func PaperScale() StudyScale { return experiments.PaperScale() }
 
 // AccuracyStudy runs one cell of the accounting-accuracy evaluation.
+//
+// Deprecated: use Engine.AccuracyStudy, which takes a context.
 func AccuracyStudy(opts AccuracyOptions) (*AccuracyResult, error) {
-	return experiments.AccuracyStudy(opts)
+	return DefaultEngine().AccuracyStudy(context.Background(), opts)
 }
 
 // PartitioningStudy runs one cell of the LLC-partitioning evaluation.
+//
+// Deprecated: use Engine.PartitioningStudy, which takes a context.
 func PartitioningStudy(opts PartitioningOptions) (*PartitioningResult, error) {
-	return experiments.PartitioningStudy(opts)
+	return DefaultEngine().PartitioningStudy(context.Background(), opts)
 }
 
 // Figure3 regenerates Figures 3a/3b for the given scale.
-func Figure3(scale StudyScale) (*Figure3Result, error) { return experiments.Figure3(scale) }
+//
+// Deprecated: use Engine.Figure3, which takes a context.
+func Figure3(scale StudyScale) (*Figure3Result, error) {
+	return DefaultEngine().Figure3(context.Background(), scale)
+}
 
 // Figure7 regenerates every panel of the sensitivity study.
+//
+// Deprecated: use Engine.Figure7, which takes a context.
 func Figure7(opts SensitivityOptions) ([]*SensitivityResult, error) {
-	return experiments.Figure7(opts)
+	return DefaultEngine().Figure7(context.Background(), opts)
 }
 
 // Experiment runner.
@@ -258,6 +292,16 @@ func SetDefaultResultCache(c *ResultCache) { experiments.SetDefaultCache(c) }
 // simulation cell to w.
 func ConsoleProgress(w io.Writer) ProgressFunc { return runner.ConsoleProgress(w) }
 
+// WriteJSON writes v as indented JSON to w.
+func WriteJSON(w io.Writer, v any) error { return runner.WriteJSON(w, v) }
+
+// WriteJSONFile writes v as indented JSON to a file.
+func WriteJSONFile(path string, v any) error { return runner.WriteJSONFile(path, v) }
+
 // Sweep runs a user-defined experiment grid (cores × mixes × PRB sizes ×
 // policies) through the parallel runner.
-func Sweep(opts SweepOptions) (*SweepResult, error) { return experiments.Sweep(opts) }
+//
+// Deprecated: use Engine.Sweep, which takes a context.
+func Sweep(opts SweepOptions) (*SweepResult, error) {
+	return DefaultEngine().Sweep(context.Background(), opts)
+}

@@ -60,15 +60,17 @@ type privateRefSpec struct {
 }
 
 // memoPrivateRef runs (or recalls) one private-mode reference simulation.
-func memoPrivateRef(cache *runner.Cache, cfg *config.CMPConfig, bench workload.Benchmark,
+// Cancellation reaches both the cycle loop of a reference being simulated and
+// a wait on another goroutine's in-flight simulation of the same spec.
+func memoPrivateRef(ctx context.Context, cache *runner.Cache, cfg *config.CMPConfig, bench workload.Benchmark,
 	samplePoints []uint64, seed int64) (*sim.PrivateReference, error) {
 
 	spec := privateRefSpec{
 		Op: "RunPrivate/v1", Config: cfg, Benchmark: bench,
 		SamplePoints: samplePoints, Seed: seed,
 	}
-	ref, _, err := runner.Memo(cache, spec, func() (*sim.PrivateReference, error) {
-		return sim.RunPrivate(cfg, bench, samplePoints, seed, 0)
+	ref, _, err := runner.MemoContext(ctx, cache, spec, func() (*sim.PrivateReference, error) {
+		return sim.RunPrivateContext(ctx, cfg, bench, samplePoints, seed, 0)
 	})
 	return ref, err
 }
@@ -336,10 +338,10 @@ func AccuracyStudy(opts AccuracyOptions) (*AccuracyResult, error) {
 	return AccuracyStudyContext(context.Background(), opts)
 }
 
-// AccuracyStudyContext is AccuracyStudy with cancellation: when ctx is
-// cancelled the worker pool stops scheduling further simulations and returns
-// the context error (a simulation already in flight runs to completion
-// first, since the cycle-level simulator does not poll the context).
+// AccuracyStudyContext is AccuracyStudy with cancellation: the worker pool
+// stops scheduling further simulations and the context is plumbed into every
+// running simulation's cycle loop, which polls it at interval boundaries, so
+// in-flight cells abort promptly too.
 func AccuracyStudyContext(ctx context.Context, opts AccuracyOptions) (*AccuracyResult, error) {
 	opts = opts.withDefaults()
 	workloads, err := workload.Generate(workload.GenerateOptions{
@@ -354,9 +356,15 @@ func AccuracyStudyContext(ctx context.Context, opts AccuracyOptions) (*AccuracyR
 // AccuracyStudyForWorkload runs the accuracy study over one explicit workload
 // (used by the CLI's run subcommand and by ad-hoc investigations).
 func AccuracyStudyForWorkload(wl workload.Workload, opts AccuracyOptions) (*AccuracyResult, error) {
+	return AccuracyStudyForWorkloadContext(context.Background(), wl, opts)
+}
+
+// AccuracyStudyForWorkloadContext is AccuracyStudyForWorkload with
+// cancellation.
+func AccuracyStudyForWorkloadContext(ctx context.Context, wl workload.Workload, opts AccuracyOptions) (*AccuracyResult, error) {
 	opts.Cores = wl.Cores()
 	opts = opts.withDefaults()
-	return accuracyStudyOver(context.Background(), []workload.Workload{wl}, opts)
+	return accuracyStudyOver(ctx, []workload.Workload{wl}, opts)
 }
 
 // accuracyPartial is the result of one runner job: the errors one workload's
@@ -387,7 +395,7 @@ func accuracyJobs(workloads []workload.Workload, opts AccuracyOptions) []runner.
 			jobs = append(jobs, runner.Job[accuracyPartial]{
 				Label: fmt.Sprintf("%s/transparent", wl.ID),
 				Fn: func(ctx context.Context) (accuracyPartial, error) {
-					return runTransparentCell(wl, opts, simSeed)
+					return runTransparentCell(ctx, wl, opts, simSeed)
 				},
 			})
 		}
@@ -395,7 +403,7 @@ func accuracyJobs(workloads []workload.Workload, opts AccuracyOptions) []runner.
 			jobs = append(jobs, runner.Job[accuracyPartial]{
 				Label: fmt.Sprintf("%s/asm", wl.ID),
 				Fn: func(ctx context.Context) (accuracyPartial, error) {
-					return runASMCell(wl, opts, simSeed)
+					return runASMCell(ctx, wl, opts, simSeed)
 				},
 			})
 		}
@@ -406,7 +414,7 @@ func accuracyJobs(workloads []workload.Workload, opts AccuracyOptions) []runner.
 // runTransparentCell runs one workload's shared-mode simulation with every
 // transparent technique attached and reduces it against the private-mode
 // references.
-func runTransparentCell(wl workload.Workload, opts AccuracyOptions, simSeed int64) (accuracyPartial, error) {
+func runTransparentCell(ctx context.Context, wl workload.Workload, opts AccuracyOptions, simSeed int64) (accuracyPartial, error) {
 	partial := accuracyPartial{PerTechnique: map[string][]BenchmarkErrors{}}
 	transparent, err := buildAccountants(opts)
 	if err != nil {
@@ -419,7 +427,7 @@ func runTransparentCell(wl workload.Workload, opts AccuracyOptions, simSeed int6
 	for _, a := range transparent {
 		transparentNames = append(transparentNames, a.Name())
 	}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.RunContext(ctx, sim.Options{
 		Config:              opts.Config,
 		Workload:            wl,
 		InstructionsPerCore: opts.InstructionsPerCore,
@@ -430,7 +438,7 @@ func runTransparentCell(wl workload.Workload, opts AccuracyOptions, simSeed int6
 	if err != nil {
 		return partial, err
 	}
-	privs, err := privateReferences(opts, wl, res, simSeed)
+	privs, err := privateReferences(ctx, opts, wl, res, simSeed)
 	if err != nil {
 		return partial, err
 	}
@@ -440,13 +448,13 @@ func runTransparentCell(wl workload.Workload, opts AccuracyOptions, simSeed int6
 
 // runASMCell runs ASM on its own shared-mode simulation because it perturbs
 // the memory controller.
-func runASMCell(wl workload.Workload, opts AccuracyOptions, simSeed int64) (accuracyPartial, error) {
+func runASMCell(ctx context.Context, wl workload.Workload, opts AccuracyOptions, simSeed int64) (accuracyPartial, error) {
 	partial := accuracyPartial{PerTechnique: map[string][]BenchmarkErrors{}}
 	asm, err := accounting.NewASM(opts.Cores, opts.IntervalCycles/4, nil)
 	if err != nil {
 		return partial, err
 	}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.RunContext(ctx, sim.Options{
 		Config:              opts.Config,
 		Workload:            wl,
 		InstructionsPerCore: opts.InstructionsPerCore,
@@ -457,7 +465,7 @@ func runASMCell(wl workload.Workload, opts AccuracyOptions, simSeed int64) (accu
 	if err != nil {
 		return partial, err
 	}
-	privs, err := privateReferences(opts, wl, res, simSeed)
+	privs, err := privateReferences(ctx, opts, wl, res, simSeed)
 	if err != nil {
 		return partial, err
 	}
@@ -520,10 +528,10 @@ func accuracyStudyOver(ctx context.Context, workloads []workload.Workload, opts 
 // points differ. References go through the result cache: the transparent and
 // ASM runs of a workload (and repeated studies over the same population)
 // share reference simulations whenever their sample points coincide.
-func privateReferences(opts AccuracyOptions, wl workload.Workload, res *sim.Result, simSeed int64) ([]*sim.PrivateReference, error) {
+func privateReferences(ctx context.Context, opts AccuracyOptions, wl workload.Workload, res *sim.Result, simSeed int64) ([]*sim.PrivateReference, error) {
 	privs := make([]*sim.PrivateReference, wl.Cores())
 	for core, bench := range wl.Benchmarks {
-		p, err := memoPrivateRef(opts.Cache, opts.Config, bench, res.SamplePoints[core], simSeed+int64(core)*7919)
+		p, err := memoPrivateRef(ctx, opts.Cache, opts.Config, bench, res.SamplePoints[core], simSeed+int64(core)*7919)
 		if err != nil {
 			return nil, err
 		}

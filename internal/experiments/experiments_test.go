@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -201,14 +202,14 @@ func TestSensitivityPanels(t *testing.T) {
 	}}
 	// Run two representative panels (the full Figure 7 is exercised by the
 	// benchmark harness; running all six here would slow the test suite).
-	d, err := Figure7d(opts)
+	d, err := Figure7d(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(d.Points) != 2 {
 		t.Errorf("Figure 7d points = %d, want 2", len(d.Points))
 	}
-	f, err := Figure7f(opts)
+	f, err := Figure7f(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -25,6 +26,9 @@ type StudyScale struct {
 	// this scale (0 = runtime.NumCPU(), 1 = serial). Output is identical for
 	// any value.
 	Jobs int
+	// Cache memoizes the private-mode reference runs of every driver that
+	// accepts this scale (nil = DefaultCache()).
+	Cache *runner.Cache
 	// Progress, when non-nil, receives one runner event per completed
 	// simulation job.
 	Progress runner.ProgressFunc
@@ -76,10 +80,15 @@ var mixes = []workload.MixKind{workload.MixH, workload.MixM, workload.MixL}
 // Figure3 runs the accounting-accuracy study for every core count and
 // workload category of the scale.
 func Figure3(scale StudyScale) (*Figure3Result, error) {
+	return Figure3Context(context.Background(), scale)
+}
+
+// Figure3Context is Figure3 with cancellation plumbed into every study cell.
+func Figure3Context(ctx context.Context, scale StudyScale) (*Figure3Result, error) {
 	out := &Figure3Result{}
 	for _, cores := range scale.CoreCounts {
 		for _, mix := range mixes {
-			res, err := AccuracyStudy(AccuracyOptions{
+			res, err := AccuracyStudyContext(ctx, AccuracyOptions{
 				Cores:               cores,
 				Mix:                 mix,
 				Workloads:           scale.WorkloadsPerCell,
@@ -87,6 +96,7 @@ func Figure3(scale StudyScale) (*Figure3Result, error) {
 				IntervalCycles:      scale.IntervalCycles,
 				Seed:                scale.Seed,
 				Jobs:                scale.Jobs,
+				Cache:               scale.Cache,
 				Progress:            scale.Progress,
 			})
 			if err != nil {

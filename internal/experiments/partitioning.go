@@ -114,10 +114,10 @@ func policyRun(name string, cores int, prb int) (acct []accounting.Accountant, p
 // policy independent, so the per-core reference runs are memoized: the five
 // policy jobs of a workload (and any later study over the same population)
 // trigger each reference simulation once.
-func privateCPIs(opts PartitioningOptions, wl workload.Workload, simSeed int64) ([]float64, error) {
+func privateCPIs(ctx context.Context, opts PartitioningOptions, wl workload.Workload, simSeed int64) ([]float64, error) {
 	privateCPI := make([]float64, wl.Cores())
 	for core, bench := range wl.Benchmarks {
-		priv, err := memoPrivateRef(opts.Cache, opts.Config, bench,
+		priv, err := memoPrivateRef(ctx, opts.Cache, opts.Config, bench,
 			[]uint64{opts.InstructionsPerCore}, simSeed+int64(core)*7919)
 		if err != nil {
 			return nil, err
@@ -134,10 +134,11 @@ func PartitioningStudy(opts PartitioningOptions) (*PartitioningResult, error) {
 	return PartitioningStudyContext(context.Background(), opts)
 }
 
-// PartitioningStudyContext is PartitioningStudy with cancellation (the pool
-// stops scheduling new simulations promptly; one already in flight finishes
-// first). Every (workload, policy) pair is one runner job; STP values are
-// aggregated by job index so the result is independent of the worker count.
+// PartitioningStudyContext is PartitioningStudy with cancellation: the pool
+// stops scheduling new simulations and in-flight cycle loops poll the context
+// at interval boundaries. Every (workload, policy) pair is one runner job;
+// STP values are aggregated by job index so the result is independent of the
+// worker count.
 func PartitioningStudyContext(ctx context.Context, opts PartitioningOptions) (*PartitioningResult, error) {
 	opts = opts.withDefaults()
 	if err := opts.Config.Validate(); err != nil {
@@ -160,7 +161,7 @@ func PartitioningStudyContext(ctx context.Context, opts PartitioningOptions) (*P
 			jobs = append(jobs, runner.Job[float64]{
 				Label: fmt.Sprintf("%s/%s", wl.ID, polName),
 				Fn: func(ctx context.Context) (float64, error) {
-					return runPolicyCell(opts, wl, polName, simSeed)
+					return runPolicyCell(ctx, opts, wl, polName, simSeed)
 				},
 			})
 		}
@@ -197,8 +198,8 @@ func PartitioningStudyContext(ctx context.Context, opts PartitioningOptions) (*P
 
 // runPolicyCell runs one policy's shared-mode simulation of one workload and
 // reduces it to system throughput.
-func runPolicyCell(opts PartitioningOptions, wl workload.Workload, polName string, simSeed int64) (float64, error) {
-	privateCPI, err := privateCPIs(opts, wl, simSeed)
+func runPolicyCell(ctx context.Context, opts PartitioningOptions, wl workload.Workload, polName string, simSeed int64) (float64, error) {
+	privateCPI, err := privateCPIs(ctx, opts, wl, simSeed)
 	if err != nil {
 		return 0, err
 	}
@@ -206,7 +207,7 @@ func runPolicyCell(opts PartitioningOptions, wl workload.Workload, polName strin
 	if err != nil {
 		return 0, err
 	}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.RunContext(ctx, sim.Options{
 		Config:              opts.Config,
 		Workload:            wl,
 		InstructionsPerCore: opts.InstructionsPerCore,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,10 +32,10 @@ type SensitivityOptions struct {
 
 // gdpoErrorByMix runs the GDP-O-only accuracy study for the three categories
 // under one configuration.
-func gdpoErrorByMix(scale StudyScale, cfg *config.CMPConfig, prbEntries int, mixesToRun []workload.MixKind) (map[string]float64, error) {
+func gdpoErrorByMix(ctx context.Context, scale StudyScale, cfg *config.CMPConfig, prbEntries int, mixesToRun []workload.MixKind) (map[string]float64, error) {
 	out := map[string]float64{}
 	for _, mix := range mixesToRun {
-		res, err := AccuracyStudy(AccuracyOptions{
+		res, err := AccuracyStudyContext(ctx, AccuracyOptions{
 			Cores:               4,
 			Mix:                 mix,
 			Workloads:           scale.WorkloadsPerCell,
@@ -45,6 +46,7 @@ func gdpoErrorByMix(scale StudyScale, cfg *config.CMPConfig, prbEntries int, mix
 			PRBEntries:          prbEntries,
 			Techniques:          []string{"GDP-O"},
 			Jobs:                scale.Jobs,
+			Cache:               scale.Cache,
 			Progress:            scale.Progress,
 		})
 		if err != nil {
@@ -59,12 +61,12 @@ func gdpoErrorByMix(scale StudyScale, cfg *config.CMPConfig, prbEntries int, mix
 
 // Figure7a sweeps the LLC capacity (the paper uses 4, 8 and 16 MB; the scaled
 // hierarchy sweeps half, nominal and double capacity).
-func Figure7a(opts SensitivityOptions) (*SensitivityResult, error) {
+func Figure7a(ctx context.Context, opts SensitivityOptions) (*SensitivityResult, error) {
 	base := config.ScaledConfig(4)
 	out := &SensitivityResult{Panel: "Figure 7a: LLC size"}
 	for _, factor := range []int{1, 2, 4} {
 		cfg := base.WithLLCSize(base.LLC.SizeBytes / 2 * factor)
-		errs, err := gdpoErrorByMix(opts.Scale, cfg, 32, mixes)
+		errs, err := gdpoErrorByMix(ctx, opts.Scale, cfg, 32, mixes)
 		if err != nil {
 			return nil, err
 		}
@@ -77,12 +79,12 @@ func Figure7a(opts SensitivityOptions) (*SensitivityResult, error) {
 }
 
 // Figure7b sweeps the LLC associativity (16, 32 and 64 ways).
-func Figure7b(opts SensitivityOptions) (*SensitivityResult, error) {
+func Figure7b(ctx context.Context, opts SensitivityOptions) (*SensitivityResult, error) {
 	base := config.ScaledConfig(4)
 	out := &SensitivityResult{Panel: "Figure 7b: LLC associativity"}
 	for _, ways := range []int{16, 32, 64} {
 		cfg := base.WithLLCWays(ways)
-		errs, err := gdpoErrorByMix(opts.Scale, cfg, 32, mixes)
+		errs, err := gdpoErrorByMix(ctx, opts.Scale, cfg, 32, mixes)
 		if err != nil {
 			return nil, err
 		}
@@ -95,12 +97,12 @@ func Figure7b(opts SensitivityOptions) (*SensitivityResult, error) {
 }
 
 // Figure7c sweeps the number of DDR2 channels (1, 2, 4).
-func Figure7c(opts SensitivityOptions) (*SensitivityResult, error) {
+func Figure7c(ctx context.Context, opts SensitivityOptions) (*SensitivityResult, error) {
 	base := config.ScaledConfig(4)
 	out := &SensitivityResult{Panel: "Figure 7c: DDR2 channels"}
 	for _, channels := range []int{1, 2, 4} {
 		cfg := base.WithDRAM(config.DDR2, channels)
-		errs, err := gdpoErrorByMix(opts.Scale, cfg, 32, mixes)
+		errs, err := gdpoErrorByMix(ctx, opts.Scale, cfg, 32, mixes)
 		if err != nil {
 			return nil, err
 		}
@@ -113,12 +115,12 @@ func Figure7c(opts SensitivityOptions) (*SensitivityResult, error) {
 }
 
 // Figure7d compares the DDR2-800 and DDR4-2666 interfaces.
-func Figure7d(opts SensitivityOptions) (*SensitivityResult, error) {
+func Figure7d(ctx context.Context, opts SensitivityOptions) (*SensitivityResult, error) {
 	base := config.ScaledConfig(4)
 	out := &SensitivityResult{Panel: "Figure 7d: DRAM interface"}
 	for _, kind := range []config.DRAMKind{config.DDR2, config.DDR4} {
 		cfg := base.WithDRAM(kind, 1)
-		errs, err := gdpoErrorByMix(opts.Scale, cfg, 32, mixes)
+		errs, err := gdpoErrorByMix(ctx, opts.Scale, cfg, 32, mixes)
 		if err != nil {
 			return nil, err
 		}
@@ -128,11 +130,11 @@ func Figure7d(opts SensitivityOptions) (*SensitivityResult, error) {
 }
 
 // Figure7e sweeps the Pending Request Buffer size (8 to 1024 entries).
-func Figure7e(opts SensitivityOptions) (*SensitivityResult, error) {
+func Figure7e(ctx context.Context, opts SensitivityOptions) (*SensitivityResult, error) {
 	base := config.ScaledConfig(4)
 	out := &SensitivityResult{Panel: "Figure 7e: PRB size"}
 	for _, entries := range []int{8, 16, 32, 64, 1024} {
-		errs, err := gdpoErrorByMix(opts.Scale, base, entries, mixes)
+		errs, err := gdpoErrorByMix(ctx, opts.Scale, base, entries, mixes)
 		if err != nil {
 			return nil, err
 		}
@@ -145,10 +147,10 @@ func Figure7e(opts SensitivityOptions) (*SensitivityResult, error) {
 }
 
 // Figure7f evaluates the mixed workload categories (HHML, HMML, HMLL).
-func Figure7f(opts SensitivityOptions) (*SensitivityResult, error) {
+func Figure7f(ctx context.Context, opts SensitivityOptions) (*SensitivityResult, error) {
 	base := config.ScaledConfig(4)
 	out := &SensitivityResult{Panel: "Figure 7f: mixed workloads"}
-	errs, err := gdpoErrorByMix(opts.Scale, base, 32,
+	errs, err := gdpoErrorByMix(ctx, opts.Scale, base, 32,
 		[]workload.MixKind{workload.MixHHML, workload.MixHMML, workload.MixHMLL})
 	if err != nil {
 		return nil, err
@@ -159,12 +161,17 @@ func Figure7f(opts SensitivityOptions) (*SensitivityResult, error) {
 
 // Figure7 runs every panel of the sensitivity study.
 func Figure7(opts SensitivityOptions) ([]*SensitivityResult, error) {
-	panels := []func(SensitivityOptions) (*SensitivityResult, error){
+	return Figure7Context(context.Background(), opts)
+}
+
+// Figure7Context is Figure7 with cancellation plumbed into every panel.
+func Figure7Context(ctx context.Context, opts SensitivityOptions) ([]*SensitivityResult, error) {
+	panels := []func(context.Context, SensitivityOptions) (*SensitivityResult, error){
 		Figure7a, Figure7b, Figure7c, Figure7d, Figure7e, Figure7f,
 	}
 	var out []*SensitivityResult
 	for _, panel := range panels {
-		res, err := panel(opts)
+		res, err := panel(ctx, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,9 +1,11 @@
 package runner
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -73,6 +75,20 @@ func SpecKey(spec any) (string, error) {
 // Concurrent calls with the same spec run fn once. The result type must
 // survive a JSON round-trip when the cache is disk-backed.
 func Memo[T any](c *Cache, spec any, fn func() (T, error)) (T, bool, error) {
+	return MemoContext(context.Background(), c, spec, fn)
+}
+
+// MemoContext is Memo under a context: a caller blocked on another
+// goroutine's in-flight computation of the same spec stops waiting when ctx
+// is cancelled (the computation itself keeps running for the goroutine that
+// owns it, and its result is still cached). fn is responsible for honoring
+// ctx on the computing path.
+//
+// Cancellation never leaks between callers: when the owning goroutine's
+// computation dies of *its* cancellation, a waiter whose own context is
+// still live retries — becoming the new owner if needed — instead of
+// inheriting the foreign context error.
+func MemoContext[T any](ctx context.Context, c *Cache, spec any, fn func() (T, error)) (T, bool, error) {
 	var zero T
 	if c == nil {
 		v, err := fn()
@@ -83,30 +99,46 @@ func Memo[T any](c *Cache, spec any, fn func() (T, error)) (T, bool, error) {
 		return zero, false, err
 	}
 
-	c.mu.Lock()
-	if v, ok := c.mem[key]; ok {
-		c.mu.Unlock()
-		typed, ok := v.(T)
+	var call *inflightCall
+	for {
+		c.mu.Lock()
+		if v, ok := c.mem[key]; ok {
+			c.mu.Unlock()
+			typed, ok := v.(T)
+			if !ok {
+				return zero, false, fmt.Errorf("runner: cache entry %s holds %T, want %T", key[:12], v, zero)
+			}
+			c.hits.Add(1)
+			return typed, true, nil
+		}
+		waiting, ok := c.inflight[key]
 		if !ok {
-			return zero, false, fmt.Errorf("runner: cache entry %s holds %T, want %T", key[:12], v, zero)
+			break // this caller owns the computation
+		}
+		c.mu.Unlock()
+		select {
+		case <-waiting.done:
+		case <-ctx.Done():
+			return zero, false, ctx.Err()
+		}
+		if waiting.err != nil {
+			if errors.Is(waiting.err, context.Canceled) || errors.Is(waiting.err, context.DeadlineExceeded) {
+				// The owner's request was cancelled, not ours: retry.
+				if err := ctx.Err(); err != nil {
+					return zero, false, err
+				}
+				continue
+			}
+			return zero, false, waiting.err
+		}
+		typed, ok := waiting.val.(T)
+		if !ok {
+			return zero, false, fmt.Errorf("runner: cache entry %s holds %T, want %T", key[:12], waiting.val, zero)
 		}
 		c.hits.Add(1)
 		return typed, true, nil
 	}
-	if call, ok := c.inflight[key]; ok {
-		c.mu.Unlock()
-		<-call.done
-		if call.err != nil {
-			return zero, false, call.err
-		}
-		typed, ok := call.val.(T)
-		if !ok {
-			return zero, false, fmt.Errorf("runner: cache entry %s holds %T, want %T", key[:12], call.val, zero)
-		}
-		c.hits.Add(1)
-		return typed, true, nil
-	}
-	call := &inflightCall{done: make(chan struct{})}
+	call = &inflightCall{done: make(chan struct{})}
 	c.inflight[key] = call
 	c.mu.Unlock()
 

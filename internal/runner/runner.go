@@ -204,5 +204,5 @@ func runOne[T any](ctx context.Context, job Job[T], cache *Cache) (T, bool, erro
 		res, err := job.Fn(ctx)
 		return res, false, err
 	}
-	return Memo(cache, job.Spec, func() (T, error) { return job.Fn(ctx) })
+	return MemoContext(ctx, cache, job.Spec, func() (T, error) { return job.Fn(ctx) })
 }

@@ -279,3 +279,68 @@ func TestConsoleProgressFormat(t *testing.T) {
 		t.Errorf("progress output missing ETA:\n%s", out)
 	}
 }
+
+func TestMemoContextAbandonsInflightWait(t *testing.T) {
+	c := NewCache()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, _ = Memo(c, "slow-spec", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := MemoContext(ctx, c, "slow-spec", func() (int, error) { return 2, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+
+	// The original computation's result must still land in the cache.
+	v, hit, err := Memo(c, "slow-spec", func() (int, error) { return 3, nil })
+	if err != nil || v != 1 || !hit {
+		t.Fatalf("v=%d hit=%v err=%v, want cached 1", v, hit, err)
+	}
+}
+
+// TestMemoContextWaiterSurvivesOwnersCancellation: when the goroutine that
+// owns an in-flight computation dies of its own cancellation, a waiter with
+// a live context must retry (and take over the computation), not inherit the
+// foreign context error.
+func TestMemoContextWaiterSurvivesOwnersCancellation(t *testing.T) {
+	c := NewCache()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, _ = Memo(c, "poisoned-spec", func() (int, error) {
+			close(started)
+			<-release
+			return 0, context.Canceled // the owner's request was cancelled
+		})
+	}()
+	<-started
+
+	waiterDone := make(chan struct{})
+	var v int
+	var err error
+	go func() {
+		defer close(waiterDone)
+		v, _, err = MemoContext(context.Background(), c, "poisoned-spec", func() (int, error) {
+			return 42, nil
+		})
+	}()
+	close(release)
+	select {
+	case <-waiterDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter never returned")
+	}
+	if err != nil || v != 42 {
+		t.Fatalf("waiter got (%d, %v), want (42, nil): owner's cancellation leaked", v, err)
+	}
+}

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/accounting"
@@ -47,6 +48,18 @@ type Options struct {
 	// MaxCycles bounds the run as a safety net. Zero selects a generous
 	// default derived from the instruction budget.
 	MaxCycles uint64
+	// OnInterval, when non-nil, receives every IntervalRecord as soon as its
+	// interval completes (records arrive in core order within an interval and
+	// in time order across intervals). A non-nil return aborts the run with
+	// that error. This is the streaming path: consumers observe estimates
+	// while the simulation advances instead of waiting for the full Result.
+	OnInterval func(IntervalRecord) error
+	// DiscardIntervals, when true, keeps Result.Intervals empty: records are
+	// only delivered through OnInterval. SamplePoints are still collected
+	// (they are small and private-mode alignment depends on them). Streaming
+	// consumers set this so long runs hold O(cores) instead of O(intervals)
+	// memory.
+	DiscardIntervals bool
 }
 
 // IntervalRecord is one per-core, per-interval measurement with the estimates
@@ -107,9 +120,22 @@ type controllerBinder interface {
 	BindController(c *dram.Controller)
 }
 
-// Run executes a shared-mode simulation.
+// Run executes a shared-mode simulation. It is RunContext without
+// cancellation.
 func Run(opts Options) (*Result, error) {
+	return RunContext(context.Background(), opts)
+}
+
+// RunContext executes a shared-mode simulation under a context. Cancellation
+// is checked before the first cycle and at every interval boundary, so an
+// already-expired context returns its error without completing a single
+// interval and a mid-run cancellation aborts within one interval's worth of
+// cycles.
+func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	maxCycles := opts.MaxCycles
@@ -190,9 +216,14 @@ func Run(opts Options) (*Result, error) {
 			_ = st
 		}
 
-		// Interval boundary: estimates and repartitioning.
+		// Interval boundary: estimates, repartitioning and cancellation.
 		if (now+1)%opts.IntervalCycles == 0 {
-			recordInterval(opts, shared, cores, res, lastSnapshot)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := recordInterval(opts, shared, cores, res, lastSnapshot); err != nil {
+				return nil, err
+			}
 		}
 
 		if done == len(cores) {
@@ -212,8 +243,9 @@ func Run(opts Options) (*Result, error) {
 }
 
 // recordInterval captures the interval deltas, queries every accountant,
-// optionally repartitions the LLC and resets interval state.
-func recordInterval(opts Options, shared *memsys.System, cores []*cpu.Core, res *Result, lastSnapshot []cpu.Stats) {
+// delivers the records to the streaming sink, optionally repartitions the LLC
+// and resets interval state.
+func recordInterval(opts Options, shared *memsys.System, cores []*cpu.Core, res *Result, lastSnapshot []cpu.Stats) error {
 	intervals := make([]cpu.Stats, len(cores))
 	records := make([]IntervalRecord, len(cores))
 	for i, core := range cores {
@@ -235,8 +267,17 @@ func recordInterval(opts Options, shared *memsys.System, cores []*cpu.Core, res 
 		acct.EndInterval()
 	}
 	for i := range cores {
-		res.Intervals[i] = append(res.Intervals[i], records[i])
+		if !opts.DiscardIntervals {
+			res.Intervals[i] = append(res.Intervals[i], records[i])
+		}
 		res.SamplePoints[i] = append(res.SamplePoints[i], records[i].EndInstructions)
+	}
+	if opts.OnInterval != nil {
+		for i := range records {
+			if err := opts.OnInterval(records[i]); err != nil {
+				return err
+			}
+		}
 	}
 
 	if opts.Partitioner != nil {
@@ -265,6 +306,7 @@ func recordInterval(opts Options, shared *memsys.System, cores []*cpu.Core, res 
 			shared.ATD(i).ResetCounters()
 		}
 	}
+	return nil
 }
 
 // PrivateReference holds the interference-free ground truth (and the
@@ -287,8 +329,24 @@ type PrivateReference struct {
 // RunPrivate executes a benchmark alone on the CMP (all other cores idle) and
 // records its statistics at the supplied instruction sample points, which
 // come from a shared-mode run (Section VI's alignment methodology).
+// maxCycles bounds the run; zero selects a generous default derived from the
+// last sample point.
 func RunPrivate(cfg *config.CMPConfig, bench workload.Benchmark, samplePoints []uint64, seed int64, maxCycles uint64) (*PrivateReference, error) {
+	return RunPrivateContext(context.Background(), cfg, bench, samplePoints, seed, maxCycles)
+}
+
+// privateCancelCheckCycles is how often RunPrivateContext polls its context.
+// Private runs have no interval boundaries, so a fixed cycle stride bounds
+// the cancellation latency instead.
+const privateCancelCheckCycles = 4096
+
+// RunPrivateContext is RunPrivate under a context, polled every
+// privateCancelCheckCycles cycles.
+func RunPrivateContext(ctx context.Context, cfg *config.CMPConfig, bench workload.Benchmark, samplePoints []uint64, seed int64, maxCycles uint64) (*PrivateReference, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	shared, err := memsys.New(cfg)
@@ -321,6 +379,11 @@ func RunPrivate(cfg *config.CMPConfig, bench workload.Benchmark, samplePoints []
 	out := &PrivateReference{Benchmark: bench.Name}
 	next := 0
 	for now := uint64(0); now < maxCycles; now++ {
+		if now%privateCancelCheckCycles == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		shared.Tick(now)
 		for _, req := range shared.Completed(0) {
 			core.CompleteRequest(req, now)

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/accounting"
@@ -270,5 +272,99 @@ func TestSeedReproducibility(t *testing.T) {
 		if a.CoreStats[i].Instructions != b.CoreStats[i].Instructions {
 			t.Error("per-core instruction counts differ between identical runs")
 		}
+	}
+}
+
+func TestRunContextExpiredBeforeFirstInterval(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, baseOptions(t, 2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled run returned a result")
+	}
+}
+
+func TestRunContextCancelledMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := baseOptions(t, 2)
+	opts.InstructionsPerCore = 50000
+	opts.IntervalCycles = 1000
+	intervals := 0
+	opts.OnInterval = func(IntervalRecord) error {
+		intervals++
+		if intervals == 2 {
+			cancel()
+		}
+		return nil
+	}
+	_, err := RunContext(ctx, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation is observed at the next interval boundary: at most one more
+	// interval's worth of records (one per core) may arrive after cancel().
+	if intervals > 2+2 {
+		t.Errorf("%d interval records delivered after cancellation", intervals)
+	}
+}
+
+func TestOnIntervalStreamsAndDiscards(t *testing.T) {
+	opts := baseOptions(t, 2)
+	gdpo, _ := accounting.NewGDP(2, 32, true)
+	opts.Accountants = []accounting.Accountant{gdpo}
+	opts.DiscardIntervals = true
+	var streamed []IntervalRecord
+	opts.OnInterval = func(rec IntervalRecord) error {
+		streamed = append(streamed, rec)
+		return nil
+	}
+	res, err := RunContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) == 0 {
+		t.Fatal("no records streamed")
+	}
+	for _, rec := range streamed {
+		if _, ok := rec.Estimates["GDP-O"]; !ok {
+			t.Fatal("streamed record missing estimates")
+		}
+	}
+	for core := range res.Intervals {
+		if len(res.Intervals[core]) != 0 {
+			t.Error("DiscardIntervals kept interval records")
+		}
+		if len(res.SamplePoints[core]) == 0 {
+			t.Error("DiscardIntervals dropped sample points")
+		}
+	}
+}
+
+func TestOnIntervalErrorAbortsRun(t *testing.T) {
+	opts := baseOptions(t, 2)
+	opts.InstructionsPerCore = 50000
+	opts.IntervalCycles = 1000
+	sentinel := errors.New("stop here")
+	opts.OnInterval = func(IntervalRecord) error { return sentinel }
+	_, err := RunContext(context.Background(), opts)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestRunPrivateContextCancelled(t *testing.T) {
+	opts := baseOptions(t, 2)
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = RunPrivateContext(ctx, opts.Config, opts.Workload.Benchmarks[0], res.SamplePoints[0], opts.Seed, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

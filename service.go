@@ -1,0 +1,538 @@
+package gdp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"slices"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// APIVersion is the version tag of the request/response layer. Requests may
+// leave their api_version empty (it defaults to this) or must match it.
+const APIVersion = "v1"
+
+// RequestError marks a client-side problem with a service request; the HTTP
+// layer maps it to 400 Bad Request.
+type RequestError struct{ Msg string }
+
+func (e *RequestError) Error() string { return "gdp: bad request: " + e.Msg }
+
+func badRequestf(format string, args ...any) error {
+	return &RequestError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// EstimateRequest asks for interference-free performance estimates of one
+// multi-programmed workload: the workload runs in shared mode with the chosen
+// accounting technique attached, and the response reports the per-core
+// estimates the technique produced at runtime (no private-mode reference runs
+// are needed — that is the point of the paper).
+//
+// Either Benchmarks names one benchmark per core explicitly, or Cores+Mix
+// generate a workload (Seed disambiguates repeated generations).
+type EstimateRequest struct {
+	APIVersion string `json:"api_version,omitempty"`
+	// Cores is the CMP size (default 4; ignored when Benchmarks is set).
+	Cores int `json:"cores,omitempty"`
+	// Mix is the workload category: H, M, L, HHML, HMML or HMLL (default H).
+	Mix string `json:"mix,omitempty"`
+	// Benchmarks optionally lists one benchmark name per core.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Technique is the accounting technique: GDP, GDP-O, ITCA, PTCA or ASM
+	// (default GDP-O).
+	Technique string `json:"technique,omitempty"`
+	// PRBEntries sizes the GDP/GDP-O Pending Request Buffer (default 32).
+	PRBEntries int `json:"prb_entries,omitempty"`
+	// InstructionsPerCore, IntervalCycles and Seed mirror SimOptions; zero
+	// values select the engine scale's defaults.
+	InstructionsPerCore uint64 `json:"instructions_per_core,omitempty"`
+	IntervalCycles      uint64 `json:"interval_cycles,omitempty"`
+	Seed                int64  `json:"seed,omitempty"`
+	// MaxCycles bounds the simulation (0 = derived default).
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+}
+
+// CoreEstimate is one core's estimate in an EstimateResponse. The estimated
+// private CPI is the instruction-weighted mean of the per-interval estimates.
+type CoreEstimate struct {
+	Core                int     `json:"core"`
+	Benchmark           string  `json:"benchmark"`
+	SharedCPI           float64 `json:"shared_cpi"`
+	SharedIPC           float64 `json:"shared_ipc"`
+	EstimatedPrivateCPI float64 `json:"estimated_private_cpi"`
+	EstimatedPrivateIPC float64 `json:"estimated_private_ipc"`
+	// EstimatedSlowdown is shared CPI over estimated private CPI (>= 1 when
+	// the technique attributes any slowdown to interference).
+	EstimatedSlowdown float64 `json:"estimated_slowdown"`
+	// Intervals counts the measurement intervals that contributed.
+	Intervals int `json:"intervals"`
+}
+
+// EstimateResponse is the outcome of one estimation query.
+type EstimateResponse struct {
+	APIVersion string         `json:"api_version"`
+	Workload   string         `json:"workload"`
+	Technique  string         `json:"technique"`
+	Cycles     uint64         `json:"cycles"`
+	Cores      []CoreEstimate `json:"cores"`
+}
+
+// Work-size limits: a shared service must bound how much simulation one
+// request can demand, or a few oversized requests occupy every concurrency
+// slot indefinitely. Out-of-range requests get 400, not a truncated run.
+const (
+	// maxServiceCores bounds a single estimate request's CMP size.
+	maxServiceCores = 64
+	// maxServiceInstructions bounds the per-core instruction sample of one
+	// request (the paper-like scale uses 30k; 10M is minutes of CPU).
+	maxServiceInstructions = 10_000_000
+	// minServiceIntervalCycles keeps the per-interval accounting work
+	// amortized over a sensible window.
+	minServiceIntervalCycles = 100
+	// maxServiceWorkloads bounds the workload population of one sweep cell.
+	maxServiceWorkloads = 64
+	// maxServicePRBEntries bounds the Pending Request Buffer size.
+	maxServicePRBEntries = 1 << 20
+)
+
+// checkWorkSize validates the shared simulation-size fields.
+func checkWorkSize(instructions, interval uint64, workloads int) error {
+	if instructions > maxServiceInstructions {
+		return badRequestf("instructions_per_core = %d exceeds the %d limit", instructions, maxServiceInstructions)
+	}
+	if interval != 0 && interval < minServiceIntervalCycles {
+		return badRequestf("interval_cycles = %d below the %d minimum", interval, minServiceIntervalCycles)
+	}
+	if workloads < 0 || workloads > maxServiceWorkloads {
+		return badRequestf("workloads = %d out of range (0..%d)", workloads, maxServiceWorkloads)
+	}
+	return nil
+}
+
+// resolveWorkload turns the request's workload description into a Workload.
+func (r *EstimateRequest) resolveWorkload() (Workload, error) {
+	if len(r.Benchmarks) > 0 {
+		if len(r.Benchmarks) > maxServiceCores {
+			return Workload{}, badRequestf("%d benchmarks exceeds the %d-core limit", len(r.Benchmarks), maxServiceCores)
+		}
+		wl := Workload{ID: "request"}
+		for _, name := range r.Benchmarks {
+			b, err := workload.ByName(name)
+			if err != nil {
+				return Workload{}, badRequestf("%v", err)
+			}
+			wl.Benchmarks = append(wl.Benchmarks, b)
+		}
+		return wl, nil
+	}
+	cores := r.Cores
+	if cores == 0 {
+		cores = 4
+	}
+	if cores < 0 || cores > maxServiceCores {
+		return Workload{}, badRequestf("cores = %d out of range (1..%d)", cores, maxServiceCores)
+	}
+	mixName := r.Mix
+	if mixName == "" {
+		mixName = "H"
+	}
+	mixList, err := experiments.ParseMixList(mixName)
+	if err != nil || len(mixList) != 1 {
+		return Workload{}, badRequestf("unknown mix %q (want H, M, L, HHML, HMML or HMLL)", r.Mix)
+	}
+	ws, err := workload.Generate(workload.GenerateOptions{
+		Cores: cores, Mix: mixList[0], Count: 1, Seed: r.Seed,
+	})
+	if err != nil {
+		return Workload{}, badRequestf("%v", err)
+	}
+	return ws[0], nil
+}
+
+// buildAccountant instantiates the requested accounting technique.
+func buildAccountant(technique string, cores, prbEntries int) (Accountant, error) {
+	switch technique {
+	case "GDP":
+		return NewGDP(cores, prbEntries)
+	case "GDP-O":
+		return NewGDPO(cores, prbEntries)
+	case "ITCA":
+		return NewITCA(cores)
+	case "PTCA":
+		return NewPTCA(cores)
+	case "ASM":
+		return NewASM(cores, 0)
+	default:
+		return nil, badRequestf("unknown technique %q (want GDP, GDP-O, ITCA, PTCA or ASM)", technique)
+	}
+}
+
+// Estimate answers one estimation query: it resolves the workload, attaches
+// the requested accounting technique, streams the shared-mode simulation
+// (intervals are reduced on the fly, never accumulated) and reports the
+// instruction-weighted private-performance estimates per core. Client-side
+// problems return a *RequestError; cancellation of ctx aborts the simulation
+// at the next interval boundary.
+func (e *Engine) Estimate(ctx context.Context, req *EstimateRequest) (*EstimateResponse, error) {
+	if req == nil {
+		return nil, badRequestf("empty request")
+	}
+	if req.APIVersion != "" && req.APIVersion != APIVersion {
+		return nil, badRequestf("unsupported api_version %q (this server speaks %q)", req.APIVersion, APIVersion)
+	}
+	if err := checkWorkSize(req.InstructionsPerCore, req.IntervalCycles, 0); err != nil {
+		return nil, err
+	}
+	wl, err := req.resolveWorkload()
+	if err != nil {
+		return nil, err
+	}
+	cores := wl.Cores()
+
+	technique := req.Technique
+	if technique == "" {
+		technique = "GDP-O"
+	}
+	prb := req.PRBEntries
+	if prb == 0 {
+		prb = 32
+	}
+	if prb < 0 || prb > maxServicePRBEntries {
+		return nil, badRequestf("prb_entries = %d out of range (1..%d)", prb, maxServicePRBEntries)
+	}
+	acct, err := buildAccountant(technique, cores, prb)
+	if err != nil {
+		return nil, err
+	}
+
+	scale := e.Scale()
+	instructions := req.InstructionsPerCore
+	if instructions == 0 {
+		instructions = scale.InstructionsPerCore
+	}
+	interval := req.IntervalCycles
+	if interval == 0 {
+		interval = scale.IntervalCycles
+	}
+
+	// Reduce the stream in place: per core, the instruction-weighted mean of
+	// the interval estimates. DiscardIntervals keeps the run's memory O(cores)
+	// regardless of its length.
+	type acc struct {
+		weighted float64
+		weight   float64
+		count    int
+	}
+	sums := make([]acc, cores)
+	res, err := e.Run(ctx, SimOptions{
+		Config:              config.ScaledConfig(cores),
+		Workload:            wl,
+		InstructionsPerCore: instructions,
+		IntervalCycles:      interval,
+		Seed:                req.Seed,
+		Accountants:         []Accountant{acct},
+		MaxCycles:           req.MaxCycles,
+		DiscardIntervals:    true,
+		OnInterval: func(rec IntervalRecord) error {
+			if rec.Shared.Instructions == 0 {
+				return nil
+			}
+			est, ok := rec.Estimates[technique]
+			if !ok || est.PrivateCPI <= 0 {
+				return nil
+			}
+			w := float64(rec.Shared.Instructions)
+			sums[rec.Core].weighted += est.PrivateCPI * w
+			sums[rec.Core].weight += w
+			sums[rec.Core].count++
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &EstimateResponse{
+		APIVersion: APIVersion,
+		Workload:   wl.ID,
+		Technique:  technique,
+		Cycles:     res.Cycles,
+	}
+	for core := 0; core < cores; core++ {
+		ce := CoreEstimate{
+			Core:      core,
+			Benchmark: wl.Benchmarks[core].Name,
+			SharedCPI: res.SampleStats[core].CPI(),
+			Intervals: sums[core].count,
+		}
+		if ce.SharedCPI > 0 {
+			ce.SharedIPC = 1 / ce.SharedCPI
+		}
+		if sums[core].weight > 0 {
+			ce.EstimatedPrivateCPI = sums[core].weighted / sums[core].weight
+			ce.EstimatedPrivateIPC = 1 / ce.EstimatedPrivateCPI
+			ce.EstimatedSlowdown = ce.SharedCPI / ce.EstimatedPrivateCPI
+		}
+		out.Cores = append(out.Cores, ce)
+	}
+	return out, nil
+}
+
+// SweepRequest asks for a user-defined experiment grid; it is the JSON face
+// of SweepOptions.
+type SweepRequest struct {
+	APIVersion          string   `json:"api_version,omitempty"`
+	CoreCounts          []int    `json:"core_counts,omitempty"`
+	Mixes               []string `json:"mixes,omitempty"`
+	PRBSizes            []int    `json:"prb_sizes,omitempty"`
+	Techniques          []string `json:"techniques,omitempty"`
+	Policies            []string `json:"policies,omitempty"`
+	Workloads           int      `json:"workloads,omitempty"`
+	InstructionsPerCore uint64   `json:"instructions_per_core,omitempty"`
+	IntervalCycles      uint64   `json:"interval_cycles,omitempty"`
+	Seed                int64    `json:"seed,omitempty"`
+}
+
+// SweepResponse is the outcome of a sweep query.
+type SweepResponse struct {
+	APIVersion string     `json:"api_version"`
+	Cells      int        `json:"cells"`
+	Rows       []SweepRow `json:"rows"`
+}
+
+// maxSweepCells bounds the grid size one request may fan out.
+const maxSweepCells = 512
+
+// EvaluateSweep answers one sweep query on the Engine's worker pool and
+// shared cache.
+func (e *Engine) EvaluateSweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
+	if req == nil {
+		return nil, badRequestf("empty request")
+	}
+	if req.APIVersion != "" && req.APIVersion != APIVersion {
+		return nil, badRequestf("unsupported api_version %q (this server speaks %q)", req.APIVersion, APIVersion)
+	}
+	opts := SweepOptions{
+		CoreCounts:          req.CoreCounts,
+		PRBSizes:            req.PRBSizes,
+		Techniques:          req.Techniques,
+		Policies:            req.Policies,
+		Workloads:           req.Workloads,
+		InstructionsPerCore: req.InstructionsPerCore,
+		IntervalCycles:      req.IntervalCycles,
+		Seed:                req.Seed,
+	}
+	if err := checkWorkSize(req.InstructionsPerCore, req.IntervalCycles, req.Workloads); err != nil {
+		return nil, err
+	}
+	for _, cores := range req.CoreCounts {
+		if cores <= 0 || cores > maxServiceCores {
+			return nil, badRequestf("core count %d out of range (1..%d)", cores, maxServiceCores)
+		}
+	}
+	for _, prb := range req.PRBSizes {
+		if prb <= 0 || prb > maxServicePRBEntries {
+			return nil, badRequestf("prb size %d out of range (1..%d)", prb, maxServicePRBEntries)
+		}
+	}
+	// An unknown technique or policy would otherwise be silently skipped by
+	// the study drivers, yielding a 200 with empty rows.
+	for _, name := range req.Techniques {
+		if !slices.Contains(experiments.TechniqueNames, name) {
+			return nil, badRequestf("unknown technique %q (want one of %v)", name, experiments.TechniqueNames)
+		}
+	}
+	for _, name := range req.Policies {
+		if !slices.Contains(experiments.PolicyNames, name) {
+			return nil, badRequestf("unknown policy %q (want one of %v)", name, experiments.PolicyNames)
+		}
+	}
+	if len(req.Mixes) > 0 {
+		mixes, err := experiments.ParseMixList(strings.Join(req.Mixes, ","))
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		opts.Mixes = mixes
+	}
+	// Account for the grid defaults SweepOptions fills in (cores {4},
+	// mixes {H, M, L}, PRB sizes {32}) when sizing the request.
+	coreN, mixN, prbN := len(req.CoreCounts), len(req.Mixes), len(req.PRBSizes)
+	if coreN == 0 {
+		coreN = 1
+	}
+	if mixN == 0 {
+		mixN = 3
+	}
+	if prbN == 0 {
+		prbN = 1
+	}
+	cells := coreN * mixN * prbN
+	if len(req.Policies) > 0 {
+		cells += coreN * mixN
+	}
+	if cells > maxSweepCells {
+		return nil, badRequestf("grid of %d cells exceeds the %d-cell limit", cells, maxSweepCells)
+	}
+	res, err := e.Sweep(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &SweepResponse{APIVersion: APIVersion, Cells: res.Cells, Rows: res.Rows}, nil
+}
+
+// Server exposes an Engine over HTTP/JSON:
+//
+//	POST /v1/estimate   EstimateRequest  -> EstimateResponse
+//	POST /v1/sweep      SweepRequest     -> SweepResponse
+//	GET  /healthz       liveness + cache statistics
+//
+// Error responses carry {"error": "..."} with status 400 (malformed or
+// invalid request), 405 (wrong method), 503 (concurrent-request limit
+// reached) or 500. A request whose client disappears mid-simulation is
+// aborted at the next interval boundary via the request context.
+//
+// Server is an http.Handler; wrap it in an http.Server for timeouts and
+// graceful shutdown (see cmd/gdpsim's serve subcommand).
+type Server struct {
+	engine *Engine
+	sem    chan struct{}
+	mux    *http.ServeMux
+	// maxBodyBytes bounds a request body; requests beyond it fail decoding.
+	maxBodyBytes int64
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server) error
+
+// WithMaxConcurrent bounds how many estimation/sweep requests run
+// simultaneously (default 2×NumCPU as reported by the runtime; healthz is
+// never limited). Excess requests receive 503 Service Unavailable.
+func WithMaxConcurrent(n int) ServerOption {
+	return func(s *Server) error {
+		if n < 1 {
+			return fmt.Errorf("gdp: WithMaxConcurrent(%d): need at least 1", n)
+		}
+		s.sem = make(chan struct{}, n)
+		return nil
+	}
+}
+
+// NewServer wraps an Engine as an HTTP handler. A nil engine selects
+// DefaultEngine().
+func NewServer(engine *Engine, opts ...ServerOption) (*Server, error) {
+	if engine == nil {
+		engine = DefaultEngine()
+	}
+	s := &Server{
+		engine:       engine,
+		maxBodyBytes: 1 << 20,
+	}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	if s.sem == nil {
+		s.sem = make(chan struct{}, 2*defaultConcurrency())
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/estimate", handleJSON(s, s.engine.Estimate))
+	s.mux.HandleFunc("/v1/sweep", handleJSON(s, s.engine.EvaluateSweep))
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handleHealthz reports liveness and cache statistics.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "healthz is GET-only")
+		return
+	}
+	hits, misses := s.engine.Cache().Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"api_version":  APIVersion,
+		"cache_hits":   hits,
+		"cache_misses": misses,
+	})
+}
+
+// statusClientClosedRequest is nginx's conventional status for a client that
+// went away before the response; it only ever reaches logs and tests, never
+// a real client.
+const statusClientClosedRequest = 499
+
+// handleJSON adapts an Engine method to a POST JSON endpoint with the
+// server's concurrency limit and error mapping.
+func handleJSON[Req any, Resp any](s *Server, call func(context.Context, *Req) (*Resp, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "concurrent-request limit reached")
+			return
+		}
+		req := new(Req)
+		body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+		if err := json.NewDecoder(body).Decode(req); err != nil {
+			writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+			return
+		}
+		resp, err := call(r.Context(), req)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, resp)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The client went away (or timed out) mid-simulation; the run was
+			// aborted at an interval boundary. Nobody is listening for the
+			// body, so only a status for the access log.
+			w.WriteHeader(statusClientClosedRequest)
+		default:
+			var reqErr *RequestError
+			if errors.As(err, &reqErr) {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+	}
+}
+
+// defaultConcurrency is the machine-derived concurrent-request default.
+func defaultConcurrency() int {
+	if n := runtime.NumCPU(); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
