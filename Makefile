@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check bench bench-sweep clean
+.PHONY: all build test race fuzz-smoke vet fmt-check bench bench-sweep clean
 
 all: build test vet fmt-check
 
@@ -9,6 +9,21 @@ build:
 
 test:
 	$(GO) test ./...
+
+# race runs the full suite under the race detector (CI runs this as its own
+# job; it is several times slower than plain `make test`).
+race:
+	$(GO) test -race ./...
+
+# fuzz-smoke runs each checked-in fuzz target briefly against its seed corpus
+# plus a short exploration budget. A regression found here reproduces with
+# `go test -run=Fuzz` once the failing input is added to testdata.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReader$$ -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzReaderStreaming -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzEstimateRequestJSON -fuzztime=$(FUZZTIME) .
+	$(GO) test -run='^$$' -fuzz=FuzzSweepRequestJSON -fuzztime=$(FUZZTIME) .
 
 vet:
 	$(GO) vet ./...

@@ -11,7 +11,10 @@
 //	gdpsim headline               Headline ratios derived from fig3
 //	gdpsim overhead               Storage and latency overheads (Section IV)
 //	gdpsim run                    Run a single workload and print estimates
+//	gdpsim scenarios              List the named workload scenarios
 //	gdpsim sweep                  Run a user-defined experiment grid
+//	gdpsim trace record           Record a scenario or benchmark list to trace files
+//	gdpsim trace replay           Replay recorded trace files and print estimates
 //	gdpsim serve                  Serve estimation queries over HTTP/JSON
 //
 // Every subcommand runs on one shared gdp.Engine built from the global flags:
@@ -75,7 +78,7 @@ func run(ctx context.Context, args []string) error {
 	rest := fs.Args()
 	if len(rest) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (table1, fig3, fig4, fig5, fig6, fig7, headline, overhead, run, sweep, serve)")
+		return fmt.Errorf("missing subcommand (table1, fig3, fig4, fig5, fig6, fig7, headline, overhead, run, scenarios, sweep, trace, serve)")
 	}
 
 	scale := gdp.DefaultScale()
@@ -128,8 +131,12 @@ func run(ctx context.Context, args []string) error {
 		return cmdOverhead(*cores)
 	case "run":
 		return cmdRun(ctx, engine, *cores, *benchNames)
+	case "scenarios":
+		return cmdScenarios(engine, rest[1:])
 	case "sweep":
 		return cmdSweep(ctx, engine, rest[1:])
+	case "trace":
+		return cmdTrace(ctx, engine, rest[1:])
 	case "serve":
 		return cmdServe(ctx, engine, rest[1:])
 	default:
@@ -307,6 +314,7 @@ func cmdSweep(ctx context.Context, engine *gdp.Engine, args []string) error {
 	prbList := fs.String("prb", "32", "comma-separated Pending Request Buffer sizes")
 	techniques := fs.String("techniques", "", "comma-separated accounting techniques (default: all five)")
 	policies := fs.String("policies", "", "comma-separated LLC policies; adds one partitioning cell per (cores, mix)")
+	scenarios := fs.String("scenario", "", "comma-separated scenario names; adds one accuracy cell per (cores, scenario)")
 	csvPath := fs.String("csv", "", "also export the rows as CSV to this file")
 	jsonPath := fs.String("json", "", "also export the result as JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -343,6 +351,14 @@ func cmdSweep(ctx context.Context, engine *gdp.Engine, args []string) error {
 	}
 	if *policies != "" {
 		opts.Policies = experiments.ParseStringList(*policies)
+	}
+	if *scenarios != "" {
+		opts.Scenarios = experiments.ParseStringList(*scenarios)
+		for _, name := range opts.Scenarios {
+			if _, err := gdp.ScenarioByName(name); err != nil {
+				return err
+			}
+		}
 	}
 
 	res, err := engine.Sweep(ctx, opts)

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	gdp "repro"
+)
+
+// cmdScenarios lists the named workload scenarios of the registry.
+func cmdScenarios(engine *gdp.Engine, args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("scenarios: unexpected argument %q", args[0])
+	}
+	fmt.Println("Named workload scenarios (gdpsim sweep/trace record -scenario, POST /v1/estimate {\"scenario\": ...}):")
+	for _, sc := range engine.Scenarios() {
+		fmt.Printf("  %-16s [%s] %s\n", sc.Name, sc.Class, sc.Description)
+	}
+	return nil
+}
+
+// cmdTrace dispatches the trace subcommands.
+func cmdTrace(ctx context.Context, engine *gdp.Engine, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("trace: missing subcommand (record, replay)")
+	}
+	switch args[0] {
+	case "record":
+		return cmdTraceRecord(engine, args[1:])
+	case "replay":
+		return cmdTraceReplay(ctx, engine, args[1:])
+	default:
+		return fmt.Errorf("trace: unknown subcommand %q (want record or replay)", args[0])
+	}
+}
+
+// tracePath names the per-core trace file of a recording.
+func tracePath(prefix string, core int) string {
+	return fmt.Sprintf("%s.core%d.gdpt", prefix, core)
+}
+
+// cmdTraceRecord records a scenario (or an explicit benchmark list) into one
+// trace file per core. The per-core streams use the same seed derivation as a
+// live run, so replaying the files reproduces the live run exactly as long as
+// the recording covers every instruction the run fetches.
+func cmdTraceRecord(engine *gdp.Engine, args []string) error {
+	fs := flag.NewFlagSet("gdpsim trace record", flag.ContinueOnError)
+	scenario := fs.String("scenario", "", "scenario to record (see gdpsim scenarios)")
+	benchNames := fs.String("benchmarks", "", "comma-separated benchmark names (alternative to -scenario)")
+	cores := fs.Int("cores", 4, "core count (ignored with -benchmarks)")
+	n := fs.Int("n", 0, "instructions per core to record (0 = 50x the scale's per-core sample)")
+	out := fs.String("out", "", "output path prefix; writes <prefix>.core<i>.gdpt (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("trace record: unexpected argument %q", fs.Arg(0))
+	}
+	if *out == "" {
+		return fmt.Errorf("trace record: -out is required")
+	}
+	scale := engine.Scale()
+	count := *n
+	if count == 0 {
+		// Benchmarks keep executing past their sample until the last core
+		// finishes, so record well beyond the per-core instruction budget.
+		count = int(scale.InstructionsPerCore) * 50
+	}
+
+	var wl gdp.Workload
+	switch {
+	case *scenario != "" && *benchNames != "":
+		return fmt.Errorf("trace record: -scenario and -benchmarks are mutually exclusive")
+	case *scenario != "":
+		sc, err := gdp.ScenarioByName(*scenario)
+		if err != nil {
+			return err
+		}
+		if wl, err = sc.Workload(*cores); err != nil {
+			return err
+		}
+	case *benchNames != "":
+		wl.ID = "custom"
+		for _, name := range strings.Split(*benchNames, ",") {
+			b, err := gdp.BenchmarkByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			wl.Benchmarks = append(wl.Benchmarks, b)
+		}
+	default:
+		return fmt.Errorf("trace record: one of -scenario or -benchmarks is required")
+	}
+
+	for core, bench := range wl.Benchmarks {
+		path := tracePath(*out, core)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = gdp.RecordBenchmarkTrace(f, bench, scale.Seed, core, count)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("trace record: %s: %w", path, err)
+		}
+		fmt.Printf("wrote %s (%s, %d instructions, format v%d)\n", path, bench.Name, count, gdp.TraceFormatVersion)
+	}
+	return nil
+}
+
+// cmdTraceReplay replays recorded trace files (one per core) through a
+// shared-mode run and prints the per-core estimates as JSON.
+func cmdTraceReplay(ctx context.Context, engine *gdp.Engine, args []string) error {
+	fs := flag.NewFlagSet("gdpsim trace replay", flag.ContinueOnError)
+	in := fs.String("in", "", "comma-separated trace files, one per core, in core order (required)")
+	technique := fs.String("technique", "", "accounting technique (default GDP-O)")
+	prb := fs.Int("prb", 0, "Pending Request Buffer size (default 32)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("trace replay: unexpected argument %q", fs.Arg(0))
+	}
+	if *in == "" {
+		return fmt.Errorf("trace replay: -in is required")
+	}
+
+	var (
+		sources []gdp.TraceSource
+		wl      = gdp.Workload{ID: "replay"}
+	)
+	for _, path := range strings.Split(*in, ",") {
+		path = strings.TrimSpace(path)
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		rep, err := gdp.NewTraceReplayer(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("trace replay: %s: %w", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s: %q, %d instructions\n", path, rep.Name(), rep.Len())
+		sources = append(sources, rep)
+		wl.Benchmarks = append(wl.Benchmarks, gdp.Benchmark{Name: rep.Name(), Suite: "trace"})
+	}
+
+	scale := engine.Scale()
+	resp, err := engine.Replay(ctx, wl, sources, gdp.ScenarioRunOptions{
+		Technique:           *technique,
+		PRBEntries:          *prb,
+		InstructionsPerCore: scale.InstructionsPerCore,
+		IntervalCycles:      scale.IntervalCycles,
+		Seed:                scale.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	for core, src := range sources {
+		if rep, ok := src.(*gdp.TraceReplayer); ok && rep.Wraps() > 0 {
+			fmt.Fprintf(os.Stderr, "warning: trace %q (core %d) wrapped %d times; the recording is shorter than the run's fetch demand, so these estimates match no live run\n",
+				rep.Name(), core, rep.Wraps())
+		}
+	}
+	return gdp.WriteJSON(os.Stdout, resp)
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceRecordReplayRoundTrip drives the CLI end to end: record a scenario
+// to per-core trace files, replay them, and check the replayed estimates are
+// identical whether the traces are replayed once or twice (the files, not the
+// process state, carry the workload).
+func TestTraceRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "bursty")
+	scaleArgs := []string{"-instructions", "1200", "-interval", "1000", "-seed", "5"}
+
+	record := append(append([]string{}, scaleArgs...),
+		"trace", "record", "-scenario", "bursty", "-cores", "2", "-out", prefix)
+	if err := run(context.Background(), record); err != nil {
+		t.Fatal(err)
+	}
+
+	in := fmt.Sprintf("%s.core0.gdpt,%s.core1.gdpt", prefix, prefix)
+	replayArgs := append(append([]string{}, scaleArgs...), "trace", "replay", "-in", in)
+	first := captureStdout(t, func() error { return run(context.Background(), replayArgs) })
+	if !strings.Contains(first, `"benchmark": "bursty.0"`) {
+		t.Fatalf("replay output missing trace-named benchmark:\n%s", first)
+	}
+	second := captureStdout(t, func() error { return run(context.Background(), replayArgs) })
+	if first != second {
+		t.Errorf("replay is not reproducible:\n--- first\n%s--- second\n%s", first, second)
+	}
+}
+
+func TestTraceSubcommandRejectsBadUsage(t *testing.T) {
+	ctx := context.Background()
+	cases := [][]string{
+		{"trace"},
+		{"trace", "unknown"},
+		{"trace", "record"},              // missing -out and workload
+		{"trace", "record", "-out", "x"}, // missing workload
+		{"trace", "record", "-scenario", "nope", "-out", "x"},                          // unknown scenario
+		{"trace", "record", "-scenario", "bursty", "-benchmarks", "gzip", "-out", "x"}, // exclusive flags
+		{"trace", "replay"}, // missing -in
+		{"trace", "replay", "-in", "/nonexistent/file.gdpt"},
+		{"scenarios", "stray"},
+	}
+	for _, args := range cases {
+		if err := run(ctx, args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestScenariosSubcommand(t *testing.T) {
+	out := captureStdout(t, func() error { return run(context.Background(), []string{"scenarios"}) })
+	for _, name := range []string{"streaming", "pointer-chase", "compute-heavy"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("scenarios listing missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestSweepScenarioFlag(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(context.Background(), []string{
+			"-workloads", "1", "-instructions", "1000", "-interval", "800",
+			"sweep", "-cores", "2", "-mixes", "H", "-techniques", "GDP-O", "-scenario", "compute-heavy",
+		})
+	})
+	if !strings.Contains(out, "compute-heavy") {
+		t.Errorf("sweep output missing scenario row:\n%s", out)
+	}
+}
+
+func TestSweepRejectsUnknownScenario(t *testing.T) {
+	err := run(context.Background(), []string{"sweep", "-scenario", "not-a-scenario"})
+	if err == nil {
+		t.Fatal("unknown sweep scenario accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("error %q does not identify the unknown scenario", err)
+	}
+}

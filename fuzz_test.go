@@ -1,0 +1,92 @@
+package gdp
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzEstimateRequestJSON fuzzes the v1 estimate request decode-and-validate
+// path: any bytes that unmarshal into an EstimateRequest must either resolve
+// to a workload or be rejected with a classified *RequestError — never panic
+// and never leak an unclassified error for a client-side problem. No
+// simulation runs; this is exactly the pre-simulation half of the HTTP
+// handler.
+func FuzzEstimateRequestJSON(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"cores": 4, "mix": "H"}`))
+	f.Add([]byte(`{"benchmarks": ["omnetpp", "lbm"], "technique": "GDP"}`))
+	f.Add([]byte(`{"scenario": "streaming", "cores": 2}`))
+	f.Add([]byte(`{"scenario": "streaming", "mix": "H"}`))
+	f.Add([]byte(`{"api_version": "v0"}`))
+	f.Add([]byte(`{"cores": -1}`))
+	f.Add([]byte(`{"cores": 100000, "instructions_per_core": 99999999999}`))
+	f.Add([]byte(`{"mix": "bogus", "prb_entries": -7, "interval_cycles": 1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req EstimateRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		p, err := req.validate()
+		if err != nil {
+			requireRequestError(t, err)
+			return
+		}
+		if p.workload.Cores() == 0 {
+			t.Fatalf("validate accepted %q but produced an empty workload", data)
+		}
+	})
+}
+
+// FuzzSweepRequestJSON fuzzes the v1 sweep request validation (grid sizing,
+// name checks, work-size limits) without fanning out any cells.
+func FuzzSweepRequestJSON(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"core_counts": [2, 4], "mixes": ["H", "L"], "prb_sizes": [16, 32]}`))
+	f.Add([]byte(`{"scenarios": ["streaming", "bursty"], "techniques": ["GDP-O"]}`))
+	f.Add([]byte(`{"policies": ["UCP"], "workloads": 100}`))
+	f.Add([]byte(`{"core_counts": [0]}`))
+	f.Add([]byte(`{"mixes": ["nope"]}`))
+	f.Add([]byte(`{"core_counts": [1,2,3,4,5,6,7,8], "prb_sizes": [1,2,4,8,16,32,64,128]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req SweepRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		opts, err := req.validate()
+		if err != nil {
+			requireRequestError(t, err)
+			return
+		}
+		// Accepted requests stay within the advertised grid bound.
+		coreN, mixN, prbN := len(opts.CoreCounts), len(opts.Mixes), len(opts.PRBSizes)
+		if coreN == 0 {
+			coreN = 1
+		}
+		if mixN == 0 {
+			mixN = 3
+		}
+		if prbN == 0 {
+			prbN = 1
+		}
+		cells := coreN * mixN * prbN
+		if len(opts.Policies) > 0 {
+			cells += coreN * mixN
+		}
+		cells += coreN * len(opts.Scenarios) * prbN
+		if cells > maxSweepCells {
+			t.Fatalf("validate accepted a grid of %d cells (limit %d): %q", cells, maxSweepCells, data)
+		}
+	})
+}
+
+// requireRequestError asserts a rejection maps to HTTP 400.
+func requireRequestError(t *testing.T, err error) {
+	t.Helper()
+	var reqErr *RequestError
+	if !errors.As(err, &reqErr) {
+		t.Fatalf("client-side rejection %v is not a *RequestError (would map to HTTP 500)", err)
+	}
+}

@@ -19,6 +19,10 @@
 //
 //   - CMP configuration (Table I parameter sets),
 //   - the synthetic benchmark suite and multi-programmed workload generator,
+//   - the workload scenario registry (named patterns beyond the paper's
+//     mixes; Engine.Scenarios, Engine.RunScenario) and the versioned binary
+//     trace format that records and replays any instruction stream
+//     byte-identically (TraceWriter, TraceReplayer, RecordBenchmarkTrace),
 //   - the simulation driver (shared-mode and private-mode runs),
 //   - the accounting techniques (GDP, GDP-O, ITCA, PTCA, ASM),
 //   - the LLC partitioning policies (LRU, UCP, MCP, MCP-O),

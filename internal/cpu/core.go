@@ -52,7 +52,7 @@ type Core struct {
 	l1Lat, l2Lat int
 	l1MSHRs      int
 
-	gen    *trace.Generator
+	src    trace.Source
 	l1d    *cache.Cache
 	l2     *cache.Cache
 	shared MemorySystem
@@ -109,11 +109,12 @@ type Core struct {
 	instLimit uint64
 }
 
-// New creates a core. generator provides the instruction stream, sharedMem
+// New creates a core. src provides the instruction stream (a synthetic
+// trace.Generator or a trace.Replayer playing back a recording), sharedMem
 // receives requests that miss in the private L1/L2 hierarchy.
-func New(id int, cfg *config.CMPConfig, generator *trace.Generator, sharedMem MemorySystem) (*Core, error) {
-	if generator == nil {
-		return nil, fmt.Errorf("cpu: core %d needs an instruction generator", id)
+func New(id int, cfg *config.CMPConfig, src trace.Source, sharedMem MemorySystem) (*Core, error) {
+	if src == nil {
+		return nil, fmt.Errorf("cpu: core %d needs an instruction source", id)
 	}
 	if sharedMem == nil {
 		return nil, fmt.Errorf("cpu: core %d needs a shared memory system", id)
@@ -132,7 +133,7 @@ func New(id int, cfg *config.CMPConfig, generator *trace.Generator, sharedMem Me
 		l1Lat:            cfg.L1D.LatencyCyc,
 		l2Lat:            cfg.L2.LatencyCyc,
 		l1MSHRs:          cfg.L1D.MSHRs,
-		gen:              generator,
+		src:              src,
 		l1d:              l1d,
 		l2:               l2,
 		shared:           sharedMem,
@@ -559,7 +560,7 @@ func (c *Core) dispatch(now uint64) {
 			inst = c.staged
 			c.hasStaged = false
 		} else {
-			inst = c.gen.Next()
+			inst = c.src.Next()
 		}
 		if inst.Kind.IsMem() && c.memOps >= c.cfg.LSQEntries {
 			// No LSQ entry: stage the instruction and retry next cycle.

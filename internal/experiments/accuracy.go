@@ -531,7 +531,7 @@ func accuracyStudyOver(ctx context.Context, workloads []workload.Workload, opts 
 func privateReferences(ctx context.Context, opts AccuracyOptions, wl workload.Workload, res *sim.Result, simSeed int64) ([]*sim.PrivateReference, error) {
 	privs := make([]*sim.PrivateReference, wl.Cores())
 	for core, bench := range wl.Benchmarks {
-		p, err := memoPrivateRef(ctx, opts.Cache, opts.Config, bench, res.SamplePoints[core], simSeed+int64(core)*7919)
+		p, err := memoPrivateRef(ctx, opts.Cache, opts.Config, bench, res.SamplePoints[core], sim.CoreSeed(simSeed, core))
 		if err != nil {
 			return nil, err
 		}

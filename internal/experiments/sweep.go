@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"strconv"
 	"strings"
 
@@ -26,6 +27,10 @@ type SweepOptions struct {
 	// Policies, when non-empty, adds one partitioning cell per (cores, mix)
 	// pair evaluating the named LLC policies.
 	Policies []string
+	// Scenarios, when non-empty, adds one accuracy cell per (cores, scenario,
+	// PRB size) combination evaluating the named scenario workloads from the
+	// registry.
+	Scenarios []string
 
 	// Workloads, InstructionsPerCore, IntervalCycles and Seed have the same
 	// meaning as in AccuracyOptions; zero values select the same defaults.
@@ -64,12 +69,14 @@ func (o SweepOptions) withDefaults() SweepOptions {
 
 // SweepRow is one flattened result line of a sweep, ready for CSV/JSON
 // export: an accuracy row reports one technique's mean RMS errors in one grid
-// cell, a partitioning row reports one policy's average STP.
+// cell, a partitioning row reports one policy's average STP, and a scenario
+// row reports one technique's mean RMS errors over a named scenario workload
+// (Mix then carries the scenario name).
 type SweepRow struct {
 	Cores int    `json:"cores"`
-	Mix   string `json:"mix"`
+	Mix   string `json:"mix"` // mix name, or the scenario name for Kind "scenario"
 	PRB   int    `json:"prb,omitempty"`
-	Kind  string `json:"kind"` // "accuracy" or "partitioning"
+	Kind  string `json:"kind"` // "accuracy", "partitioning" or "scenario"
 	Name  string `json:"name"` // technique or policy name
 
 	// The metric fields are always present in the JSON export (a measured
@@ -89,10 +96,11 @@ type SweepResult struct {
 
 // sweepCell is one grid cell prior to execution.
 type sweepCell struct {
-	kind  string // "accuracy" or "partitioning"
-	cores int
-	mix   workload.MixKind
-	prb   int
+	kind     string // "accuracy", "partitioning" or "scenario"
+	cores    int
+	mix      workload.MixKind
+	prb      int
+	scenario string
 }
 
 // Sweep runs a user-defined experiment grid through the runner.
@@ -134,14 +142,33 @@ func SweepContext(ctx context.Context, opts SweepOptions) (*SweepResult, error) 
 			}
 		}
 	}
+	for _, cores := range opts.CoreCounts {
+		for _, name := range opts.Scenarios {
+			for _, prb := range opts.PRBSizes {
+				cells = append(cells, sweepCell{kind: "scenario", cores: cores, scenario: name, prb: prb})
+			}
+		}
+	}
 
 	jobs := make([]runner.Job[[]SweepRow], len(cells))
 	for i, cell := range cells {
 		cell := cell
-		cellSeed := pairSeed(cell.cores, cell.mix)
-		label := fmt.Sprintf("%s/%dc-%s", cell.kind, cell.cores, cell.mix)
-		if cell.kind == "accuracy" {
-			label += fmt.Sprintf("/prb%d", cell.prb)
+		var cellSeed int64
+		var label string
+		if cell.kind == "scenario" {
+			// Scenario seeds derive from the name itself (not the grid
+			// position), so the same logical cell produces the same numbers
+			// no matter what else the grid contains.
+			// PRB size is excluded from the seed (like accuracy cells) so
+			// PRB variants evaluate the same workload streams.
+			cellSeed = opts.Seed + int64(cell.cores)*8 + scenarioSeedOffset(cell.scenario)
+			label = fmt.Sprintf("scenario/%dc-%s/prb%d", cell.cores, cell.scenario, cell.prb)
+		} else {
+			cellSeed = pairSeed(cell.cores, cell.mix)
+			label = fmt.Sprintf("%s/%dc-%s", cell.kind, cell.cores, cell.mix)
+			if cell.kind == "accuracy" {
+				label += fmt.Sprintf("/prb%d", cell.prb)
+			}
 		}
 		jobs[i] = runner.Job[[]SweepRow]{
 			Label: label,
@@ -221,9 +248,50 @@ func runSweepCell(ctx context.Context, cell sweepCell, seed int64, opts SweepOpt
 			})
 		}
 		return rows, nil
+	case "scenario":
+		sc, err := workload.ScenarioByName(cell.scenario)
+		if err != nil {
+			return nil, err
+		}
+		wl, err := sc.Workload(cell.cores)
+		if err != nil {
+			return nil, err
+		}
+		res, err := AccuracyStudyForWorkloadContext(ctx, wl, AccuracyOptions{
+			InstructionsPerCore: opts.InstructionsPerCore,
+			IntervalCycles:      opts.IntervalCycles,
+			Seed:                seed,
+			PRBEntries:          cell.prb,
+			Techniques:          opts.Techniques,
+			Jobs:                1,
+			Cache:               opts.Cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]SweepRow, 0, len(res.Techniques))
+		for _, t := range res.Techniques {
+			rows = append(rows, SweepRow{
+				Cores: cell.cores, Mix: cell.scenario, PRB: cell.prb,
+				Kind: "scenario", Name: t.Technique,
+				MeanIPCAbsRMS:   t.MeanIPCAbsRMS,
+				MeanIPCRelRMS:   t.MeanIPCRelRMS,
+				MeanStallAbsRMS: t.MeanStallAbsRMS,
+			})
+		}
+		return rows, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown sweep cell kind %q", cell.kind)
 	}
+}
+
+// scenarioSeedOffset maps a scenario name to a stable seed offset so that a
+// scenario cell's numbers do not depend on the registry order or on the rest
+// of the grid.
+func scenarioSeedOffset(name string) int64 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(name))
+	return int64(h.Sum32() % 4096)
 }
 
 // Table flattens the sweep into a CSV-ready table.

@@ -17,8 +17,14 @@ import (
 	"repro/internal/dram"
 	"repro/internal/memsys"
 	"repro/internal/partition"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// CoreSeed derives the per-core trace seed of a shared-mode run from the
+// run's base seed. External trace recorders use it to reproduce the exact
+// instruction streams a live run with the same base seed would generate.
+func CoreSeed(seed int64, core int) int64 { return seed + int64(core)*7919 }
 
 // Options configure one shared-mode simulation run.
 type Options struct {
@@ -35,8 +41,17 @@ type Options struct {
 	// IntervalCycles is the accounting / repartitioning interval (the paper
 	// uses 5M cycles on full-size samples; scaled runs use smaller values).
 	IntervalCycles uint64
-	// Seed randomizes the synthetic traces.
+	// Seed randomizes the synthetic traces. Core i's generator is seeded with
+	// CoreSeed(Seed, i). Ignored when Sources is set.
 	Seed int64
+	// Sources, when non-empty, supplies every core's instruction stream
+	// directly (for example trace.Replayers playing back recorded traces)
+	// instead of constructing generators from Workload and Seed. Its length
+	// must equal the core count and every entry must be non-nil. Workload
+	// still labels the run (benchmark names in records and results).
+	// Sources implementing Reset() (trace.Replayer does) are rewound at the
+	// start of the run, so the same sources drive repeated runs identically.
+	Sources []trace.Source
 	// Accountants are attached to the run and produce per-interval estimates.
 	Accountants []accounting.Accountant
 	// Partitioner, when non-nil, repartitions the LLC every interval.
@@ -105,6 +120,16 @@ func (o *Options) validate() error {
 	if o.IntervalCycles == 0 {
 		return fmt.Errorf("sim: IntervalCycles is required")
 	}
+	if len(o.Sources) > 0 {
+		if len(o.Sources) != o.Config.Cores {
+			return fmt.Errorf("sim: %d instruction sources for %d cores", len(o.Sources), o.Config.Cores)
+		}
+		for i, src := range o.Sources {
+			if src == nil {
+				return fmt.Errorf("sim: instruction source for core %d is nil", i)
+			}
+		}
+	}
 	return nil
 }
 
@@ -149,11 +174,22 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	}
 	cores := make([]*cpu.Core, opts.Config.Cores)
 	for i := range cores {
-		gen, err := opts.Workload.Benchmarks[i].NewGenerator(opts.Seed + int64(i)*7919)
-		if err != nil {
-			return nil, err
+		var src trace.Source
+		if len(opts.Sources) > 0 {
+			src = opts.Sources[i]
+			// Rewind replay-style sources so repeated runs over the same
+			// sources observe the stream from the beginning every time.
+			if r, ok := src.(interface{ Reset() }); ok {
+				r.Reset()
+			}
+		} else {
+			gen, err := opts.Workload.Benchmarks[i].NewGenerator(CoreSeed(opts.Seed, i))
+			if err != nil {
+				return nil, err
+			}
+			src = gen
 		}
-		core, err := cpu.New(i, opts.Config, gen, shared)
+		core, err := cpu.New(i, opts.Config, src, shared)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,373 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Source is an instruction stream: anything that can hand the core model one
+// instruction per fetch. Generator (the parametric synthetic generator) and
+// Replayer (a recorded trace played back) both implement it, so every
+// component that consumes instructions is backend-agnostic.
+type Source interface {
+	Next() Instruction
+}
+
+// Compile-time interface checks.
+var (
+	_ Source = (*Generator)(nil)
+	_ Source = (*Replayer)(nil)
+)
+
+// FormatVersion is the current on-disk trace format version. Version 1 is a
+// fixed uncompressed header (magic, version, stream name) followed by a gzip
+// stream of varint-packed instruction records.
+const FormatVersion = 1
+
+// traceMagic identifies a GDP trace file.
+var traceMagic = [6]byte{'G', 'D', 'P', 'T', 'R', 'C'}
+
+// maxNameLen bounds the stream-name field so a corrupted length prefix cannot
+// make the reader attempt a huge allocation.
+const maxNameLen = 1024
+
+// ErrBadTrace wraps every problem a reader hits while decoding a trace
+// stream (bad magic, unsupported version, corrupted or truncated records),
+// so callers can recognize decode failures with errors.Is. Errors from the
+// underlying io.Reader surface through the same path — mid-decode they are
+// indistinguishable from truncation — so a trace counts as well-formed only
+// once it has decoded cleanly end to end.
+var ErrBadTrace = errors.New("trace: malformed trace")
+
+func badTracef(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadTrace, fmt.Sprintf(format, args...))
+}
+
+// Record flag layout: the low three bits carry the instruction kind and the
+// fourth bit the branch-predictor outcome. Higher bits must be zero in
+// version 1; a set high bit marks a corrupted record.
+const (
+	recKindMask    = 0x07
+	recMispredict  = 0x08
+	recReservedBit = 0xF0
+)
+
+// Writer serializes an instruction stream into the versioned binary trace
+// format. Close must be called to flush the compressed stream; the underlying
+// io.Writer is not closed.
+type Writer struct {
+	gz     *gzip.Writer
+	bw     *bufio.Writer
+	count  uint64
+	closed bool
+	err    error
+}
+
+// NewWriter writes the trace header (magic, version, stream name) to w and
+// returns a Writer appending instruction records to it. name labels the
+// stream (typically the benchmark or scenario the trace was recorded from)
+// and travels inside the file so replays are self-describing.
+func NewWriter(w io.Writer, name string) (*Writer, error) {
+	if len(name) > maxNameLen {
+		return nil, fmt.Errorf("trace: stream name of %d bytes exceeds the %d-byte limit", len(name), maxNameLen)
+	}
+	var hdr bytes.Buffer
+	hdr.Write(traceMagic[:])
+	hdr.WriteByte(FormatVersion)
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(name)))
+	hdr.Write(lenBuf[:n])
+	hdr.WriteString(name)
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	gz := gzip.NewWriter(w)
+	return &Writer{gz: gz, bw: bufio.NewWriter(gz)}, nil
+}
+
+// Write appends one instruction record.
+func (w *Writer) Write(inst Instruction) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errors.New("trace: write on closed Writer")
+	}
+	if inst.Kind > Branch {
+		return fmt.Errorf("trace: cannot encode instruction kind %d", inst.Kind)
+	}
+	if inst.Dep1 < 0 || inst.Dep2 < 0 {
+		return fmt.Errorf("trace: cannot encode negative dependency distance (%d, %d)", inst.Dep1, inst.Dep2)
+	}
+	flags := byte(inst.Kind) & recKindMask
+	if inst.Mispredicted {
+		flags |= recMispredict
+	}
+	var buf [1 + 3*binary.MaxVarintLen64]byte
+	buf[0] = flags
+	n := 1
+	n += binary.PutUvarint(buf[n:], inst.Addr)
+	n += binary.PutUvarint(buf[n:], uint64(inst.Dep1))
+	n += binary.PutUvarint(buf[n:], uint64(inst.Dep2))
+	if _, err := w.bw.Write(buf[:n]); err != nil {
+		w.err = err
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of instructions written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Close flushes and terminates the compressed stream. It does not close the
+// underlying io.Writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.gz.Close()
+}
+
+// Record writes n instructions drawn from src to w as one complete trace
+// stream named name. It is the canonical way to capture a benchmark or
+// scenario for later replay.
+func Record(w io.Writer, name string, src Source, n int) error {
+	if n < 1 {
+		return fmt.Errorf("trace: cannot record %d instructions", n)
+	}
+	tw, err := NewWriter(w, name)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := tw.Write(src.Next()); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}
+
+// Reader decodes a trace stream record by record. Read returns io.EOF exactly
+// at a clean end of stream; truncated or corrupted inputs yield an error
+// wrapping ErrBadTrace.
+type Reader struct {
+	gz *gzip.Reader
+	br *bufio.Reader
+	// hr is the buffered view of the underlying reader; after the compressed
+	// stream ends it is checked for trailing bytes, which are rejected.
+	hr    *bufio.Reader
+	name  string
+	count uint64
+}
+
+// NewReader validates the trace header on r and returns a Reader positioned
+// at the first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	hr := bufio.NewReader(r)
+	var magic [6]byte
+	if _, err := io.ReadFull(hr, magic[:]); err != nil {
+		return nil, badTracef("short header: %v", err)
+	}
+	if magic != traceMagic {
+		return nil, badTracef("bad magic %q", magic[:])
+	}
+	version, err := hr.ReadByte()
+	if err != nil {
+		return nil, badTracef("missing version: %v", err)
+	}
+	if version != FormatVersion {
+		return nil, badTracef("unsupported version %d (this reader speaks %d)", version, FormatVersion)
+	}
+	nameLen, err := binary.ReadUvarint(hr)
+	if err != nil {
+		return nil, badTracef("bad name length: %v", err)
+	}
+	if nameLen > maxNameLen {
+		return nil, badTracef("name length %d exceeds the %d-byte limit", nameLen, maxNameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(hr, nameBuf); err != nil {
+		return nil, badTracef("short name: %v", err)
+	}
+	gz, err := gzip.NewReader(hr)
+	if err != nil {
+		return nil, badTracef("bad compressed stream: %v", err)
+	}
+	// A trace is exactly one gzip stream. Without this, gzip's multistream
+	// mode would transparently decode data appended after a valid trace as
+	// extra instructions — a doctored file would replay a different stream
+	// with no error.
+	gz.Multistream(false)
+	return &Reader{gz: gz, br: bufio.NewReader(gz), hr: hr, name: string(nameBuf)}, nil
+}
+
+// Name returns the stream name recorded in the header.
+func (r *Reader) Name() string { return r.name }
+
+// Count returns the number of instructions decoded so far.
+func (r *Reader) Count() uint64 { return r.count }
+
+// Read decodes the next instruction. It returns io.EOF at a clean end of
+// stream and an error wrapping ErrBadTrace on corruption or truncation.
+func (r *Reader) Read() (Instruction, error) {
+	flags, err := r.br.ReadByte()
+	if err == io.EOF {
+		// Clean end of the compressed stream: anything left in the
+		// underlying reader is foreign data, not part of this trace.
+		if _, terr := r.hr.ReadByte(); terr != io.EOF {
+			return Instruction{}, badTracef("trailing data after end of stream")
+		}
+		return Instruction{}, io.EOF
+	}
+	if err != nil {
+		return Instruction{}, badTracef("record %d: %v", r.count, err)
+	}
+	if flags&recReservedBit != 0 {
+		return Instruction{}, badTracef("record %d: reserved flag bits set (0x%02x)", r.count, flags)
+	}
+	kind := Kind(flags & recKindMask)
+	if kind > Branch {
+		return Instruction{}, badTracef("record %d: unknown instruction kind %d", r.count, kind)
+	}
+	addr, err := r.readUvarint()
+	if err != nil {
+		return Instruction{}, badTracef("record %d: bad address: %v", r.count, err)
+	}
+	dep1, err := r.readDep()
+	if err != nil {
+		return Instruction{}, badTracef("record %d: bad dep1: %v", r.count, err)
+	}
+	dep2, err := r.readDep()
+	if err != nil {
+		return Instruction{}, badTracef("record %d: bad dep2: %v", r.count, err)
+	}
+	r.count++
+	return Instruction{
+		Kind:         kind,
+		Addr:         addr,
+		Dep1:         dep1,
+		Dep2:         dep2,
+		Mispredicted: flags&recMispredict != 0,
+	}, nil
+}
+
+// readUvarint reads a varint field, mapping EOF inside a record to a
+// truncation error.
+func (r *Reader) readUvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return v, err
+}
+
+// readDep reads a dependency distance and range-checks it.
+func (r *Reader) readDep() (int32, error) {
+	v, err := r.readUvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("dependency distance %d overflows int32", v)
+	}
+	return int32(v), nil
+}
+
+// Close releases the decompressor. It does not close the underlying reader.
+func (r *Reader) Close() error { return r.gz.Close() }
+
+// ReadAll decodes a complete trace stream, returning its name and every
+// instruction. Truncated and corrupted inputs fail with ErrBadTrace.
+func ReadAll(r io.Reader) (string, []Instruction, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return "", nil, err
+	}
+	defer tr.Close()
+	var out []Instruction
+	for {
+		inst, err := tr.Read()
+		if err == io.EOF {
+			return tr.Name(), out, nil
+		}
+		if err != nil {
+			return tr.Name(), nil, err
+		}
+		out = append(out, inst)
+	}
+}
+
+// Replayer replays a recorded trace as an infinite instruction stream: when
+// the recorded instructions are exhausted the stream wraps around to the
+// beginning (the simulator lets benchmarks execute past their sample, so a
+// finite recording must keep producing). Wraps reports how often that
+// happened so callers can verify a recording was long enough for exact
+// live-vs-replay comparisons.
+type Replayer struct {
+	name  string
+	insts []Instruction
+	pos   int
+	wraps int
+}
+
+// NewReplayer decodes a complete trace stream from r into memory and returns
+// a Source replaying it. The trace must contain at least one instruction.
+func NewReplayer(r io.Reader) (*Replayer, error) {
+	name, insts, err := ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewReplayerFromInstructions(name, insts)
+}
+
+// NewReplayerFromInstructions wraps an already-decoded instruction slice. The
+// slice is used directly, not copied.
+func NewReplayerFromInstructions(name string, insts []Instruction) (*Replayer, error) {
+	if len(insts) == 0 {
+		return nil, badTracef("empty trace %q", name)
+	}
+	return &Replayer{name: name, insts: insts}, nil
+}
+
+// Name returns the stream name recorded in the trace.
+func (p *Replayer) Name() string { return p.name }
+
+// Reset rewinds the replayer to the start of the recording and clears the
+// wrap counter. The simulation driver resets every resettable source at the
+// start of a run, so one set of replayers can drive repeated runs and each
+// run observes the stream from the beginning.
+func (p *Replayer) Reset() {
+	p.pos = 0
+	p.wraps = 0
+}
+
+// Len returns the number of recorded instructions.
+func (p *Replayer) Len() int { return len(p.insts) }
+
+// Wraps reports how many times the replayer has restarted from the beginning.
+func (p *Replayer) Wraps() int { return p.wraps }
+
+// Next returns the next recorded instruction, wrapping at the end. The wrap
+// counter increments lazily — only when a fetch actually reaches back past
+// the end of the recording — so a recording consumed exactly once reports
+// zero wraps.
+func (p *Replayer) Next() Instruction {
+	if p.pos == len(p.insts) {
+		p.pos = 0
+		p.wraps++
+	}
+	inst := p.insts[p.pos]
+	p.pos++
+	return inst
+}

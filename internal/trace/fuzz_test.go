@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReader throws arbitrary bytes at the trace decoder. The invariants:
+// the decoder never panics, any stream it fully accepts re-encodes and
+// re-decodes to the same instructions (round-trip stability), and every
+// rejection is a classified ErrBadTrace, not a raw I/O or gzip error leaking
+// through.
+func FuzzReader(f *testing.F) {
+	// Seed with well-formed traces of several shapes plus near-miss
+	// corruptions (see also the committed corpus under testdata/fuzz).
+	mkTrace := func(name string, insts []Instruction) []byte {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, inst := range insts {
+			if err := w.Write(inst); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add([]byte("GDPTRC"))
+	f.Add(mkTrace("", nil))
+	f.Add(mkTrace("one", []Instruction{{Kind: Load, Addr: 1 << 40, Dep1: 3}}))
+	f.Add(mkTrace("mixed", []Instruction{
+		{Kind: IntOp, Dep1: 1, Dep2: 2},
+		{Kind: Branch, Dep1: 4, Mispredicted: true},
+		{Kind: Store, Addr: 4096, Dep1: 1, Dep2: 1},
+		{Kind: FPMul, Dep1: 8, Dep2: 16},
+	}))
+	g, err := NewGenerator(formatTestParams(), 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mkTrace("generated", g.Generate(64)))
+	truncated := mkTrace("trunc", []Instruction{{Kind: Load, Addr: 64, Dep1: 1}})
+	f.Add(truncated[:len(truncated)-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, insts, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("rejection is not an ErrBadTrace: %v", err)
+			}
+			return
+		}
+		// Accepted stream: it must round-trip through Writer and Reader.
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, name)
+		if err != nil {
+			t.Fatalf("re-encoding accepted stream: %v", err)
+		}
+		for i, inst := range insts {
+			if err := w.Write(inst); err != nil {
+				t.Fatalf("re-encoding accepted instruction %d (%+v): %v", i, inst, err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		name2, insts2, err := ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded stream: %v", err)
+		}
+		if name2 != name || len(insts2) != len(insts) {
+			t.Fatalf("round trip changed shape: (%q, %d) vs (%q, %d)", name2, len(insts2), name, len(insts))
+		}
+		for i := range insts {
+			if insts[i] != insts2[i] {
+				t.Fatalf("round trip changed instruction %d: %+v vs %+v", i, insts2[i], insts[i])
+			}
+		}
+	})
+}
+
+// FuzzReaderStreaming drives the incremental Read path (rather than ReadAll)
+// so mid-stream error handling and the Count bookkeeping get fuzzed too.
+func FuzzReaderStreaming(f *testing.F) {
+	g, err := NewGenerator(formatTestParams(), 11)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, "stream", g, 32); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("GDPTRC\x01\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		defer r.Close()
+		var n uint64
+		for {
+			_, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrBadTrace) {
+					t.Fatalf("mid-stream rejection is not an ErrBadTrace: %v", err)
+				}
+				break
+			}
+			n++
+			if r.Count() != n {
+				t.Fatalf("Count = %d after %d reads", r.Count(), n)
+			}
+		}
+	})
+}

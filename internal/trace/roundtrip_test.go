@@ -1,0 +1,91 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestSuiteRoundTrip is the round-trip property of the trace format over the
+// full benchmark suite: for every benchmark, recording N instructions through
+// trace.Writer and replaying them yields exactly the stream a fresh generator
+// with the same seed produces. This is the invariant the live-vs-replay
+// byte-identity of Engine.Run rests on.
+func TestSuiteRoundTrip(t *testing.T) {
+	const (
+		n    = 2000
+		seed = 97
+	)
+	for _, bench := range workload.Suite() {
+		t.Run(bench.Name, func(t *testing.T) {
+			rec, err := bench.NewGenerator(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := trace.Record(&buf, bench.Name, rec, n); err != nil {
+				t.Fatal(err)
+			}
+
+			rep, err := trace.NewReplayer(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Name() != bench.Name {
+				t.Fatalf("trace name = %q, want %q", rep.Name(), bench.Name)
+			}
+			if rep.Len() != n {
+				t.Fatalf("trace length = %d, want %d", rep.Len(), n)
+			}
+
+			fresh, err := bench.NewGenerator(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				want := fresh.Next()
+				if got := rep.Next(); got != want {
+					t.Fatalf("instruction %d: replayed %+v, generated %+v", i, got, want)
+				}
+			}
+			if rep.Wraps() != 0 {
+				t.Fatalf("Wraps = %d after one exact pass, want 0 (exact consumption is not a wrap)", rep.Wraps())
+			}
+		})
+	}
+}
+
+// TestSuiteRoundTripCorruption checks the error paths on real benchmark
+// recordings: every truncation or bit flip inside the compressed payload must
+// surface as an error, never as a silently different stream.
+func TestSuiteRoundTripCorruption(t *testing.T) {
+	bench, err := workload.ByName("omnetpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := bench.NewGenerator(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Record(&buf, bench.Name, gen, 3000); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	for _, cut := range []int{len(data) - 1, len(data) - 8, len(data) / 2} {
+		if _, _, err := trace.ReadAll(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d bytes decoded cleanly", cut, len(data))
+		}
+	}
+	// Flip one byte in the middle of the compressed payload: either the
+	// decompressor or the record decoder (or the gzip CRC at the end) must
+	// object before ReadAll returns success.
+	flipped := bytes.Clone(data)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, _, err := trace.ReadAll(bytes.NewReader(flipped)); err == nil {
+		t.Error("bit flip in payload decoded cleanly")
+	}
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestScenarioRegistryShape(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) < 8 {
+		t.Fatalf("registry has %d scenarios, want at least 8", len(scs))
+	}
+	if !sort.SliceIsSorted(scs, func(i, j int) bool { return scs[i].Name < scs[j].Name }) {
+		t.Error("Scenarios() is not sorted by name")
+	}
+	seen := map[string]bool{}
+	for _, sc := range scs {
+		if sc.Name == "" || sc.Description == "" {
+			t.Errorf("scenario %+v missing name or description", sc)
+		}
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Name != strings.ToLower(sc.Name) {
+			t.Errorf("scenario name %q is not lower-case", sc.Name)
+		}
+	}
+	names := ScenarioNames()
+	if len(names) != len(scs) {
+		t.Fatalf("ScenarioNames has %d entries, registry %d", len(names), len(scs))
+	}
+	for i, sc := range scs {
+		if names[i] != sc.Name {
+			t.Errorf("ScenarioNames[%d] = %q, want %q", i, names[i], sc.Name)
+		}
+	}
+}
+
+// TestScenarioProfilesValid checks that every scenario yields a valid,
+// buildable workload at the core counts the paper's CMPs use, and that every
+// per-slot profile passes trace parameter validation.
+func TestScenarioProfilesValid(t *testing.T) {
+	for _, sc := range Scenarios() {
+		for _, cores := range []int{1, 2, 4, 8} {
+			wl, err := sc.Workload(cores)
+			if err != nil {
+				t.Errorf("%s.Workload(%d): %v", sc.Name, cores, err)
+				continue
+			}
+			if wl.Cores() != cores {
+				t.Errorf("%s.Workload(%d) has %d benchmarks", sc.Name, cores, wl.Cores())
+			}
+			for slot, b := range wl.Benchmarks {
+				if err := b.Params.Validate(); err != nil {
+					t.Errorf("%s slot %d params: %v", sc.Name, slot, err)
+				}
+				if b.Suite != "scenario" {
+					t.Errorf("%s slot %d suite = %q", sc.Name, slot, b.Suite)
+				}
+				if _, err := b.NewGenerator(1); err != nil {
+					t.Errorf("%s slot %d generator: %v", sc.Name, slot, err)
+				}
+			}
+		}
+	}
+}
+
+func TestScenarioWorkloadDeterministic(t *testing.T) {
+	sc, err := ScenarioByName("streaming")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sc.Workload(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := sc.Workload(4)
+	if a.ID != b.ID || strings.Join(a.Names(), ",") != strings.Join(b.Names(), ",") {
+		t.Error("scenario workloads are not deterministic")
+	}
+	g1, err := a.Benchmarks[0].NewGenerator(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := b.Benchmarks[0].NewGenerator(9)
+	for i := 0; i < 500; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("scenario benchmark streams diverge for identical seeds")
+		}
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	tests := []struct {
+		name    string
+		wantErr bool
+	}{
+		{"streaming", false},
+		{"pointer-chase", false},
+		{"bursty", false},
+		{"phased", false},
+		{"cache-thrash", false},
+		{"latency-bound", false},
+		{"bandwidth-bound", false},
+		{"compute-heavy", false},
+		{"", true},
+		{"STREAMING", true}, // names are case-sensitive registry keys
+		{"no-such-scenario", true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := ScenarioByName(tc.name)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ScenarioByName(%q) succeeded", tc.name)
+				}
+				var unknown *UnknownScenarioError
+				if !errors.As(err, &unknown) {
+					t.Fatalf("error %T is not *UnknownScenarioError", err)
+				}
+				if unknown.Name != tc.name {
+					t.Errorf("error names %q, want %q", unknown.Name, tc.name)
+				}
+				if !strings.Contains(err.Error(), "streaming") {
+					t.Errorf("error %q does not list the valid names", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.Name != tc.name {
+				t.Errorf("got scenario %q", sc.Name)
+			}
+		})
+	}
+}
+
+func TestScenarioWorkloadRejectsBadCores(t *testing.T) {
+	sc, err := ScenarioByName("bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cores := range []int{0, -1} {
+		if _, err := sc.Workload(cores); err == nil {
+			t.Errorf("Workload(%d) succeeded", cores)
+		}
+	}
+}

@@ -274,9 +274,94 @@ func TestWorkloadIDsUnique(t *testing.T) {
 }
 
 func TestMixKindString(t *testing.T) {
-	for mix, want := range map[MixKind]string{MixH: "H", MixM: "M", MixL: "L", MixHHML: "HHML", MixHMML: "HMML", MixHMLL: "HMLL"} {
-		if mix.String() != want {
-			t.Errorf("MixKind %d = %q, want %q", mix, mix.String(), want)
+	tests := []struct {
+		mix  MixKind
+		want string
+	}{
+		{MixH, "H"},
+		{MixM, "M"},
+		{MixL, "L"},
+		{MixHHML, "HHML"},
+		{MixHMML, "HMML"},
+		{MixHMLL, "HMLL"},
+		// Fallback path: out-of-range kinds print their numeric value instead
+		// of panicking or aliasing a real mix.
+		{MixKind(42), "Mix(42)"},
+		{MixKind(-1), "Mix(-1)"},
+	}
+	for _, tc := range tests {
+		if got := tc.mix.String(); got != tc.want {
+			t.Errorf("MixKind(%d).String() = %q, want %q", int(tc.mix), got, tc.want)
 		}
+	}
+}
+
+func TestByNameTable(t *testing.T) {
+	tests := []struct {
+		name      string
+		wantErr   bool
+		wantClass Class
+		wantSuite string
+	}{
+		{name: "omnetpp", wantClass: HighSensitivity, wantSuite: "SPEC2006"},
+		{name: "facerec", wantClass: HighSensitivity, wantSuite: "SPEC2000"},
+		{name: "hmmer", wantClass: MediumSensitivity, wantSuite: "SPEC2006"},
+		{name: "gzip", wantClass: LowSensitivity, wantSuite: "SPEC2000"},
+		{name: "", wantErr: true},
+		{name: "OMNETPP", wantErr: true}, // lookup is case-sensitive
+		{name: "omnetpp ", wantErr: true},
+		{name: "nonexistent", wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := ByName(tc.name)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ByName(%q) succeeded", tc.name)
+				}
+				if !strings.Contains(err.Error(), "unknown benchmark") {
+					t.Errorf("error %q does not identify the problem", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Class != tc.wantClass || b.Suite != tc.wantSuite {
+				t.Errorf("ByName(%q) = class %v suite %q, want class %v suite %q",
+					tc.name, b.Class, b.Suite, tc.wantClass, tc.wantSuite)
+			}
+		})
+	}
+}
+
+func TestByClassTable(t *testing.T) {
+	tests := []struct {
+		class     Class
+		wantCount int
+	}{
+		{HighSensitivity, 8},
+		{MediumSensitivity, 8},
+		{LowSensitivity, 36},
+		// Fallback: a class value outside the enum matches nothing.
+		{Class(99), 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.class.String(), func(t *testing.T) {
+			got := ByClass(tc.class)
+			if len(got) != tc.wantCount {
+				t.Fatalf("ByClass(%v) has %d benchmarks, want %d", tc.class, len(got), tc.wantCount)
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i-1].Name >= got[i].Name {
+					t.Fatalf("ByClass(%v) not sorted: %q before %q", tc.class, got[i-1].Name, got[i].Name)
+				}
+			}
+			for _, b := range got {
+				if b.Class != tc.class {
+					t.Errorf("ByClass(%v) contains %s of class %v", tc.class, b.Name, b.Class)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,168 @@
+package gdp
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Trace types. The versioned binary trace format (TraceFormatVersion) makes
+// instruction streams shareable artifacts: record once with a TraceWriter,
+// replay anywhere with a TraceReplayer. Every component that consumes
+// instructions accepts a TraceSource, so synthetic generation and replay are
+// interchangeable backends.
+type (
+	// TraceSource is an instruction stream (synthetic generator or replayer).
+	TraceSource = trace.Source
+	// TraceInstruction is one element of an instruction stream.
+	TraceInstruction = trace.Instruction
+	// TraceWriter serializes an instruction stream to the binary trace format.
+	TraceWriter = trace.Writer
+	// TraceReader decodes a binary trace record by record.
+	TraceReader = trace.Reader
+	// TraceReplayer replays a recorded trace as an infinite TraceSource.
+	TraceReplayer = trace.Replayer
+)
+
+// TraceFormatVersion is the on-disk trace format version this build reads
+// and writes.
+const TraceFormatVersion = trace.FormatVersion
+
+// ErrBadTrace wraps every structural problem found in a trace file.
+var ErrBadTrace = trace.ErrBadTrace
+
+// NewTraceWriter starts a binary trace stream named name on w.
+func NewTraceWriter(w io.Writer, name string) (*TraceWriter, error) { return trace.NewWriter(w, name) }
+
+// NewTraceReader validates the trace header on r and decodes records.
+func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }
+
+// NewTraceReplayer loads a complete binary trace and replays it as a
+// TraceSource (wrapping around at the end of the recording).
+func NewTraceReplayer(r io.Reader) (*TraceReplayer, error) { return trace.NewReplayer(r) }
+
+// RecordTrace writes n instructions from src to w as a complete trace stream
+// named name.
+func RecordTrace(w io.Writer, name string, src TraceSource, n int) error {
+	return trace.Record(w, name, src, n)
+}
+
+// CoreSeed derives the per-core trace seed Engine.Run uses for core i of a
+// run with the given base seed. Recording a benchmark with this seed yields
+// exactly the stream the live run would generate on that core.
+func CoreSeed(seed int64, core int) int64 { return sim.CoreSeed(seed, core) }
+
+// RecordBenchmarkTrace records n instructions of bench's deterministic
+// stream — exactly as Engine.Run would generate them on core `core` of a run
+// with base seed `seed` — to w. Replaying the recording through a run with
+// Sources set reproduces the live run byte for byte, as long as n covers
+// every instruction the run fetches.
+func RecordBenchmarkTrace(w io.Writer, bench Benchmark, seed int64, core int, n int) error {
+	gen, err := bench.NewGenerator(sim.CoreSeed(seed, core))
+	if err != nil {
+		return err
+	}
+	return trace.Record(w, bench.Name, gen, n)
+}
+
+// Scenario types. Scenarios are named workload patterns beyond the paper's
+// H/M/L mixes, assembled deterministically from purpose-built trace profiles.
+type (
+	// Scenario is one named workload pattern from the registry.
+	Scenario = workload.Scenario
+	// UnknownScenarioError reports a scenario name missing from the registry;
+	// the HTTP layer surfaces it as 400.
+	UnknownScenarioError = workload.UnknownScenarioError
+)
+
+// ScenarioNames returns the registered scenario names, sorted.
+func ScenarioNames() []string { return workload.ScenarioNames() }
+
+// ScenarioByName returns the named scenario, or an *UnknownScenarioError.
+func ScenarioByName(name string) (Scenario, error) { return workload.ScenarioByName(name) }
+
+// Scenarios returns the scenario registry, sorted by name.
+func (e *Engine) Scenarios() []Scenario { return workload.Scenarios() }
+
+// ScenarioRunOptions configure Engine.RunScenario. The zero value is useful:
+// 4 cores, GDP-O, a 32-entry PRB and the Engine scale's simulation sizes.
+type ScenarioRunOptions struct {
+	// Cores is the CMP size (default 4).
+	Cores int
+	// Technique is the accounting technique (default GDP-O).
+	Technique string
+	// PRBEntries sizes the GDP/GDP-O Pending Request Buffer (default 32).
+	PRBEntries int
+	// InstructionsPerCore, IntervalCycles and Seed mirror SimOptions; zero
+	// values select the Engine scale's defaults.
+	InstructionsPerCore uint64
+	IntervalCycles      uint64
+	Seed                int64
+	// MaxCycles bounds the simulation (0 = derived default).
+	MaxCycles uint64
+	// Sources, when non-empty, replays externally recorded traces (one per
+	// core) instead of generating the scenario's instruction streams live.
+	Sources []TraceSource
+}
+
+// RunScenario runs a named scenario workload and reduces the run to per-core
+// instruction-weighted private-performance estimates. An unknown name yields
+// an *UnknownScenarioError (reachable through errors.As). With opts.Sources
+// set, the scenario is replayed from recorded traces instead of generated
+// live; a recording produced by RecordBenchmarkTrace with the same seed
+// yields estimates byte-identical to the live run.
+func (e *Engine) RunScenario(ctx context.Context, name string, opts ScenarioRunOptions) (*EstimateResponse, error) {
+	sc, err := workload.ScenarioByName(name)
+	if err != nil {
+		return nil, badRequestErr(err)
+	}
+	cores := opts.Cores
+	if cores == 0 {
+		cores = 4
+	}
+	wl, err := sc.Workload(cores)
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	return e.runEstimate(ctx, estimateParams{
+		workload:            wl,
+		technique:           opts.Technique,
+		prbEntries:          opts.PRBEntries,
+		instructionsPerCore: opts.InstructionsPerCore,
+		intervalCycles:      opts.IntervalCycles,
+		seed:                opts.Seed,
+		maxCycles:           opts.MaxCycles,
+		sources:             opts.Sources,
+	})
+}
+
+// Replay runs an estimation over externally supplied instruction sources,
+// one per core. wl labels the run (its benchmark names appear in the
+// response); the instruction streams come entirely from the sources
+// parameter. opts.Cores is ignored (the core count is len(sources)) and
+// opts.Sources must be empty — that field belongs to RunScenario, where no
+// separate parameter exists.
+func (e *Engine) Replay(ctx context.Context, wl Workload, sources []TraceSource, opts ScenarioRunOptions) (*EstimateResponse, error) {
+	if len(opts.Sources) > 0 {
+		return nil, badRequestf("pass replay sources as the Replay parameter, not ScenarioRunOptions.Sources")
+	}
+	if len(sources) == 0 {
+		return nil, badRequestf("replay needs at least one trace source")
+	}
+	if wl.Cores() != len(sources) {
+		return nil, badRequestf("workload names %d benchmarks for %d trace sources", wl.Cores(), len(sources))
+	}
+	return e.runEstimate(ctx, estimateParams{
+		workload:            wl,
+		technique:           opts.Technique,
+		prbEntries:          opts.PRBEntries,
+		instructionsPerCore: opts.InstructionsPerCore,
+		intervalCycles:      opts.IntervalCycles,
+		seed:                opts.Seed,
+		maxCycles:           opts.MaxCycles,
+		sources:             sources,
+	})
+}

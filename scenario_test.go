@@ -1,0 +1,365 @@
+package gdp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// recordScenarioSources records every benchmark of a scenario workload with
+// the seeds a live run would use and returns replay sources.
+func recordScenarioSources(t *testing.T, wl Workload, seed int64, n int) []TraceSource {
+	t.Helper()
+	sources := make([]TraceSource, wl.Cores())
+	for core, bench := range wl.Benchmarks {
+		var buf bytes.Buffer
+		if err := RecordBenchmarkTrace(&buf, bench, seed, core, n); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := NewTraceReplayer(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[core] = rep
+	}
+	return sources
+}
+
+// TestRecordReplayByteIdentical is the PR's acceptance criterion: recording a
+// scenario to trace files and replaying it through Engine.Run produces
+// estimates byte-identical to running the same scenario live, at worker-pool
+// widths 1 and 8.
+func TestRecordReplayByteIdentical(t *testing.T) {
+	const (
+		name         = "cache-thrash"
+		cores        = 2
+		seed         = int64(13)
+		instructions = 1500
+		interval     = 1000
+	)
+	sc, err := ScenarioByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := sc.Workload(cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, jobs := range []int{1, 8} {
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			engine, err := NewEngine(WithJobs(jobs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+
+			// Raw simulation comparison through Engine.Run: every cycle count,
+			// statistic and per-interval estimate must match exactly.
+			runOpts := func() SimOptions {
+				acct, err := NewGDPO(cores, 32)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return SimOptions{
+					Config:              ScaledConfig(cores),
+					Workload:            wl,
+					InstructionsPerCore: instructions,
+					IntervalCycles:      interval,
+					Seed:                seed,
+					Accountants:         []Accountant{acct},
+				}
+			}
+			live, err := engine.Run(ctx, runOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Record past the sample budget: cores keep fetching until the
+			// last core finishes.
+			sources := recordScenarioSources(t, wl, seed, instructions*50)
+			replayOpts := runOpts()
+			replayOpts.Sources = sources
+			replayed, err := engine.Run(ctx, replayOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, src := range sources {
+				if rep := src.(*TraceReplayer); rep.Wraps() > 0 {
+					t.Fatalf("replayer %q wrapped %d times: recording too short for an exact comparison", rep.Name(), rep.Wraps())
+				}
+			}
+			if live.Cycles != replayed.Cycles {
+				t.Fatalf("cycles: live %d, replayed %d", live.Cycles, replayed.Cycles)
+			}
+			if !reflect.DeepEqual(live.CoreStats, replayed.CoreStats) {
+				t.Fatal("per-core statistics diverge between live and replayed runs")
+			}
+			if !reflect.DeepEqual(live.Intervals, replayed.Intervals) {
+				t.Fatal("interval records (including estimates) diverge between live and replayed runs")
+			}
+
+			// Reduced-estimate comparison through RunScenario: the JSON
+			// encodings must be byte-identical.
+			scOpts := ScenarioRunOptions{
+				Cores:               cores,
+				InstructionsPerCore: instructions,
+				IntervalCycles:      interval,
+				Seed:                seed,
+			}
+			liveResp, err := engine.RunScenario(ctx, name, scOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scOpts.Sources = recordScenarioSources(t, wl, seed, instructions*50)
+			replayResp, err := engine.RunScenario(ctx, name, scOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			liveJSON, err := json.Marshal(liveResp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayJSON, err := json.Marshal(replayResp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(liveJSON, replayJSON) {
+				t.Fatalf("estimates diverge:\nlive:   %s\nreplay: %s", liveJSON, replayJSON)
+			}
+		})
+	}
+}
+
+// TestReplaySourcesReusable pins the reset contract: running the same replay
+// sources through two consecutive runs yields identical estimates, because
+// the simulation driver rewinds resettable sources at run start.
+func TestReplaySourcesReusable(t *testing.T) {
+	const (
+		name         = "compute-heavy"
+		cores        = 2
+		seed         = int64(3)
+		instructions = 1000
+		interval     = 800
+	)
+	sc, err := ScenarioByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := sc.Workload(cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ScenarioRunOptions{
+		Cores:               cores,
+		InstructionsPerCore: instructions,
+		IntervalCycles:      interval,
+		Seed:                seed,
+		Sources:             recordScenarioSources(t, wl, seed, instructions*50),
+	}
+	first, err := engine.RunScenario(context.Background(), name, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := engine.RunScenario(context.Background(), name, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(first)
+	b, _ := json.Marshal(second)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("reusing replay sources changed the estimates:\nfirst:  %s\nsecond: %s", a, b)
+	}
+}
+
+func TestEngineScenariosListsRegistry(t *testing.T) {
+	engine, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := engine.Scenarios()
+	if len(scs) < 8 {
+		t.Fatalf("Engine.Scenarios() lists %d scenarios, want at least 8", len(scs))
+	}
+}
+
+func TestRunScenarioUnknownNameTypedError(t *testing.T) {
+	engine, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = engine.RunScenario(context.Background(), "no-such-scenario", ScenarioRunOptions{})
+	if err == nil {
+		t.Fatal("RunScenario succeeded for an unknown name")
+	}
+	var unknown *UnknownScenarioError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("error %v is not an *UnknownScenarioError", err)
+	}
+	var reqErr *RequestError
+	if !errors.As(err, &reqErr) {
+		t.Fatalf("error %v would not map to HTTP 400", err)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	engine, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := engine.Replay(ctx, Workload{}, nil, ScenarioRunOptions{}); err == nil {
+		t.Error("Replay accepted zero sources")
+	}
+	bench, err := BenchmarkByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RecordBenchmarkTrace(&buf, bench, 1, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewTraceReplayer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoBench := Workload{ID: "w", Benchmarks: []Benchmark{bench, bench}}
+	if _, err := engine.Replay(ctx, twoBench, []TraceSource{rep}, ScenarioRunOptions{}); err == nil {
+		t.Error("Replay accepted a workload/source count mismatch")
+	}
+	oneBench := Workload{ID: "w", Benchmarks: []Benchmark{bench}}
+	if _, err := engine.Replay(ctx, oneBench, []TraceSource{rep}, ScenarioRunOptions{Sources: []TraceSource{rep}}); err == nil {
+		t.Error("Replay accepted sources in both the parameter and ScenarioRunOptions")
+	}
+}
+
+func TestScenariosEndpoint(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/v1/scenarios", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", rec.Code, rec.Body.String())
+	}
+	var resp ScenariosResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.APIVersion != APIVersion {
+		t.Errorf("api_version = %q", resp.APIVersion)
+	}
+	if len(resp.Scenarios) < 8 {
+		t.Fatalf("endpoint lists %d scenarios, want at least 8", len(resp.Scenarios))
+	}
+	for _, sc := range resp.Scenarios {
+		if sc.Name == "" || sc.Description == "" || sc.Class == "" {
+			t.Errorf("incomplete scenario row %+v", sc)
+		}
+	}
+
+	post := httptest.NewRequest(http.MethodPost, "/v1/scenarios", nil)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, post)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/scenarios status = %d, want 405", rec.Code)
+	}
+}
+
+func TestEstimateEndpointScenario(t *testing.T) {
+	srv := testServer(t)
+	rec := postJSON(t, srv, "/v1/estimate",
+		`{"scenario": "compute-heavy", "cores": 2, "instructions_per_core": 1000, "interval_cycles": 800}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", rec.Code, rec.Body.String())
+	}
+	var resp EstimateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Workload != "2c-scenario-compute-heavy" {
+		t.Errorf("workload = %q", resp.Workload)
+	}
+	if len(resp.Cores) != 2 || resp.Cores[0].Benchmark != "compute-heavy.0" {
+		t.Errorf("unexpected cores payload: %+v", resp.Cores)
+	}
+}
+
+// TestEstimateEndpointScenarioBadRequests pins the 400 mapping of the typed
+// unknown-scenario error and the mutual-exclusion rules.
+func TestEstimateEndpointScenarioBadRequests(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"unknown scenario", `{"scenario": "no-such-scenario"}`},
+		{"scenario with benchmarks", `{"scenario": "streaming", "benchmarks": ["gzip"]}`},
+		{"scenario with mix", `{"scenario": "streaming", "mix": "H"}`},
+		{"scenario with bad cores", `{"scenario": "streaming", "cores": 9999}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := postJSON(t, srv, "/v1/estimate", tc.body)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, body = %s", rec.Code, rec.Body.String())
+			}
+		})
+	}
+}
+
+// TestSweepValidateCountsParsedMixes pins the grid-size accounting against
+// whitespace-only mix entries: ParseMixList drops them, the sweep then runs
+// with the 3-mix default, and the cell bound must be computed from that
+// default — not from the raw entry count.
+func TestSweepValidateCountsParsedMixes(t *testing.T) {
+	req := &SweepRequest{CoreCounts: make([]int, 200), Mixes: []string{" "}}
+	for i := range req.CoreCounts {
+		req.CoreCounts[i] = 2
+	}
+	// 200 cores x 3 defaulted mixes = 600 cells > the 512-cell limit.
+	if _, err := req.validate(); err == nil {
+		t.Fatal("validate accepted a grid that defaults past the cell limit")
+	}
+}
+
+func TestSweepEndpointScenarios(t *testing.T) {
+	srv := testServer(t)
+	rec := postJSON(t, srv, "/v1/sweep",
+		`{"core_counts": [2], "mixes": ["H"], "scenarios": ["compute-heavy"], "techniques": ["GDP-O"], "workloads": 1, "instructions_per_core": 1000, "interval_cycles": 800}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", rec.Code, rec.Body.String())
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cells != 2 {
+		t.Errorf("cells = %d, want 2 (one accuracy + one scenario)", resp.Cells)
+	}
+	var scenarioRows int
+	for _, row := range resp.Rows {
+		if row.Kind == "scenario" {
+			scenarioRows++
+			if row.Mix != "compute-heavy" {
+				t.Errorf("scenario row mix = %q", row.Mix)
+			}
+		}
+	}
+	if scenarioRows == 0 {
+		t.Error("no scenario rows in sweep response")
+	}
+
+	rec = postJSON(t, srv, "/v1/sweep", `{"scenarios": ["bogus"]}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown sweep scenario status = %d, want 400", rec.Code)
+	}
+}

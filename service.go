@@ -20,13 +20,27 @@ import (
 const APIVersion = "v1"
 
 // RequestError marks a client-side problem with a service request; the HTTP
-// layer maps it to 400 Bad Request.
-type RequestError struct{ Msg string }
+// layer maps it to 400 Bad Request. When the problem originates in a typed
+// domain error (for example workload.UnknownScenarioError), Err carries it so
+// errors.As still reaches the cause through the service layer.
+type RequestError struct {
+	Msg string
+	Err error
+}
 
 func (e *RequestError) Error() string { return "gdp: bad request: " + e.Msg }
 
+// Unwrap exposes the wrapped domain error.
+func (e *RequestError) Unwrap() error { return e.Err }
+
 func badRequestf(format string, args ...any) error {
 	return &RequestError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// badRequestErr wraps a typed domain error as a 400 while keeping it
+// reachable with errors.As.
+func badRequestErr(err error) error {
+	return &RequestError{Msg: err.Error(), Err: err}
 }
 
 // EstimateRequest asks for interference-free performance estimates of one
@@ -35,14 +49,19 @@ func badRequestf(format string, args ...any) error {
 // estimates the technique produced at runtime (no private-mode reference runs
 // are needed — that is the point of the paper).
 //
-// Either Benchmarks names one benchmark per core explicitly, or Cores+Mix
-// generate a workload (Seed disambiguates repeated generations).
+// The workload comes from exactly one of three descriptions: Benchmarks
+// names one benchmark per core explicitly, Scenario selects a named scenario
+// from the registry (see GET /v1/scenarios), or Cores+Mix generate a workload
+// (Seed disambiguates repeated generations).
 type EstimateRequest struct {
 	APIVersion string `json:"api_version,omitempty"`
 	// Cores is the CMP size (default 4; ignored when Benchmarks is set).
 	Cores int `json:"cores,omitempty"`
 	// Mix is the workload category: H, M, L, HHML, HMML or HMLL (default H).
 	Mix string `json:"mix,omitempty"`
+	// Scenario selects a named scenario workload instead of a mix (mutually
+	// exclusive with Benchmarks and Mix).
+	Scenario string `json:"scenario,omitempty"`
 	// Benchmarks optionally lists one benchmark name per core.
 	Benchmarks []string `json:"benchmarks,omitempty"`
 	// Technique is the accounting technique: GDP, GDP-O, ITCA, PTCA or ASM
@@ -118,6 +137,14 @@ func checkWorkSize(instructions, interval uint64, workloads int) error {
 
 // resolveWorkload turns the request's workload description into a Workload.
 func (r *EstimateRequest) resolveWorkload() (Workload, error) {
+	if r.Scenario != "" {
+		if len(r.Benchmarks) > 0 {
+			return Workload{}, badRequestf("scenario and benchmarks are mutually exclusive")
+		}
+		if r.Mix != "" {
+			return Workload{}, badRequestf("scenario and mix are mutually exclusive")
+		}
+	}
 	if len(r.Benchmarks) > 0 {
 		if len(r.Benchmarks) > maxServiceCores {
 			return Workload{}, badRequestf("%d benchmarks exceeds the %d-core limit", len(r.Benchmarks), maxServiceCores)
@@ -138,6 +165,17 @@ func (r *EstimateRequest) resolveWorkload() (Workload, error) {
 	}
 	if cores < 0 || cores > maxServiceCores {
 		return Workload{}, badRequestf("cores = %d out of range (1..%d)", cores, maxServiceCores)
+	}
+	if r.Scenario != "" {
+		sc, err := workload.ScenarioByName(r.Scenario)
+		if err != nil {
+			return Workload{}, badRequestErr(err)
+		}
+		wl, err := sc.Workload(cores)
+		if err != nil {
+			return Workload{}, badRequestf("%v", err)
+		}
+		return wl, nil
 	}
 	mixName := r.Mix
 	if mixName == "" {
@@ -184,23 +222,73 @@ func (e *Engine) Estimate(ctx context.Context, req *EstimateRequest) (*EstimateR
 	if req == nil {
 		return nil, badRequestf("empty request")
 	}
-	if req.APIVersion != "" && req.APIVersion != APIVersion {
-		return nil, badRequestf("unsupported api_version %q (this server speaks %q)", req.APIVersion, APIVersion)
-	}
-	if err := checkWorkSize(req.InstructionsPerCore, req.IntervalCycles, 0); err != nil {
-		return nil, err
-	}
-	wl, err := req.resolveWorkload()
+	p, err := req.validate()
 	if err != nil {
 		return nil, err
 	}
-	cores := wl.Cores()
+	return e.runEstimate(ctx, p)
+}
 
-	technique := req.Technique
+// validate checks the request against the service work-size limits and
+// resolves it into estimateParams. It runs no simulation, which makes it the
+// fuzzable front half of Engine.Estimate.
+func (r *EstimateRequest) validate() (estimateParams, error) {
+	if r.APIVersion != "" && r.APIVersion != APIVersion {
+		return estimateParams{}, badRequestf("unsupported api_version %q (this server speaks %q)", r.APIVersion, APIVersion)
+	}
+	if err := checkWorkSize(r.InstructionsPerCore, r.IntervalCycles, 0); err != nil {
+		return estimateParams{}, err
+	}
+	// PRBEntries is range-checked in runEstimate (after defaulting), which
+	// every entry point — Estimate, RunScenario, Replay — flows through.
+	wl, err := r.resolveWorkload()
+	if err != nil {
+		return estimateParams{}, err
+	}
+	return estimateParams{
+		workload:            wl,
+		technique:           r.Technique,
+		prbEntries:          r.PRBEntries,
+		instructionsPerCore: r.InstructionsPerCore,
+		intervalCycles:      r.IntervalCycles,
+		seed:                r.Seed,
+		maxCycles:           r.MaxCycles,
+	}, nil
+}
+
+// estimateParams is the resolved form of one estimation run, shared by
+// Engine.Estimate, Engine.RunScenario and Engine.Replay. Zero values of
+// technique, prbEntries, instructionsPerCore and intervalCycles select the
+// defaults (GDP-O, 32, and the Engine scale).
+type estimateParams struct {
+	workload            Workload
+	technique           string
+	prbEntries          int
+	instructionsPerCore uint64
+	intervalCycles      uint64
+	seed                int64
+	maxCycles           uint64
+	// sources, when non-empty, replays externally supplied instruction
+	// streams (one per core) instead of generating the workload's traces.
+	sources []TraceSource
+}
+
+// runEstimate executes one estimation run and reduces its interval stream to
+// per-core instruction-weighted estimates.
+func (e *Engine) runEstimate(ctx context.Context, p estimateParams) (*EstimateResponse, error) {
+	cores := p.workload.Cores()
+	if cores == 0 {
+		return nil, badRequestf("empty workload")
+	}
+	if len(p.sources) > 0 && len(p.sources) != cores {
+		return nil, badRequestf("%d trace sources for %d cores", len(p.sources), cores)
+	}
+
+	technique := p.technique
 	if technique == "" {
 		technique = "GDP-O"
 	}
-	prb := req.PRBEntries
+	prb := p.prbEntries
 	if prb == 0 {
 		prb = 32
 	}
@@ -213,11 +301,11 @@ func (e *Engine) Estimate(ctx context.Context, req *EstimateRequest) (*EstimateR
 	}
 
 	scale := e.Scale()
-	instructions := req.InstructionsPerCore
+	instructions := p.instructionsPerCore
 	if instructions == 0 {
 		instructions = scale.InstructionsPerCore
 	}
-	interval := req.IntervalCycles
+	interval := p.intervalCycles
 	if interval == 0 {
 		interval = scale.IntervalCycles
 	}
@@ -233,12 +321,13 @@ func (e *Engine) Estimate(ctx context.Context, req *EstimateRequest) (*EstimateR
 	sums := make([]acc, cores)
 	res, err := e.Run(ctx, SimOptions{
 		Config:              config.ScaledConfig(cores),
-		Workload:            wl,
+		Workload:            p.workload,
 		InstructionsPerCore: instructions,
 		IntervalCycles:      interval,
-		Seed:                req.Seed,
+		Seed:                p.seed,
+		Sources:             p.sources,
 		Accountants:         []Accountant{acct},
-		MaxCycles:           req.MaxCycles,
+		MaxCycles:           p.maxCycles,
 		DiscardIntervals:    true,
 		OnInterval: func(rec IntervalRecord) error {
 			if rec.Shared.Instructions == 0 {
@@ -261,14 +350,14 @@ func (e *Engine) Estimate(ctx context.Context, req *EstimateRequest) (*EstimateR
 
 	out := &EstimateResponse{
 		APIVersion: APIVersion,
-		Workload:   wl.ID,
+		Workload:   p.workload.ID,
 		Technique:  technique,
 		Cycles:     res.Cycles,
 	}
 	for core := 0; core < cores; core++ {
 		ce := CoreEstimate{
 			Core:      core,
-			Benchmark: wl.Benchmarks[core].Name,
+			Benchmark: p.workload.Benchmarks[core].Name,
 			SharedCPI: res.SampleStats[core].CPI(),
 			Intervals: sums[core].count,
 		}
@@ -288,12 +377,16 @@ func (e *Engine) Estimate(ctx context.Context, req *EstimateRequest) (*EstimateR
 // SweepRequest asks for a user-defined experiment grid; it is the JSON face
 // of SweepOptions.
 type SweepRequest struct {
-	APIVersion          string   `json:"api_version,omitempty"`
-	CoreCounts          []int    `json:"core_counts,omitempty"`
-	Mixes               []string `json:"mixes,omitempty"`
-	PRBSizes            []int    `json:"prb_sizes,omitempty"`
-	Techniques          []string `json:"techniques,omitempty"`
-	Policies            []string `json:"policies,omitempty"`
+	APIVersion string   `json:"api_version,omitempty"`
+	CoreCounts []int    `json:"core_counts,omitempty"`
+	Mixes      []string `json:"mixes,omitempty"`
+	PRBSizes   []int    `json:"prb_sizes,omitempty"`
+	Techniques []string `json:"techniques,omitempty"`
+	Policies   []string `json:"policies,omitempty"`
+	// Scenarios adds one accuracy cell per (cores, scenario, PRB size)
+	// combination evaluating the named scenario workloads (see
+	// GET /v1/scenarios).
+	Scenarios           []string `json:"scenarios,omitempty"`
 	Workloads           int      `json:"workloads,omitempty"`
 	InstructionsPerCore uint64   `json:"instructions_per_core,omitempty"`
 	IntervalCycles      uint64   `json:"interval_cycles,omitempty"`
@@ -310,60 +403,67 @@ type SweepResponse struct {
 // maxSweepCells bounds the grid size one request may fan out.
 const maxSweepCells = 512
 
-// EvaluateSweep answers one sweep query on the Engine's worker pool and
-// shared cache.
-func (e *Engine) EvaluateSweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
-	if req == nil {
-		return nil, badRequestf("empty request")
-	}
+// validate checks the request against the service work-size limits and
+// resolves it into SweepOptions. It runs no simulation, which makes it the
+// fuzzable front half of EvaluateSweep.
+func (req *SweepRequest) validate() (SweepOptions, error) {
 	if req.APIVersion != "" && req.APIVersion != APIVersion {
-		return nil, badRequestf("unsupported api_version %q (this server speaks %q)", req.APIVersion, APIVersion)
+		return SweepOptions{}, badRequestf("unsupported api_version %q (this server speaks %q)", req.APIVersion, APIVersion)
 	}
 	opts := SweepOptions{
 		CoreCounts:          req.CoreCounts,
 		PRBSizes:            req.PRBSizes,
 		Techniques:          req.Techniques,
 		Policies:            req.Policies,
+		Scenarios:           req.Scenarios,
 		Workloads:           req.Workloads,
 		InstructionsPerCore: req.InstructionsPerCore,
 		IntervalCycles:      req.IntervalCycles,
 		Seed:                req.Seed,
 	}
 	if err := checkWorkSize(req.InstructionsPerCore, req.IntervalCycles, req.Workloads); err != nil {
-		return nil, err
+		return SweepOptions{}, err
 	}
 	for _, cores := range req.CoreCounts {
 		if cores <= 0 || cores > maxServiceCores {
-			return nil, badRequestf("core count %d out of range (1..%d)", cores, maxServiceCores)
+			return SweepOptions{}, badRequestf("core count %d out of range (1..%d)", cores, maxServiceCores)
 		}
 	}
 	for _, prb := range req.PRBSizes {
 		if prb <= 0 || prb > maxServicePRBEntries {
-			return nil, badRequestf("prb size %d out of range (1..%d)", prb, maxServicePRBEntries)
+			return SweepOptions{}, badRequestf("prb size %d out of range (1..%d)", prb, maxServicePRBEntries)
 		}
 	}
-	// An unknown technique or policy would otherwise be silently skipped by
-	// the study drivers, yielding a 200 with empty rows.
+	// An unknown technique, policy or scenario would otherwise be silently
+	// skipped by the study drivers, yielding a 200 with empty rows.
 	for _, name := range req.Techniques {
 		if !slices.Contains(experiments.TechniqueNames, name) {
-			return nil, badRequestf("unknown technique %q (want one of %v)", name, experiments.TechniqueNames)
+			return SweepOptions{}, badRequestf("unknown technique %q (want one of %v)", name, experiments.TechniqueNames)
 		}
 	}
 	for _, name := range req.Policies {
 		if !slices.Contains(experiments.PolicyNames, name) {
-			return nil, badRequestf("unknown policy %q (want one of %v)", name, experiments.PolicyNames)
+			return SweepOptions{}, badRequestf("unknown policy %q (want one of %v)", name, experiments.PolicyNames)
+		}
+	}
+	for _, name := range req.Scenarios {
+		if _, err := workload.ScenarioByName(name); err != nil {
+			return SweepOptions{}, badRequestErr(err)
 		}
 	}
 	if len(req.Mixes) > 0 {
 		mixes, err := experiments.ParseMixList(strings.Join(req.Mixes, ","))
 		if err != nil {
-			return nil, badRequestf("%v", err)
+			return SweepOptions{}, badRequestf("%v", err)
 		}
 		opts.Mixes = mixes
 	}
 	// Account for the grid defaults SweepOptions fills in (cores {4},
-	// mixes {H, M, L}, PRB sizes {32}) when sizing the request.
-	coreN, mixN, prbN := len(req.CoreCounts), len(req.Mixes), len(req.PRBSizes)
+	// mixes {H, M, L}, PRB sizes {32}) when sizing the request. mixN comes
+	// from the parsed opts.Mixes, not len(req.Mixes): ParseMixList drops
+	// whitespace-only entries, and a request whose mixes all parse away gets
+	// the 3-mix default — counting the raw entries would undersize the grid.
+	coreN, mixN, prbN := len(req.CoreCounts), len(opts.Mixes), len(req.PRBSizes)
 	if coreN == 0 {
 		coreN = 1
 	}
@@ -377,8 +477,22 @@ func (e *Engine) EvaluateSweep(ctx context.Context, req *SweepRequest) (*SweepRe
 	if len(req.Policies) > 0 {
 		cells += coreN * mixN
 	}
+	cells += coreN * len(req.Scenarios) * prbN
 	if cells > maxSweepCells {
-		return nil, badRequestf("grid of %d cells exceeds the %d-cell limit", cells, maxSweepCells)
+		return SweepOptions{}, badRequestf("grid of %d cells exceeds the %d-cell limit", cells, maxSweepCells)
+	}
+	return opts, nil
+}
+
+// EvaluateSweep answers one sweep query on the Engine's worker pool and
+// shared cache.
+func (e *Engine) EvaluateSweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
+	if req == nil {
+		return nil, badRequestf("empty request")
+	}
+	opts, err := req.validate()
+	if err != nil {
+		return nil, err
 	}
 	res, err := e.Sweep(ctx, opts)
 	if err != nil {
@@ -387,10 +501,24 @@ func (e *Engine) EvaluateSweep(ctx context.Context, req *SweepRequest) (*SweepRe
 	return &SweepResponse{APIVersion: APIVersion, Cells: res.Cells, Rows: res.Rows}, nil
 }
 
+// ScenarioInfo is one row of a ScenariosResponse.
+type ScenarioInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Class       string `json:"class"`
+}
+
+// ScenariosResponse lists the named scenarios the service can run.
+type ScenariosResponse struct {
+	APIVersion string         `json:"api_version"`
+	Scenarios  []ScenarioInfo `json:"scenarios"`
+}
+
 // Server exposes an Engine over HTTP/JSON:
 //
 //	POST /v1/estimate   EstimateRequest  -> EstimateResponse
 //	POST /v1/sweep      SweepRequest     -> SweepResponse
+//	GET  /v1/scenarios  ScenariosResponse (the named scenario registry)
 //	GET  /healthz       liveness + cache statistics
 //
 // Error responses carry {"error": "..."} with status 400 (malformed or
@@ -446,7 +574,27 @@ func NewServer(engine *Engine, opts ...ServerOption) (*Server, error) {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/estimate", handleJSON(s, s.engine.Estimate))
 	s.mux.HandleFunc("/v1/sweep", handleJSON(s, s.engine.EvaluateSweep))
+	s.mux.HandleFunc("/v1/scenarios", s.handleScenarios)
 	return s, nil
+}
+
+// handleScenarios lists the scenario registry. The listing is static and
+// cheap, so it bypasses the concurrency limit like healthz.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "scenarios is GET-only")
+		return
+	}
+	resp := ScenariosResponse{APIVersion: APIVersion}
+	for _, sc := range s.engine.Scenarios() {
+		resp.Scenarios = append(resp.Scenarios, ScenarioInfo{
+			Name:        sc.Name,
+			Description: sc.Description,
+			Class:       sc.Class.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ServeHTTP implements http.Handler.
