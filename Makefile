@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke vet fmt-check bench bench-sweep clean
+.PHONY: all build test race fuzz-smoke vet fmt-check bench bench-smoke bench-go bench-sweep clean
 
 all: build test vet fmt-check
 
@@ -35,7 +35,20 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# bench runs the benchmark-regression harness (internal/perf) at full size:
+# every scenario on both the event-driven and the cycle-by-cycle reference
+# driver, writing the BENCH_<n>.json trajectory artifact. Takes a few minutes.
+BENCH_OUT ?= BENCH_4.json
 bench:
+	$(GO) run ./cmd/gdpsim bench -out $(BENCH_OUT)
+
+# bench-smoke is the CI regression gate: a small fixed-seed scenario on the
+# fast driver only, failing if the steady-state interval loop allocates.
+bench-smoke:
+	$(GO) run ./cmd/gdpsim bench -quick -out /dev/null -max-allocs 0.5
+
+# bench-go runs the go-test figure/regeneration benchmarks.
+bench-go:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # bench-sweep compares the runner's serial vs parallel accuracy-study

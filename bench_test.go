@@ -278,6 +278,88 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/run")
 }
 
+// BenchmarkRunScenario measures end-to-end scenario estimation through the
+// Engine (the hot path of the service layer), one sub-benchmark per named
+// scenario, reporting simulated cycles per second.
+func BenchmarkRunScenario(b *testing.B) {
+	engine, err := NewEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range ScenarioNames() {
+		b.Run(name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res, err := engine.RunScenario(context.Background(), name, ScenarioRunOptions{
+					Cores:               4,
+					InstructionsPerCore: 4000,
+					IntervalCycles:      2000,
+					Seed:                42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
+		})
+	}
+}
+
+// BenchmarkEngineStream measures the streaming interval path: the simulation
+// advances in the consumer's goroutine and every IntervalRecord is yielded as
+// soon as its interval completes. One sub-benchmark per named scenario.
+func BenchmarkEngineStream(b *testing.B) {
+	engine, err := NewEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range ScenarioNames() {
+		b.Run(name, func(b *testing.B) {
+			sc, err := ScenarioByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl, err := sc.Workload(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var records, cycles uint64
+			for i := 0; i < b.N; i++ {
+				acct, err := NewGDPO(4, 32)
+				if err != nil {
+					b.Fatal(err)
+				}
+				seq, result := engine.Stream(context.Background(), SimOptions{
+					Config:              ScaledConfig(4),
+					Workload:            wl,
+					InstructionsPerCore: 4000,
+					IntervalCycles:      2000,
+					Seed:                42,
+					Accountants:         []Accountant{acct},
+				})
+				for rec, err := range seq {
+					if err != nil {
+						b.Fatal(err)
+					}
+					records++
+					_ = rec
+				}
+				res, err := result()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			if records == 0 {
+				b.Fatal("stream yielded no interval records")
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
+			b.ReportMetric(float64(records)/float64(b.N), "records/run")
+		})
+	}
+}
+
 // BenchmarkDataflowUnit measures the per-event cost of the GDP-O hardware
 // model itself (Algorithms 1-3), independent of the rest of the simulator.
 func BenchmarkDataflowUnit(b *testing.B) {

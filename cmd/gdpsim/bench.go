@@ -1,0 +1,114 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/perf"
+)
+
+// cmdBench runs the benchmark-regression harness (internal/perf): fixed-seed
+// scenario workloads timed on both the event-driven fast driver and the
+// cycle-by-cycle reference driver, with steady-state allocations per
+// accounting interval. The JSON report (-out) is the BENCH_<n>.json artifact
+// successive PRs extend into a measured performance trajectory, and the
+// -max-allocs / -min-speedup gates turn the harness into a CI regression
+// check.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("gdpsim bench", flag.ContinueOnError)
+	scenarios := fs.String("scenarios", "", "comma-separated scenario names (default: all)")
+	cores := fs.Int("cores", 4, "CMP size")
+	instructions := fs.Uint64("instructions", 20000, "per-core instruction sample")
+	interval := fs.Uint64("interval", 10000, "accounting interval in cycles")
+	seed := fs.Int64("seed", 42, "trace seed")
+	repeats := fs.Int("repeats", 3, "timed runs per driver (median reported)")
+	quick := fs.Bool("quick", false, "smoke sizing: bandwidth-bound only, one repeat, no reference baseline")
+	noReference := fs.Bool("no-reference", false, "skip the cycle-by-cycle baseline timing")
+	noAllocs := fs.Bool("no-allocs", false, "skip the steady-state allocation measurement")
+	out := fs.String("out", "", "write the JSON report to this file (default: stdout)")
+	maxAllocs := fs.Float64("max-allocs", -1, "fail if any scenario allocates more than this per interval (-1 disables)")
+	minSpeedup := fs.Float64("min-speedup", 0, "fail if any scenario's fast/reference speedup is below this (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("bench: unexpected argument %q", fs.Arg(0))
+	}
+
+	opts := perf.Options{
+		Cores:          *cores,
+		Instructions:   *instructions,
+		IntervalCycles: *interval,
+		Seed:           *seed,
+		Repeats:        *repeats,
+		SkipReference:  *noReference,
+		SkipAllocs:     *noAllocs,
+	}
+	if *scenarios != "" {
+		for _, s := range strings.Split(*scenarios, ",") {
+			opts.Scenarios = append(opts.Scenarios, strings.TrimSpace(s))
+		}
+	}
+	if *quick {
+		if len(opts.Scenarios) == 0 {
+			opts.Scenarios = []string{"bandwidth-bound"}
+		}
+		opts.Instructions = 4000
+		opts.IntervalCycles = 2000
+		opts.Repeats = 1
+		opts.SkipReference = true
+	}
+
+	rep, err := perf.Run(opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "%-16s %10s %12s %12s %8s %10s %8s\n",
+		"scenario", "cycles", "fast Mc/s", "ref Mc/s", "speedup", "processed", "allocs")
+	for _, s := range rep.Scenarios {
+		ref, speed := "-", "-"
+		if s.ReferenceCyclesPerSec > 0 {
+			ref = fmt.Sprintf("%.2f", s.ReferenceCyclesPerSec/1e6)
+			speed = fmt.Sprintf("%.2fx", s.Speedup)
+		}
+		allocs := "-"
+		if s.AllocsPerInterval >= 0 {
+			allocs = fmt.Sprintf("%.3f", s.AllocsPerInterval)
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %10d %12.2f %12s %8s %9.1f%% %8s\n",
+			s.Scenario, s.Cycles, s.FastCyclesPerSec/1e6, ref, speed,
+			100*s.ProcessedCycleFraction, allocs)
+	}
+
+	var w *os.File
+	if *out == "" {
+		w = os.Stdout
+	} else {
+		w, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+
+	if *maxAllocs >= 0 {
+		if err := rep.CheckAllocs(*maxAllocs); err != nil {
+			return err
+		}
+	}
+	if *minSpeedup > 0 {
+		if err := rep.CheckSpeedup(*minSpeedup); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -12,9 +12,27 @@
 package accounting
 
 import (
+	"math"
+
 	"repro/internal/cpu"
 	"repro/internal/mem"
 )
+
+// NoEvent is returned by an accountant's NextEvent when its Tick never needs
+// to run at any particular cycle (transparent techniques). The simulation
+// driver treats it as "no constraint on fast-forwarding".
+const NoEvent = uint64(math.MaxUint64)
+
+// EventSource is implemented by accountants whose Tick must run at specific
+// cycles (invasive techniques such as ASM, whose epoch schedule reprograms
+// the memory controller). NextEvent returns a lower bound, strictly after
+// now, on the next cycle the accountant's Tick needs to observe; the event
+// fast-forwarding driver never skips past it. Accountants that do not
+// implement EventSource disable fast-forwarding entirely (their Tick is
+// then called every cycle, which is always correct).
+type EventSource interface {
+	NextEvent(now uint64) uint64
+}
 
 // Estimate is one per-core, per-interval private-mode performance estimate.
 type Estimate struct {

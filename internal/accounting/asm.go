@@ -45,11 +45,18 @@ type asmProbe struct {
 	hpAccesses    uint64
 }
 
-// OnCycle counts cycles, split into high-priority and normal ones.
-func (p *asmProbe) OnCycle(s cpu.CycleState) {
-	p.totalCycles++
+// OnCycle counts cycles, split into high-priority and normal ones. It is
+// defined as a one-cycle idle span so the batched fast-forwarding path is
+// equivalent by construction.
+func (p *asmProbe) OnCycle(s cpu.CycleState) { p.OnIdleSpan(s, 1) }
+
+// OnIdleSpan implements cpu.IdleSpanProbe: the epoch owner is constant
+// during a proven-idle span (epoch boundaries are events the driver never
+// skips past), so the cycle counters advance by the span length.
+func (p *asmProbe) OnIdleSpan(_ cpu.CycleState, cycles uint64) {
+	p.totalCycles += cycles
 	if p.owner.currentOwner == p.core {
-		p.hpCycles++
+		p.hpCycles += cycles
 	}
 }
 
@@ -110,6 +117,17 @@ func (a *ASM) Tick(now uint64) {
 			a.controller.SetPriorityCore(a.currentOwner)
 		}
 	}
+}
+
+// NextEvent implements EventSource: ASM's Tick must run at every epoch
+// boundary (it rotates the high-priority core and reprograms the memory
+// controller), so the fast-forwarding driver never skips past one.
+func (a *ASM) NextEvent(now uint64) uint64 {
+	next := a.epochStart + a.epochLen
+	if next <= now {
+		return now + 1
+	}
+	return next
 }
 
 // CurrentOwner returns the core holding the high-priority epoch.

@@ -31,19 +31,26 @@ type itcaProbe struct {
 	interferenceCycles uint64
 }
 
-// OnCycle evaluates ITCA's conditions for one cycle.
-func (p *itcaProbe) OnCycle(s cpu.CycleState) {
+// OnCycle evaluates ITCA's conditions for one cycle. It is defined as a
+// one-cycle idle span so the batched fast-forwarding path is equivalent by
+// construction.
+func (p *itcaProbe) OnCycle(s cpu.CycleState) { p.OnIdleSpan(s, 1) }
+
+// OnIdleSpan implements cpu.IdleSpanProbe: during a proven-idle span the
+// snapshot is constant, so the per-cycle condition evaluates once and the
+// matching counter advances by the span length.
+func (p *itcaProbe) OnIdleSpan(s cpu.CycleState, cycles uint64) {
 	if s.Committing {
 		return
 	}
 	// Condition (i): stalled with an interference miss at the head of the ROB.
 	if s.HeadIsLoad && s.HeadReq != nil && s.HeadReq.InterferenceMiss {
-		p.interferenceCycles++
+		p.interferenceCycles += cycles
 		return
 	}
 	// Condition (ii): all outstanding SMS loads are interference misses.
 	if s.PendingSMSLoads > 0 && s.PendingInterferenceMisses == s.PendingSMSLoads {
-		p.interferenceCycles++
+		p.interferenceCycles += cycles
 	}
 }
 
@@ -70,6 +77,10 @@ func (a *ITCA) ObserveRequest(int, *mem.Request) {}
 
 // Tick implements Accountant (transparent technique).
 func (a *ITCA) Tick(uint64) {}
+
+// NextEvent implements the driver's event-source probe: ITCA's Tick never
+// acts, so it contributes no events to the fast-forwarding schedule.
+func (a *ITCA) NextEvent(uint64) uint64 { return NoEvent }
 
 // Estimate implements Accountant: private cycles = shared cycles minus the
 // cycles matching ITCA's interference conditions.

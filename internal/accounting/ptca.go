@@ -35,8 +35,15 @@ type ptcaProbe struct {
 	stallReq        *mem.Request
 }
 
-// OnCycle accumulates the current stall's length and ROB-full portion.
-func (p *ptcaProbe) OnCycle(s cpu.CycleState) {
+// OnCycle accumulates the current stall's length and ROB-full portion. It is
+// defined as a one-cycle idle span so the batched fast-forwarding path is
+// equivalent by construction.
+func (p *ptcaProbe) OnCycle(s cpu.CycleState) { p.OnIdleSpan(s, 1) }
+
+// OnIdleSpan implements cpu.IdleSpanProbe: the stall-tracking state machine
+// sees the same snapshot for every cycle of a proven-idle span, so its
+// counters advance by the span length in one step.
+func (p *ptcaProbe) OnIdleSpan(s cpu.CycleState, cycles uint64) {
 	if s.Committing || !s.HeadIsLoad || s.HeadReq == nil {
 		p.closeStall()
 		return
@@ -47,9 +54,9 @@ func (p *ptcaProbe) OnCycle(s cpu.CycleState) {
 		p.inStall = true
 		p.stallReq = s.HeadReq
 	}
-	p.stallCycles++
+	p.stallCycles += cycles
 	if s.ROBFull {
-		p.stallROBFullCyc++
+		p.stallROBFullCyc += cycles
 	}
 }
 
@@ -99,6 +106,10 @@ func (a *PTCA) ObserveRequest(int, *mem.Request) {}
 
 // Tick implements Accountant (transparent technique).
 func (a *PTCA) Tick(uint64) {}
+
+// NextEvent implements the driver's event-source probe: PTCA's Tick never
+// acts, so it contributes no events to the fast-forwarding schedule.
+func (a *PTCA) NextEvent(uint64) uint64 { return NoEvent }
 
 // Estimate implements Accountant.
 func (a *PTCA) Estimate(core int, interval cpu.Stats) Estimate {

@@ -219,14 +219,21 @@ func (g *GDP) OnCommitResume(addr uint64, wasSMS bool, cycle uint64) {
 
 // OnCycle advances the GDP-O overlap counters: every cycle the core commits
 // instructions, each pending (not yet completed) PRB entry accumulates one
-// overlap cycle.
-func (g *GDP) OnCycle(state cpu.CycleState) {
+// overlap cycle. It is defined as a one-cycle span so the batched
+// fast-forwarding path is equivalent by construction.
+func (g *GDP) OnCycle(state cpu.CycleState) { g.OnIdleSpan(state, 1) }
+
+// OnIdleSpan implements cpu.IdleSpanProbe (and backs OnCycle with
+// cycles=1). Proven-idle spans never commit, so batched spans leave the
+// overlap counters unchanged; committing snapshots only arrive one cycle at
+// a time through OnCycle.
+func (g *GDP) OnIdleSpan(state cpu.CycleState, cycles uint64) {
 	if !g.opts.TrackOverlap || !state.Committing {
 		return
 	}
 	for i := range g.prb {
 		if g.prb[i].valid && !g.prb[i].completed {
-			g.prb[i].overlap++
+			g.prb[i].overlap += cycles
 		}
 	}
 }

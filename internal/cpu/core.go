@@ -99,6 +99,17 @@ type Core struct {
 	staged    trace.Instruction
 	hasStaged bool
 
+	// waiterPool recycles loadWaiters entries so the L1-miss path is
+	// allocation-free in steady state.
+	waiterPool []*loadWaiters
+
+	// Event fast-forwarding state: active reports whether the last Tick (or a
+	// CompleteRequest since it) changed any architectural state; nextEvent
+	// caches the NextEvent computation while the core provably idles.
+	active         bool
+	nextEvent      uint64
+	nextEventValid bool
+
 	// Functional-unit usage in the current cycle.
 	fuIntALU, fuIntMul, fuFPALU, fuFPMul, fuMemPorts int
 
@@ -213,9 +224,33 @@ func (c *Core) depsReady(e *robEntry, now uint64) bool {
 	return true
 }
 
+// getWaiter returns a recycled (or fresh) loadWaiters entry.
+func (c *Core) getWaiter() *loadWaiters {
+	if n := len(c.waiterPool); n > 0 {
+		w := c.waiterPool[n-1]
+		c.waiterPool[n-1] = nil
+		c.waiterPool = c.waiterPool[:n-1]
+		return w
+	}
+	return &loadWaiters{}
+}
+
+// putWaiter recycles a loadWaiters entry once its request completed.
+func (c *Core) putWaiter(w *loadWaiters) {
+	w.primary = nil
+	w.req = nil
+	for i := range w.merged {
+		w.merged[i] = nil
+	}
+	w.merged = w.merged[:0]
+	c.waiterPool = append(c.waiterPool, w)
+}
+
 // CompleteRequest is called by the simulation driver when a shared-memory
 // request issued by this core finishes. It wakes the waiting loads.
 func (c *Core) CompleteRequest(req *mem.Request, now uint64) {
+	c.active = true
+	c.nextEventValid = false
 	if req.IsWrite {
 		return // store-buffer writes are fire-and-forget
 	}
@@ -259,12 +294,14 @@ func (c *Core) CompleteRequest(req *mem.Request, now uint64) {
 	for _, p := range c.probes {
 		p.OnLoadCompleted(req.Addr, true, now, latency, interference)
 	}
+	c.putWaiter(w)
 }
 
 // Tick advances the core by one cycle.
 func (c *Core) Tick(now uint64) {
 	c.stats.Cycles++
 	c.fuIntALU, c.fuIntMul, c.fuFPALU, c.fuFPMul, c.fuMemPorts = 0, 0, 0, 0, 0
+	c.active = false
 
 	committing, stall := c.commit(now)
 	c.execute(now)
@@ -287,13 +324,22 @@ func (c *Core) Tick(now uint64) {
 		}
 	}
 
+	if c.active {
+		// Architectural state changed this cycle: any cached idle-span
+		// analysis is stale.
+		c.nextEventValid = false
+	}
+
 	if len(c.probes) > 0 {
-		c.emitCycleState(now, committing, stall)
+		state := c.buildCycleState(now, committing, stall)
+		for _, p := range c.probes {
+			p.OnCycle(state)
+		}
 	}
 }
 
-// emitCycleState builds the per-cycle snapshot and hands it to every probe.
-func (c *Core) emitCycleState(now uint64, committing bool, stall StallKind) {
+// buildCycleState assembles the per-cycle architectural snapshot.
+func (c *Core) buildCycleState(now uint64, committing bool, stall StallKind) CycleState {
 	state := CycleState{
 		Cycle:      now,
 		Committing: committing,
@@ -316,9 +362,7 @@ func (c *Core) emitCycleState(now uint64, committing bool, stall StallKind) {
 			state.PendingInterferenceMisses++
 		}
 	}
-	for _, p := range c.probes {
-		p.OnCycle(state)
-	}
+	return state
 }
 
 // commit retires completed instructions in order, classifying any stall.
@@ -350,6 +394,7 @@ func (c *Core) commit(now uint64) (bool, StallKind) {
 
 	committing := committed > 0
 	if committing {
+		c.active = true
 		if c.stalledOn != nil {
 			// Commit resumed after a load stall: Algorithm 3 trigger.
 			for _, p := range c.probes {
@@ -422,6 +467,9 @@ func (c *Core) drainStoreBuffer(now uint64) {
 			kept = append(kept, t)
 		}
 	}
+	if len(kept) != len(c.storeBuffer) {
+		c.active = true
+	}
 	c.storeBuffer = kept
 }
 
@@ -445,6 +493,7 @@ func (c *Core) execute(now uint64) {
 		}
 		e.issued = true
 		issued++
+		c.active = true
 	}
 	c.issueQueue = kept
 
@@ -452,6 +501,7 @@ func (c *Core) execute(now uint64) {
 	if c.pendingRedirect != nil && c.pendingRedirect.complete != unknownCycle && c.pendingRedirect.complete <= now {
 		c.fetchStallUntil = c.pendingRedirect.complete + uint64(c.cfg.BranchMissPenalty)
 		c.pendingRedirect = nil
+		c.active = true
 	}
 }
 
@@ -538,10 +588,219 @@ func (c *Core) issueLoad(e *robEntry, now uint64) bool {
 	req := c.shared.Submit(c.id, addr, false, now)
 	e.req = req
 	e.complete = unknownCycle
-	c.pending[key] = &loadWaiters{primary: e, req: req}
+	w := c.getWaiter()
+	w.primary = e
+	w.req = req
+	c.pending[key] = w
 	c.outstandingMisses++
 	c.issueCommitCount[req.ID] = c.commitCycleCount
 	return true
+}
+
+// NextEvent returns a lower bound on the next cycle (strictly after now) at
+// which the core's Tick can change architectural state, assuming no external
+// request completion arrives in between (completions are the memory system's
+// events and are accounted separately by the driver). A core that may act on
+// the very next cycle returns now+1; a core with nothing to do until an
+// external completion returns math.MaxUint64.
+//
+// The bound is exact in the following sense: for every cycle t in
+// (now, NextEvent(now)), Tick(t) would only repeat the current stall — one
+// cycle of the same stall counter and one identical probe snapshot — which
+// FastForward reproduces in closed form. The driver may therefore skip the
+// span without simulating it.
+func (c *Core) NextEvent(now uint64) uint64 {
+	if c.active {
+		return now + 1
+	}
+	if c.nextEventValid && c.nextEvent > now {
+		return c.nextEvent
+	}
+	e := c.computeNextEvent(now)
+	c.nextEvent = e
+	c.nextEventValid = true
+	return e
+}
+
+func (c *Core) computeNextEvent(now uint64) uint64 {
+	next := uint64(math.MaxUint64)
+
+	// Commit: a head with a known completion cycle commits then (or, for a
+	// store blocked on a full store buffer, after a drain — drains are added
+	// below). An unknown completion resolves only via CompleteRequest.
+	if c.robCount > 0 {
+		head := c.robAt(0)
+		if head.complete != unknownCycle {
+			if head.complete > now {
+				if head.complete < next {
+					next = head.complete
+				}
+			} else if head.inst.Kind != trace.Store {
+				// A complete non-store head would have committed this cycle;
+				// the state is not provably idle, so do not skip.
+				return now + 1
+			}
+		}
+	}
+
+	// Issue queue: entries whose dependencies resolve at a known cycle start
+	// executing then. An entry that is ready *now* but did not issue must be
+	// an MSHR-blocked L1-missing load (the only non-issuing path in execute);
+	// anything else means the idle proof fails and we do not skip.
+	for _, e := range c.issueQueue {
+		ready, external := c.depsReadyAt(e)
+		if external {
+			continue // waits on an in-flight SMS load: an external event
+		}
+		if ready <= now {
+			if !c.loadProvablyBlocked(e) {
+				return now + 1
+			}
+			continue // unblocks on a request completion: external
+		}
+		if ready < next {
+			next = ready
+		}
+	}
+
+	// Branch redirect resolution (the branch entry itself is covered by the
+	// issue-queue scan while unissued; once issued its completion is known).
+	if c.pendingRedirect != nil && c.pendingRedirect.complete != unknownCycle {
+		if t := c.pendingRedirect.complete; t <= now {
+			return now + 1
+		} else if t < next {
+			next = t
+		}
+	}
+
+	// Store-buffer drains change the buffer occupancy commit observes.
+	for _, t := range c.storeBuffer {
+		if t <= now {
+			return now + 1
+		}
+		if t < next {
+			next = t
+		}
+	}
+
+	// Dispatch: when it is not structurally blocked, the front end fetches
+	// every cycle (trace sources are infinite), so the core is never idle.
+	if !c.Done() && c.pendingRedirect == nil {
+		robFull := c.robCount >= len(c.rob)
+		iqFull := len(c.issueQueue) >= c.cfg.IssueQueueEntries
+		lsqBlocked := c.hasStaged && c.memOps >= c.cfg.LSQEntries
+		if !robFull && !iqFull && !lsqBlocked {
+			if c.fetchStallUntil > now+1 {
+				if c.fetchStallUntil < next {
+					next = c.fetchStallUntil
+				}
+			} else {
+				return now + 1
+			}
+		}
+		// Structural blocks clear only when commit retires instructions,
+		// which is itself an event computed above.
+	}
+
+	if next <= now {
+		return now + 1
+	}
+	return next
+}
+
+// depsReadyAt returns the cycle at which entry e's register dependencies are
+// all satisfied. external reports that at least one dependency waits on an
+// in-flight shared-memory request (unknown completion cycle).
+func (c *Core) depsReadyAt(e *robEntry) (ready uint64, external bool) {
+	for _, dist := range []int32{e.inst.Dep1, e.inst.Dep2} {
+		if dist <= 0 {
+			continue
+		}
+		if uint64(dist) > e.index {
+			continue
+		}
+		dep := c.entryFor(e.index - uint64(dist))
+		if dep == nil {
+			continue // already committed, hence complete
+		}
+		if dep.complete == unknownCycle {
+			return 0, true
+		}
+		if dep.complete > ready {
+			ready = dep.complete
+		}
+	}
+	return ready, false
+}
+
+// loadProvablyBlocked reports whether a dependency-ready entry is a load that
+// execute() provably cannot start this cycle or any later cycle until a
+// shared-memory request completes: it misses the L1, does not merge with an
+// outstanding line, and all MSHRs are occupied. (This mirrors issueLoad's
+// failure path without its side effects.)
+func (c *Core) loadProvablyBlocked(e *robEntry) bool {
+	if e.inst.Kind != trace.Load {
+		return false
+	}
+	if c.outstandingMisses < c.l1MSHRs {
+		return false
+	}
+	addr := e.inst.Addr
+	if c.l1d.Lookup(addr) {
+		return false // would hit the L1 and issue
+	}
+	if _, ok := c.pending[lineAddr(addr)]; ok {
+		return false // would MSHR-merge and issue
+	}
+	return true
+}
+
+// FastForward accounts for the idle span [from, to): the core repeats the
+// same non-committing stall for every cycle of the span, so the cycle and
+// stall counters advance by the span length and probes observe one idle-span
+// snapshot (equivalent to to-from identical OnCycle snapshots). The driver
+// only calls this after NextEvent proved the span idle.
+func (c *Core) FastForward(from, to uint64) {
+	if to <= from {
+		return
+	}
+	n := to - from
+	c.stats.Cycles += n
+
+	stall := StallInd
+	if c.robCount > 0 {
+		head := c.robAt(0)
+		if head.complete == unknownCycle || head.complete > from {
+			stall = c.classifyStall(head, from)
+		} else {
+			// Complete store head blocked on a full store buffer.
+			stall = StallOther
+		}
+	}
+	switch stall {
+	case StallInd:
+		c.stats.StallInd += n
+	case StallPMS:
+		c.stats.StallPMS += n
+	case StallSMS:
+		c.stats.StallSMS += n
+	case StallOther:
+		c.stats.StallOther += n
+	}
+
+	if len(c.probes) > 0 {
+		state := c.buildCycleState(from, false, stall)
+		for _, p := range c.probes {
+			if isp, ok := p.(IdleSpanProbe); ok {
+				isp.OnIdleSpan(state, n)
+				continue
+			}
+			for t := from; t < to; t++ {
+				state.Cycle = t
+				p.OnCycle(state)
+			}
+		}
+	}
 }
 
 // dispatch brings new instructions from the trace into the ROB and issue
@@ -561,6 +820,7 @@ func (c *Core) dispatch(now uint64) {
 			c.hasStaged = false
 		} else {
 			inst = c.src.Next()
+			c.active = true // the trace source advanced
 		}
 		if inst.Kind.IsMem() && c.memOps >= c.cfg.LSQEntries {
 			// No LSQ entry: stage the instruction and retry next cycle.
@@ -568,6 +828,7 @@ func (c *Core) dispatch(now uint64) {
 			c.hasStaged = true
 			return
 		}
+		c.active = true
 		pos := (c.robHead + c.robCount) % len(c.rob)
 		c.rob[pos] = robEntry{
 			inst:     inst,

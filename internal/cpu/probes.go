@@ -92,6 +92,18 @@ type Probe interface {
 	OnCycle(state CycleState)
 }
 
+// IdleSpanProbe is an optional Probe extension for event fast-forwarding.
+// When the simulation driver proves a core fully idle for a span of cycles
+// (nothing commits, issues, dispatches or drains), the per-cycle snapshots
+// are identical except for the advancing Cycle field. Probes implementing
+// OnIdleSpan receive the span in one call; the implementation must be
+// exactly equivalent to `cycles` consecutive OnCycle calls with that
+// snapshot. Probes that do not implement it receive the individual OnCycle
+// calls instead (correct, just slower).
+type IdleSpanProbe interface {
+	OnIdleSpan(state CycleState, cycles uint64)
+}
+
 // NopProbe is a Probe that ignores every event. Embed it to implement only a
 // subset of the interface.
 type NopProbe struct{}

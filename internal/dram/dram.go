@@ -11,7 +11,7 @@ package dram
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
 	"repro/internal/mem"
 )
@@ -96,6 +96,16 @@ type Controller struct {
 	channels []channel
 
 	priorityCore int // core whose requests are scheduled first (-1 = none)
+
+	// doneBuf is the reused Tick return buffer (valid until the next Tick).
+	doneBuf []*mem.Request
+	// doneWrites collects completed write requests so the shared memory
+	// system can recycle their objects; drained by CompletedWrites.
+	doneWrites []*mem.Request
+	// activity reports whether the last Tick completed or issued anything
+	// (per-cycle queue-interference charging does not count: it is exactly
+	// reproducible in closed form by FastForward).
+	activity bool
 
 	// Stats.
 	reads, writes  uint64
@@ -203,48 +213,45 @@ func (c *Controller) serviceLatency(b *bankState, row uint64) (int, int) {
 
 // pickFRFCFS selects the index of the next request to service from q per
 // FR-FCFS with the optional priority core: priority-core requests first, then
-// row hits, then oldest-first. It only considers requests whose bank is free.
-// Returns -1 when nothing can issue.
+// row hits, then oldest-first (queue order breaks exact ties, so the choice
+// is deterministic). It only considers requests whose bank is free. Returns
+// -1 when nothing can issue. The selection is a single allocation-free pass —
+// this runs once per channel per cycle, squarely on the hot path.
 func (c *Controller) pickFRFCFS(chn *channel, q []queued, now uint64) int {
-	type cand struct {
-		idx      int
-		priority bool
-		rowHit   bool
-		arrival  uint64
-	}
-	var cands []cand
+	best := -1
+	var bestPriority, bestRowHit bool
+	var bestArrival uint64
 	for i := range q {
 		b := &chn.banks[q[i].bank]
 		if b.busyUntil > now {
 			continue
 		}
+		priority := q[i].req.Core == c.priorityCore
 		rowHit := b.rowOpen && b.openRow == q[i].row
-		cands = append(cands, cand{
-			idx:      i,
-			priority: q[i].req.Core == c.priorityCore,
-			rowHit:   rowHit,
-			arrival:  q[i].arrival,
-		})
-	}
-	if len(cands) == 0 {
-		return -1
-	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].priority != cands[b].priority {
-			return cands[a].priority
+		if best >= 0 {
+			if bestPriority != priority {
+				if bestPriority {
+					continue
+				}
+			} else if bestRowHit != rowHit {
+				if bestRowHit {
+					continue
+				}
+			} else if q[i].arrival >= bestArrival {
+				continue
+			}
 		}
-		if cands[a].rowHit != cands[b].rowHit {
-			return cands[a].rowHit
-		}
-		return cands[a].arrival < cands[b].arrival
-	})
-	return cands[0].idx
+		best, bestPriority, bestRowHit, bestArrival = i, priority, rowHit, q[i].arrival
+	}
+	return best
 }
 
 // Tick advances the controller by one cycle and returns the read requests
-// whose data transfer completed this cycle.
+// whose data transfer completed this cycle. The returned slice is reused and
+// only valid until the next Tick.
 func (c *Controller) Tick(now uint64) []*mem.Request {
-	var done []*mem.Request
+	done := c.doneBuf[:0]
+	c.activity = false
 	for chIdx := range c.channels {
 		chn := &c.channels[chIdx]
 
@@ -253,10 +260,13 @@ func (c *Controller) Tick(now uint64) []*mem.Request {
 		for _, f := range chn.inflight {
 			if f.complete <= now {
 				f.req.CompleteCycle = now
+				c.activity = true
 				if !f.req.IsWrite {
 					c.totalReadLat += f.req.CompleteCycle - f.req.MemArrival
 					c.completedReads++
 					done = append(done, f.req)
+				} else {
+					c.doneWrites = append(c.doneWrites, f.req)
 				}
 			} else {
 				kept = append(kept, f)
@@ -320,8 +330,105 @@ func (c *Controller) Tick(now uint64) []*mem.Request {
 		chn.busBusyUntil = now + uint64(lat)
 		chn.busOwner = item.req.Core
 		chn.inflight = append(chn.inflight, inflight{req: item.req, complete: now + uint64(lat)})
+		c.activity = true
 	}
+	c.doneBuf = done
 	return done
+}
+
+// Active reports whether the last Tick completed a transfer or issued a
+// command (the state changes FastForward cannot reproduce).
+func (c *Controller) Active() bool { return c.activity }
+
+// CompletedWrites drains the write requests whose data transfer finished
+// since the last call, so their objects can be recycled. The returned slice
+// is reused and only valid until the next call.
+func (c *Controller) CompletedWrites() []*mem.Request {
+	out := c.doneWrites
+	c.doneWrites = c.doneWrites[:0]
+	return out
+}
+
+// NextEvent returns a lower bound on the next cycle (strictly after now) at
+// which the controller can complete a transfer or issue a command, assuming
+// no new requests are enqueued in between. Idle controllers return
+// math.MaxUint64. Between now and the returned cycle the only per-cycle state
+// change is the queue-interference charge, which FastForward reproduces
+// exactly, so the simulation driver can skip the span.
+func (c *Controller) NextEvent(now uint64) uint64 {
+	next := uint64(math.MaxUint64)
+	for chIdx := range c.channels {
+		chn := &c.channels[chIdx]
+		for i := range chn.inflight {
+			if t := chn.inflight[i].complete; t < next {
+				next = t
+			}
+		}
+		// Earliest command issue: the queue the scheduling policy would pick
+		// (queue contents are constant during an idle span, so the policy
+		// choice is too), constrained by the data bus and each request's bank.
+		useWrites := len(chn.readQ) == 0 && len(chn.writeQ) > 0 ||
+			len(chn.writeQ) >= c.cfg.WriteDrainThreshold
+		q := chn.readQ
+		if useWrites {
+			q = chn.writeQ
+		}
+		for i := range q {
+			t := now + 1
+			if chn.busBusyUntil > t {
+				t = chn.busBusyUntil
+			}
+			if b := chn.banks[q[i].bank].busyUntil; b > t {
+				t = b
+			}
+			if t < next {
+				next = t
+			}
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
+}
+
+// FastForward applies the per-cycle queue-interference charge for the span
+// [from, to) in closed form: a waiting read accumulates one cycle of memory
+// interference for every cycle its bank or the channel's data bus is busy
+// with another core's request, exactly as per-cycle Ticks would have charged
+// (the busy windows are fixed during an idle span, so the count is the
+// overlap of [from, to) with the union of the two windows).
+func (c *Controller) FastForward(from, to uint64) {
+	if to <= from {
+		return
+	}
+	for chIdx := range c.channels {
+		chn := &c.channels[chIdx]
+		if len(chn.readQ) == 0 {
+			continue
+		}
+		busBusy := uint64(0)
+		if chn.busBusyUntil > from && chn.busOwner >= 0 {
+			busBusy = chn.busBusyUntil
+		}
+		for i := range chn.readQ {
+			q := &chn.readQ[i]
+			until := uint64(0)
+			if b := &chn.banks[q.bank]; b.busyUntil > from && b.openedBy != q.req.Core {
+				until = b.busyUntil
+			}
+			if busBusy > until && chn.busOwner != q.req.Core {
+				until = busBusy
+			}
+			if until > from {
+				end := until
+				if end > to {
+					end = to
+				}
+				q.req.MemInterference += end - from
+			}
+		}
+	}
 }
 
 // Stats summarizes controller activity.

@@ -254,6 +254,40 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestScenarioSweepDeterministicAcrossWorkerCounts pins the event-driven
+// fast driver's determinism at the experiment layer: an accuracy sweep over
+// every named scenario must produce byte-identical results whether the cells
+// run serially or fanned out over eight workers (the per-cell simulations run
+// on the fast-forwarding driver either way).
+func TestScenarioSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(jobs int) *SweepResult {
+		t.Helper()
+		res, err := Sweep(SweepOptions{
+			CoreCounts:          []int{2},
+			Scenarios:           workload.ScenarioNames(),
+			Techniques:          []string{"GDP-O"},
+			Workloads:           1,
+			InstructionsPerCore: 2000,
+			IntervalCycles:      2000,
+			Seed:                4,
+			Jobs:                jobs,
+			Cache:               runner.NewCache(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("scenario sweep results differ between jobs=1 and jobs=8")
+	}
+	// The sweep runs one cell per scenario on top of its default mix cells.
+	if want := len(workload.ScenarioNames()); serial.Cells < want {
+		t.Errorf("sweep ran %d cells, want at least %d (one per scenario)", serial.Cells, want)
+	}
+}
+
 func TestParseMixAndIntLists(t *testing.T) {
 	mixes, err := ParseMixList("H, m,HMLL")
 	if err != nil {

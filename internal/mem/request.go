@@ -4,11 +4,31 @@
 // DIEF latency estimator consumes.
 package mem
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrIncomplete reports that a request's latency was queried before its
+// response reached the private hierarchy (CompleteCycle not yet assigned).
+var ErrIncomplete = errors.New("mem: request has not completed")
+
+// IncompleteCycle is the CompleteCycle sentinel of an in-flight request. The
+// shared memory system initializes every submitted request with it, so
+// incompleteness is detectable even for requests issued at cycle 0 (where
+// a zero CompleteCycle would be indistinguishable from a same-cycle
+// completion).
+const IncompleteCycle = math.MaxUint64
 
 // Request is one in-flight memory transaction in the shared memory system
 // (an SMS request in the paper's terminology: it missed in the private L1/L2
 // hierarchy of its core).
+//
+// Request objects are pooled by the shared memory system: once a request has
+// been delivered back to its core and every observer has run, the system
+// recycles the object for a future Submit. Consumers must therefore not
+// retain request pointers past the cycle after completion delivery.
 type Request struct {
 	ID      uint64
 	Core    int
@@ -32,12 +52,27 @@ type Request struct {
 	InterferenceMiss bool // LLC miss that the per-core ATD classifies as interference-induced
 }
 
-// TotalLatency returns the shared-mode latency of a completed request.
+// TotalLatency returns the shared-mode latency of a completed request. It is
+// only meaningful after the response reached the core; calling it earlier is
+// a caller bug, and the invariant CompleteCycle >= IssueCycle is enforced
+// with a panic (it used to be silently reported as latency 0, which hid
+// bookkeeping bugs in the memory-system pipeline). Diagnostics that may see
+// in-flight requests should use Latency, which reports ErrIncomplete instead.
 func (r *Request) TotalLatency() uint64 {
-	if r.CompleteCycle < r.IssueCycle {
-		return 0
+	if r.CompleteCycle == IncompleteCycle || r.CompleteCycle < r.IssueCycle {
+		panic(fmt.Sprintf("mem: TotalLatency on incomplete request %d (issue=%d complete=%d)",
+			r.ID, r.IssueCycle, r.CompleteCycle))
 	}
 	return r.CompleteCycle - r.IssueCycle
+}
+
+// Latency is the typed-error counterpart of TotalLatency: it returns
+// ErrIncomplete when the request has not completed yet instead of panicking.
+func (r *Request) Latency() (uint64, error) {
+	if r.CompleteCycle == IncompleteCycle || r.CompleteCycle < r.IssueCycle {
+		return 0, ErrIncomplete
+	}
+	return r.CompleteCycle - r.IssueCycle, nil
 }
 
 // TotalInterference returns the total estimated interference latency of the
@@ -46,12 +81,17 @@ func (r *Request) TotalInterference() uint64 {
 	return r.RingInterference + r.LLCInterference + r.MemInterference
 }
 
-// String renders a compact description for diagnostics.
+// String renders a compact description for diagnostics. In-flight requests
+// render with lat=? instead of a bogus zero latency.
 func (r *Request) String() string {
 	kind := "rd"
 	if r.IsWrite {
 		kind = "wr"
 	}
-	return fmt.Sprintf("req{%d core=%d %s addr=%#x hit=%v lat=%d intf=%d}",
-		r.ID, r.Core, kind, r.Addr, r.LLCHit, r.TotalLatency(), r.TotalInterference())
+	lat := "?"
+	if l, err := r.Latency(); err == nil {
+		lat = fmt.Sprintf("%d", l)
+	}
+	return fmt.Sprintf("req{%d core=%d %s addr=%#x hit=%v lat=%s intf=%d}",
+		r.ID, r.Core, kind, r.Addr, r.LLCHit, lat, r.TotalInterference())
 }

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -10,9 +11,41 @@ func TestTotalLatency(t *testing.T) {
 	if r.TotalLatency() != 250 {
 		t.Errorf("latency = %d, want 250", r.TotalLatency())
 	}
+}
+
+// TestTotalLatencyPanicsOnIncomplete pins the invariant: an inverted timeline
+// (CompleteCycle < IssueCycle) used to be silently reported as latency 0,
+// which hid pipeline bookkeeping bugs. It is now a panic.
+func TestTotalLatencyPanicsOnIncomplete(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TotalLatency on an incomplete request should panic")
+		}
+	}()
+	r := &Request{IssueCycle: 100, CompleteCycle: 50}
+	r.TotalLatency()
+}
+
+func TestLatencyTypedError(t *testing.T) {
+	r := &Request{IssueCycle: 100, CompleteCycle: 350}
+	l, err := r.Latency()
+	if err != nil || l != 250 {
+		t.Errorf("Latency() = %d, %v; want 250, nil", l, err)
+	}
 	r = &Request{IssueCycle: 100, CompleteCycle: 50}
-	if r.TotalLatency() != 0 {
-		t.Error("inverted timeline should clamp to zero")
+	if _, err := r.Latency(); !errors.Is(err, ErrIncomplete) {
+		t.Errorf("Latency() on in-flight request = %v, want ErrIncomplete", err)
+	}
+	// A request completing in its issue cycle is complete with zero latency.
+	r = &Request{IssueCycle: 0, CompleteCycle: 0}
+	if l, err := r.Latency(); err != nil || l != 0 {
+		t.Errorf("Latency() same-cycle = %d, %v; want 0, nil", l, err)
+	}
+	// The IncompleteCycle sentinel marks in-flight requests even when they
+	// were issued at cycle 0 (where CompleteCycle < IssueCycle cannot hold).
+	r = &Request{IssueCycle: 0, CompleteCycle: IncompleteCycle}
+	if _, err := r.Latency(); !errors.Is(err, ErrIncomplete) {
+		t.Errorf("Latency() on sentinel-marked request = %v, want ErrIncomplete", err)
 	}
 }
 
@@ -33,5 +66,10 @@ func TestString(t *testing.T) {
 	}
 	if !strings.Contains((&Request{}).String(), "rd") {
 		t.Error("read requests should render as rd")
+	}
+	// An in-flight request must render (not panic) with an unknown latency.
+	inflight := &Request{ID: 9, IssueCycle: 40}
+	if s := inflight.String(); !strings.Contains(s, "lat=?") {
+		t.Errorf("in-flight String() = %q, want lat=?", s)
 	}
 }

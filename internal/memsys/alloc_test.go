@@ -1,0 +1,129 @@
+package memsys
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// driveCycles pushes a steady read stream through the whole pipeline (ring,
+// LLC banks, DRAM on misses, response ring) for n cycles, draining
+// completions every cycle like the simulation driver does.
+func driveCycles(s *System, cfg *config.CMPConfig, start, n uint64, inflight []int) {
+	const maxInflight = 4
+	for now := start; now < start+n; now++ {
+		s.Tick(now)
+		for core := 0; core < cfg.Cores; core++ {
+			for _, req := range s.Completed(core) {
+				if !req.IsWrite {
+					inflight[core]--
+				}
+			}
+			if now%512 == 0 {
+				// Occasional fire-and-forget write that misses the LLC
+				// (exercises the DRAM write queue and write recycling).
+				s.Submit(core, uint64(core+8)<<28|(now*64%(1<<24)), true, now)
+			}
+			if inflight[core] < maxInflight && now%3 == 0 {
+				// Mostly LLC-resident strided reads with a slow-moving tail
+				// into DRAM, well under the modeled memory bandwidth so the
+				// queues reach a steady state instead of backing up.
+				addr := uint64(core) << 28
+				if now%24 == 0 {
+					addr |= 1<<27 | (now * 64 % (1 << 24)) // DRAM miss stream
+				} else {
+					addr |= now * 64 % (16 << 10) // LLC-hit stream
+				}
+				s.Submit(core, addr, false, now)
+				inflight[core]++
+			}
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocations is the allocation-regression test for the
+// shared memory system: once the request pool and the internal queues are
+// warm, submitting, ticking and draining must not touch the heap at all.
+func TestSteadyStateZeroAllocations(t *testing.T) {
+	cfg := config.ScaledConfig(2)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflight := make([]int, cfg.Cores)
+	// Warm the pool, the queue backing arrays and the DRAM row-history maps.
+	driveCycles(s, cfg, 0, 50000, inflight)
+
+	now := uint64(50000)
+	const chunk = 5000
+	allocs := testing.AllocsPerRun(5, func() {
+		driveCycles(s, cfg, now, chunk, inflight)
+		now += chunk
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state memory system allocated %.1f objects per %d cycles, want 0", allocs, chunk)
+	}
+}
+
+// TestRecyclingDelaysReuse pins the recycling contract: a completed request
+// object must not be handed out again by Submit until two ticks after its
+// completion was delivered (accounting probes may dereference it one cycle
+// after delivery).
+func TestRecyclingDelaysReuse(t *testing.T) {
+	cfg := config.ScaledConfig(1)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := s.Submit(0, 0x1000, false, 0)
+	var completedAt uint64
+	now := uint64(0)
+	for ; now < 10000; now++ {
+		s.Tick(now)
+		if done := s.Completed(0); len(done) > 0 {
+			if done[0] != req {
+				t.Fatal("unexpected completion")
+			}
+			completedAt = now
+			break
+		}
+	}
+	if completedAt == 0 {
+		t.Fatal("request never completed")
+	}
+	// One tick later the object must still not be reused.
+	s.Tick(completedAt + 1)
+	if got := s.Submit(0, 0x2000, false, completedAt+1); got == req {
+		t.Fatal("request object reused one tick after completion delivery")
+	}
+	// Two ticks later it is fair game.
+	s.Tick(completedAt + 2)
+	s.Tick(completedAt + 3)
+	if got := s.Submit(0, 0x3000, false, completedAt+3); got != req {
+		t.Error("request object not recycled after the two-tick quarantine")
+	}
+}
+
+// TestDisableRecyclingAllocatesFresh pins the reference-path behaviour: with
+// recycling off, every Submit returns a distinct object.
+func TestDisableRecyclingAllocatesFresh(t *testing.T) {
+	cfg := config.ScaledConfig(1)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.DisableRecycling()
+	first := s.Submit(0, 0x1000, false, 0)
+	for now := uint64(0); now < 10000; now++ {
+		s.Tick(now)
+		if len(s.Completed(0)) > 0 {
+			s.Tick(now + 1)
+			s.Tick(now + 2)
+			if s.Submit(0, 0x2000, false, now+2) == first {
+				t.Fatal("reference path reused a request object")
+			}
+			return
+		}
+	}
+	t.Fatal("request never completed")
+}

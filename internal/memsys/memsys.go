@@ -10,6 +10,12 @@
 // interference misses, memory queueing and row-buffer interference) record
 // how much of each request's latency was caused by other cores, which is the
 // raw information DIEF turns into private-mode latency estimates.
+//
+// The system is allocation-free in steady state: mem.Request objects are
+// pooled and recycled two ticks after their completion was delivered (the
+// delay covers accounting probes that read a completed request's counters
+// one cycle after delivery), and every internal queue reuses its backing
+// storage.
 package memsys
 
 import (
@@ -28,6 +34,47 @@ type lookup struct {
 	readyAt uint64
 }
 
+// reqQueue is a FIFO of requests that reuses its backing array: pops advance
+// a head index, the storage is reset (keeping capacity) once drained, and a
+// queue that never fully drains is compacted once the dead prefix dominates,
+// so the backing array stays proportional to the live occupancy and
+// steady-state operation never re-allocates.
+type reqQueue struct {
+	items []*mem.Request
+	head  int
+}
+
+func (q *reqQueue) push(r *mem.Request) { q.items = append(q.items, r) }
+
+func (q *reqQueue) len() int { return len(q.items) - q.head }
+
+func (q *reqQueue) front() *mem.Request { return q.items[q.head] }
+
+// active returns the live window of the queue (oldest first).
+func (q *reqQueue) active() []*mem.Request { return q.items[q.head:] }
+
+func (q *reqQueue) pop() *mem.Request {
+	r := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	switch {
+	case q.head == len(q.items):
+		q.items = q.items[:0]
+		q.head = 0
+	case q.head >= 32 && q.head*2 >= len(q.items):
+		// The dead prefix is at least as large as the live window: slide the
+		// live entries to the front so pushes reuse the freed slots instead
+		// of growing the array forever.
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = nil
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return r
+}
+
 // System is the shared memory system.
 type System struct {
 	cfg *config.CMPConfig
@@ -39,11 +86,11 @@ type System struct {
 
 	// Per-core ingress queues ahead of the request ring (bounded by the
 	// private-cache MSHRs, so they never grow without bound).
-	ingress [][]*mem.Request
+	ingress []reqQueue
 
 	// Per-bank occupancy and pending lookups.
 	bankBusyUntil []uint64
-	bankQueue     [][]*mem.Request
+	bankQueue     []reqQueue
 	inLookup      []lookup
 
 	// LLC misses waiting for space in the memory-controller queue.
@@ -52,8 +99,22 @@ type System struct {
 	// Responses waiting for space on the response ring.
 	toResponse []*mem.Request
 
-	// Completed requests per core, drained by the caller.
+	// Completed requests per core, drained by the caller. The backing arrays
+	// are reused across cycles.
 	completed [][]*mem.Request
+
+	// Request pool. Completed requests age through two retirement
+	// generations before re-entering the free list, so a recycled object is
+	// never reused while a core-side observer may still dereference it (the
+	// window is at most one cycle past completion delivery).
+	pooling     bool
+	pool        []*mem.Request
+	retiredNow  []*mem.Request
+	retiredPrev []*mem.Request
+
+	// activity reports whether the last Tick moved anything (used as a cheap
+	// shortcut by NextEvent).
+	activity bool
 
 	nextID uint64
 
@@ -110,10 +171,11 @@ func New(cfg *config.CMPConfig) (*System, error) {
 		ring:          r,
 		llc:           llc,
 		mc:            mc,
-		ingress:       make([][]*mem.Request, cfg.Cores),
+		ingress:       make([]reqQueue, cfg.Cores),
 		bankBusyUntil: make([]uint64, cfg.LLC.Banks),
-		bankQueue:     make([][]*mem.Request, cfg.LLC.Banks),
+		bankQueue:     make([]reqQueue, cfg.LLC.Banks),
 		completed:     make([][]*mem.Request, cfg.Cores),
+		pooling:       true,
 	}
 	s.atds = make([]*cache.ATD, cfg.Cores)
 	for core := 0; core < cfg.Cores; core++ {
@@ -144,6 +206,13 @@ func (s *System) Stats() Stats { return s.stats }
 // SetPartition installs an LLC way partition (nil disables partitioning).
 func (s *System) SetPartition(alloc []int) error { return s.llc.SetPartition(alloc) }
 
+// DisableRecycling turns request pooling off: every Submit heap-allocates a
+// fresh mem.Request and completed objects are never reused. The reference
+// simulation path runs with recycling disabled so it reproduces the
+// pre-pooling engine exactly (including its allocation behaviour, which the
+// perf harness uses as the baseline).
+func (s *System) DisableRecycling() { s.pooling = false }
+
 // Submit injects a request from core into the shared memory system at the
 // current cycle and returns the request handle the caller can wait on.
 func (s *System) Submit(core int, addr uint64, isWrite bool, now uint64) *mem.Request {
@@ -151,23 +220,32 @@ func (s *System) Submit(core int, addr uint64, isWrite bool, now uint64) *mem.Re
 		panic(fmt.Sprintf("memsys: core %d out of range", core))
 	}
 	s.nextID++
-	req := &mem.Request{
-		ID:         s.nextID,
-		Core:       core,
-		Addr:       addr,
-		IsWrite:    isWrite,
-		IssueCycle: now,
+	var req *mem.Request
+	if n := len(s.pool); s.pooling && n > 0 {
+		req = s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+		*req = mem.Request{}
+	} else {
+		req = &mem.Request{}
 	}
-	s.ingress[core] = append(s.ingress[core], req)
+	req.ID = s.nextID
+	req.Core = core
+	req.Addr = addr
+	req.IsWrite = isWrite
+	req.IssueCycle = now
+	req.CompleteCycle = mem.IncompleteCycle
+	s.ingress[core].push(req)
 	s.stats.Submitted++
 	return req
 }
 
 // Completed drains and returns the requests that finished for core since the
-// last call.
+// last call. The returned slice is reused: it is only valid until the
+// system's next Tick.
 func (s *System) Completed(core int) []*mem.Request {
 	out := s.completed[core]
-	s.completed[core] = nil
+	s.completed[core] = out[:0]
 	return out
 }
 
@@ -179,6 +257,8 @@ func (s *System) bankOf(addr uint64) int {
 
 // Tick advances the shared memory system by one cycle.
 func (s *System) Tick(now uint64) {
+	s.advanceGenerations()
+	s.activity = false
 	s.drainMemoryController(now)
 	s.startLLCLookups(now)
 	s.finishLLCLookups(now)
@@ -189,19 +269,42 @@ func (s *System) Tick(now uint64) {
 	s.retryResponses(now)
 }
 
+// advanceGenerations moves requests retired two ticks ago into the free list
+// and ages the current generation.
+func (s *System) advanceGenerations() {
+	if !s.pooling {
+		return
+	}
+	s.pool = append(s.pool, s.retiredPrev...)
+	recycled := s.retiredPrev[:0]
+	s.retiredPrev = s.retiredNow
+	s.retiredNow = recycled
+}
+
+// retire queues a finished request for recycling.
+func (s *System) retire(req *mem.Request) {
+	if !s.pooling {
+		return
+	}
+	s.retiredNow = append(s.retiredNow, req)
+}
+
+// Active reports whether the last Tick moved at least one request between
+// pipeline stages.
+func (s *System) Active() bool { return s.activity }
+
 // moveIngressToRing moves per-core ingress entries onto the request ring in
 // round-robin order, respecting ring back-pressure.
 func (s *System) moveIngressToRing(now uint64) {
 	for core := 0; core < s.cfg.Cores; core++ {
-		q := s.ingress[core]
-		moved := 0
-		for _, req := range q {
-			if !s.ring.Submit(ring.RequestRing, req, now) {
+		q := &s.ingress[core]
+		for q.len() > 0 {
+			if !s.ring.Submit(ring.RequestRing, q.front(), now) {
 				break
 			}
-			moved++
+			q.pop()
+			s.activity = true
 		}
-		s.ingress[core] = q[moved:]
 	}
 }
 
@@ -211,31 +314,35 @@ func (s *System) deliverRequestsToBanks(now uint64) {
 	for _, req := range s.ring.Deliver(ring.RequestRing, now) {
 		req.LLCArrival = now
 		b := s.bankOf(req.Addr)
-		s.bankQueue[b] = append(s.bankQueue[b], req)
+		s.bankQueue[b].push(req)
+		s.activity = true
 	}
 }
 
 // startLLCLookups starts one lookup per free bank per cycle.
 func (s *System) startLLCLookups(now uint64) {
 	for b := range s.bankQueue {
-		if len(s.bankQueue[b]) == 0 || s.bankBusyUntil[b] > now {
+		if s.bankQueue[b].len() == 0 || s.bankBusyUntil[b] > now {
 			continue
 		}
-		req := s.bankQueue[b][0]
-		s.bankQueue[b] = s.bankQueue[b][1:]
-		// Bank queueing behind another core's lookup counts as LLC interference.
+		// Bank queueing behind another core's lookup counts as LLC
+		// interference (the popped request never matches "other core", so
+		// scanning before the pop is equivalent to scanning after it).
+		req := s.bankQueue[b].front()
 		if wait := now - req.LLCArrival; wait > 0 && s.otherCoreQueued(b, req.Core) {
 			req.LLCInterference += wait
 		}
+		s.bankQueue[b].pop()
 		s.bankBusyUntil[b] = now + uint64(s.cfg.LLC.LatencyCyc)
 		s.inLookup = append(s.inLookup, lookup{req: req, readyAt: now + uint64(s.cfg.LLC.LatencyCyc)})
+		s.activity = true
 	}
 }
 
 // otherCoreQueued reports whether bank b's queue holds a request from a core
 // other than core.
 func (s *System) otherCoreQueued(b, core int) bool {
-	for _, r := range s.bankQueue[b] {
+	for _, r := range s.bankQueue[b].active() {
 		if r.Core != core {
 			return true
 		}
@@ -252,6 +359,7 @@ func (s *System) finishLLCLookups(now uint64) {
 			kept = append(kept, l)
 			continue
 		}
+		s.activity = true
 		req := l.req
 		sampled, privateHit := s.atds[req.Core].Access(req.Addr)
 		hit := s.llc.Access(req.Core, req.Addr)
@@ -281,17 +389,27 @@ func (s *System) retryMemoryEnqueue(now uint64) {
 			kept = append(kept, req)
 			continue
 		}
+		s.activity = true
+	}
+	for i := len(kept); i < len(s.toMemory); i++ {
+		s.toMemory[i] = nil
 	}
 	s.toMemory = kept
 }
 
 // drainMemoryController completes DRAM accesses: the returned data fills the
 // LLC (honoring the way partition) and heads back to the core on the
-// response ring.
+// response ring. Completed writes (fire-and-forget) are recycled here.
 func (s *System) drainMemoryController(now uint64) {
 	for _, req := range s.mc.Tick(now) {
 		s.llc.Fill(req.Core, req.Addr)
 		s.toResponse = append(s.toResponse, req)
+	}
+	for _, req := range s.mc.CompletedWrites() {
+		s.retire(req)
+	}
+	if s.mc.Active() {
+		s.activity = true
 	}
 }
 
@@ -303,6 +421,10 @@ func (s *System) retryResponses(now uint64) {
 			kept = append(kept, req)
 			continue
 		}
+		s.activity = true
+	}
+	for i := len(kept); i < len(s.toResponse); i++ {
+		s.toResponse[i] = nil
 	}
 	s.toResponse = kept
 }
@@ -326,25 +448,83 @@ func (s *System) deliverResponses(now uint64) {
 		}
 		s.stats.Completed++
 		s.completed[req.Core] = append(s.completed[req.Core], req)
+		s.retire(req)
+		s.activity = true
 	}
 }
 
-func min64(a, b uint64) uint64 {
-	if a < b {
-		return a
+// NextEvent returns a lower bound on the next cycle (strictly after now) at
+// which the shared memory system can move a request between stages, assuming
+// no new submissions arrive in between. A fully drained system returns
+// math.MaxUint64. The driver may skip to the returned cycle in one step after
+// applying Controller.FastForward for the span (the queue-interference charge
+// is the only per-cycle state change of an otherwise idle system).
+func (s *System) NextEvent(now uint64) uint64 {
+	if s.activity {
+		return now + 1
 	}
-	return b
+	next := s.mc.NextEvent(now)
+	if r := s.ring.NextEvent(now); r < next {
+		next = r
+	}
+	for b := range s.bankQueue {
+		if s.bankQueue[b].len() == 0 {
+			continue
+		}
+		t := now + 1
+		if s.bankBusyUntil[b] > t {
+			t = s.bankBusyUntil[b]
+		}
+		if t < next {
+			next = t
+		}
+	}
+	for i := range s.inLookup {
+		if t := s.inLookup[i].readyAt; t < next {
+			next = t
+		}
+	}
+	if next <= now+1 {
+		return now + 1
+	}
+	// Blocked hand-offs: if a retry could succeed right away, the next cycle
+	// is an event. (If the downstream stage is full, its drain is already one
+	// of the events computed above, and the retry succeeds on the tick that
+	// follows it.)
+	if len(s.toMemory) > 0 {
+		for _, req := range s.toMemory {
+			if s.mc.CanAccept(req.Addr, req.IsWrite) {
+				return now + 1
+			}
+		}
+	}
+	if len(s.toResponse) > 0 && s.ring.HasSpace(ring.ResponseRing) {
+		return now + 1
+	}
+	for core := range s.ingress {
+		if s.ingress[core].len() > 0 && s.ring.HasSpace(ring.RequestRing) {
+			return now + 1
+		}
+	}
+	return next
+}
+
+// FastForward applies the per-cycle state changes of the span [from, to) in
+// closed form. The only such change in an idle shared memory system is the
+// memory controller's queue-interference charge.
+func (s *System) FastForward(from, to uint64) {
+	s.mc.FastForward(from, to)
 }
 
 // PendingCount returns the number of requests currently anywhere in the
 // shared memory system (useful for draining at the end of a run and in tests).
 func (s *System) PendingCount() int {
 	n := len(s.inLookup) + len(s.toMemory) + len(s.toResponse)
-	for _, q := range s.ingress {
-		n += len(q)
+	for i := range s.ingress {
+		n += s.ingress[i].len()
 	}
-	for _, q := range s.bankQueue {
-		n += len(q)
+	for i := range s.bankQueue {
+		n += s.bankQueue[i].len()
 	}
 	n += s.ring.QueueLen(ring.RequestRing) + s.ring.QueueLen(ring.ResponseRing)
 	n += s.mc.QueueOccupancy()

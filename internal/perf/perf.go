@@ -1,0 +1,359 @@
+// Package perf is the benchmark-regression harness of the simulator: it runs
+// fixed-seed scenario workloads through both the event-driven fast driver and
+// the cycle-by-cycle reference driver (the pre-optimization engine), measures
+// simulated cycles per second, the fraction of cycles the fast driver
+// actually processes, and the steady-state heap allocations per accounting
+// interval, and emits the measurements as a versioned JSON report.
+//
+// The harness exists so that simulator speed is a tested, regression-pinned
+// property: `gdpsim bench` writes BENCH_<n>.json artifacts that successive
+// PRs extend into a measured trajectory, and the CI bench-smoke job fails on
+// allocation regressions in the hot path.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/accounting"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// SchemaVersion identifies the report layout.
+const SchemaVersion = 1
+
+// Options configure one harness run. The zero value selects every registered
+// scenario at the default fixed-seed sizing.
+type Options struct {
+	// Scenarios names the workload scenarios to benchmark (default: all
+	// registered scenarios).
+	Scenarios []string
+	// Cores is the CMP size (default 4).
+	Cores int
+	// Instructions is the per-core instruction sample (default 20000).
+	Instructions uint64
+	// IntervalCycles is the accounting interval (default 10000).
+	IntervalCycles uint64
+	// Seed fixes the synthetic traces (default 42), so every run of the
+	// harness simulates the identical instruction streams.
+	Seed int64
+	// Repeats is the number of timed runs per driver; the median is reported
+	// (default 3).
+	Repeats int
+	// SkipReference skips the slow cycle-by-cycle baseline timing (used by
+	// the CI smoke job, which only gates on allocations).
+	SkipReference bool
+	// SkipAllocs skips the allocation measurement.
+	SkipAllocs bool
+}
+
+func (o *Options) setDefaults() {
+	if len(o.Scenarios) == 0 {
+		o.Scenarios = workload.ScenarioNames()
+	}
+	if o.Cores == 0 {
+		o.Cores = 4
+	}
+	if o.Instructions == 0 {
+		o.Instructions = 20000
+	}
+	if o.IntervalCycles == 0 {
+		o.IntervalCycles = 10000
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 3
+	}
+}
+
+// ScenarioResult is the measurement of one scenario workload.
+type ScenarioResult struct {
+	Scenario       string `json:"scenario"`
+	Cores          int    `json:"cores"`
+	Instructions   uint64 `json:"instructions_per_core"`
+	IntervalCycles uint64 `json:"interval_cycles"`
+	Seed           int64  `json:"seed"`
+
+	// Cycles is the simulated cycle count of the run (identical for both
+	// drivers — the differential tests pin that).
+	Cycles uint64 `json:"cycles"`
+
+	// Fast-driver measurements.
+	FastNanos        int64   `json:"fast_wall_ns"`
+	FastCyclesPerSec float64 `json:"fast_cycles_per_sec"`
+	// ProcessedCycleFraction is the share of simulated cycles the fast
+	// driver executed explicitly (the rest were event-skipped).
+	ProcessedCycleFraction float64 `json:"processed_cycle_fraction"`
+
+	// Reference-driver measurements (zero when the baseline was skipped).
+	ReferenceNanos        int64   `json:"reference_wall_ns,omitempty"`
+	ReferenceCyclesPerSec float64 `json:"reference_cycles_per_sec,omitempty"`
+	// Speedup is fast cycles/sec over reference cycles/sec.
+	Speedup float64 `json:"speedup,omitempty"`
+
+	// AllocsPerInterval is the steady-state heap allocation count per
+	// accounting interval on the fast driver (-1 when not measured).
+	AllocsPerInterval float64 `json:"allocs_per_interval"`
+}
+
+// Report is the harness output.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	GeneratedAt   string `json:"generated_at,omitempty"`
+
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// simOptions builds the fixed-seed run options for one scenario.
+func simOptions(name string, o Options, reference bool, extra ...accounting.Accountant) (sim.Options, error) {
+	sc, err := workload.ScenarioByName(name)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	wl, err := sc.Workload(o.Cores)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	gdpo, err := accounting.NewGDP(o.Cores, 32, true)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	return sim.Options{
+		Config:              config.ScaledConfig(o.Cores),
+		Workload:            wl,
+		InstructionsPerCore: o.Instructions,
+		IntervalCycles:      o.IntervalCycles,
+		Seed:                o.Seed,
+		Accountants:         append([]accounting.Accountant{gdpo}, extra...),
+		DiscardIntervals:    true,
+		Reference:           reference,
+	}, nil
+}
+
+// timeRun executes one simulation and returns its wall time and cycle count.
+func timeRun(opts sim.Options) (time.Duration, uint64, error) {
+	start := time.Now()
+	res, err := sim.Run(opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), res.Cycles, nil
+}
+
+// medianTime runs the scenario repeats times and returns the median wall
+// time and the (deterministic) cycle count.
+func medianTime(name string, o Options, reference bool) (time.Duration, uint64, error) {
+	times := make([]time.Duration, 0, o.Repeats)
+	var cycles uint64
+	for i := 0; i < o.Repeats; i++ {
+		opts, err := simOptions(name, o, reference)
+		if err != nil {
+			return 0, 0, err
+		}
+		d, c, err := timeRun(opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		if cycles != 0 && cycles != c {
+			return 0, 0, fmt.Errorf("perf: scenario %s is not deterministic: %d vs %d cycles", name, cycles, c)
+		}
+		cycles = c
+		times = append(times, d)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2], cycles, nil
+}
+
+// processedFraction runs the scenario once with a cycle-counting accountant
+// attached and returns processed/simulated cycles.
+func processedFraction(name string, o Options) (float64, error) {
+	counter := &tickCounter{}
+	opts, err := simOptions(name, o, false, counter)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Run(opts)
+	if err != nil {
+		return 0, err
+	}
+	if res.Cycles == 0 {
+		return 1, nil
+	}
+	return float64(counter.ticks) / float64(res.Cycles), nil
+}
+
+// steadyAllocsPerInterval measures the steady-state allocation rate of the
+// interval loop by differencing a short and a long fixed-budget run.
+func steadyAllocsPerInterval(name string, o Options) (float64, error) {
+	// The short run doubles as the warm-up horizon: queue depths and pool
+	// populations creep for tens of intervals on bandwidth-bound workloads
+	// before the steady state settles, so the differencing window starts
+	// late.
+	const shortIntervals, longIntervals = 50, 150
+	measure := func(intervals uint64) (uint64, error) {
+		opts, err := simOptions(name, o, false)
+		if err != nil {
+			return 0, err
+		}
+		opts.InstructionsPerCore = 1 << 40 // never finishes early
+		opts.MaxCycles = intervals * opts.IntervalCycles
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, err := sim.Run(opts); err != nil {
+			return 0, err
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs, nil
+	}
+	// Warm the runtime (lazy initialization paths) before differencing.
+	if _, err := measure(shortIntervals); err != nil {
+		return 0, err
+	}
+	short, err := measure(shortIntervals)
+	if err != nil {
+		return 0, err
+	}
+	long, err := measure(longIntervals)
+	if err != nil {
+		return 0, err
+	}
+	perInterval := (float64(long) - float64(short)) / float64(longIntervals-shortIntervals)
+	if perInterval < 0 {
+		perInterval = 0
+	}
+	return perInterval, nil
+}
+
+// Run executes the harness and assembles the report.
+func Run(o Options) (*Report, error) {
+	o.setDefaults()
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, name := range o.Scenarios {
+		fastT, cycles, err := medianTime(name, o, false)
+		if err != nil {
+			return nil, err
+		}
+		sr := ScenarioResult{
+			Scenario:          name,
+			Cores:             o.Cores,
+			Instructions:      o.Instructions,
+			IntervalCycles:    o.IntervalCycles,
+			Seed:              o.Seed,
+			Cycles:            cycles,
+			FastNanos:         fastT.Nanoseconds(),
+			FastCyclesPerSec:  float64(cycles) / fastT.Seconds(),
+			AllocsPerInterval: -1,
+		}
+		frac, err := processedFraction(name, o)
+		if err != nil {
+			return nil, err
+		}
+		sr.ProcessedCycleFraction = frac
+		if !o.SkipReference {
+			refT, refCycles, err := medianTime(name, o, true)
+			if err != nil {
+				return nil, err
+			}
+			if refCycles != cycles {
+				return nil, fmt.Errorf("perf: scenario %s: fast and reference drivers diverge (%d vs %d cycles)",
+					name, cycles, refCycles)
+			}
+			sr.ReferenceNanos = refT.Nanoseconds()
+			sr.ReferenceCyclesPerSec = float64(cycles) / refT.Seconds()
+			sr.Speedup = sr.FastCyclesPerSec / sr.ReferenceCyclesPerSec
+		}
+		if !o.SkipAllocs {
+			allocs, err := steadyAllocsPerInterval(name, o)
+			if err != nil {
+				return nil, err
+			}
+			sr.AllocsPerInterval = allocs
+		}
+		rep.Scenarios = append(rep.Scenarios, sr)
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("perf: parsing report: %w", err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("perf: unsupported report schema %d (want %d)", rep.SchemaVersion, SchemaVersion)
+	}
+	return &rep, nil
+}
+
+// CheckAllocs returns an error if any scenario's measured steady-state
+// allocation rate exceeds maxPerInterval (scenarios without a measurement
+// are skipped). This is the CI bench-smoke gate.
+func (r *Report) CheckAllocs(maxPerInterval float64) error {
+	for _, s := range r.Scenarios {
+		if s.AllocsPerInterval < 0 {
+			continue
+		}
+		if s.AllocsPerInterval > maxPerInterval {
+			return fmt.Errorf("perf: scenario %s allocates %.3f objects/interval in steady state (limit %.3f)",
+				s.Scenario, s.AllocsPerInterval, maxPerInterval)
+		}
+	}
+	return nil
+}
+
+// CheckSpeedup returns an error if any scenario with a reference baseline
+// fell below the required fast-over-reference speedup.
+func (r *Report) CheckSpeedup(min float64) error {
+	for _, s := range r.Scenarios {
+		if s.Speedup == 0 {
+			continue
+		}
+		if s.Speedup < min {
+			return fmt.Errorf("perf: scenario %s speedup %.2fx below the required %.2fx",
+				s.Scenario, s.Speedup, min)
+		}
+	}
+	return nil
+}
+
+// tickCounter counts the cycles the driver actually processes (its Tick is
+// scheduled at no particular cycle, so it never inhibits fast-forwarding).
+type tickCounter struct{ ticks uint64 }
+
+func (c *tickCounter) Name() string                                { return "perf-tick-counter" }
+func (c *tickCounter) Probe(int) cpu.Probe                         { return nil }
+func (c *tickCounter) ObserveRequest(int, *mem.Request)            {}
+func (c *tickCounter) Tick(uint64)                                 { c.ticks++ }
+func (c *tickCounter) Estimate(int, cpu.Stats) accounting.Estimate { return accounting.Estimate{} }
+func (c *tickCounter) EndInterval()                                {}
+func (c *tickCounter) NextEvent(uint64) uint64                     { return accounting.NoEvent }

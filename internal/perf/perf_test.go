@@ -1,0 +1,131 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickOptions keeps harness tests fast: one small scenario, one repeat.
+func quickOptions() Options {
+	return Options{
+		Scenarios:      []string{"compute-heavy"},
+		Cores:          2,
+		Instructions:   2000,
+		IntervalCycles: 1000,
+		Seed:           42,
+		Repeats:        1,
+		SkipAllocs:     true,
+	}
+}
+
+func TestRunProducesMeasurements(t *testing.T) {
+	rep, err := Run(quickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 1 {
+		t.Fatalf("got %d scenario results, want 1", len(rep.Scenarios))
+	}
+	s := rep.Scenarios[0]
+	if s.Scenario != "compute-heavy" || s.Cycles == 0 || s.FastCyclesPerSec <= 0 {
+		t.Errorf("implausible result: %+v", s)
+	}
+	if s.ReferenceCyclesPerSec <= 0 || s.Speedup <= 0 {
+		t.Errorf("reference baseline missing: %+v", s)
+	}
+	if s.ProcessedCycleFraction <= 0 || s.ProcessedCycleFraction > 1 {
+		t.Errorf("processed fraction %v out of range", s.ProcessedCycleFraction)
+	}
+	if s.AllocsPerInterval != -1 {
+		t.Errorf("allocs measured despite SkipAllocs: %v", s.AllocsPerInterval)
+	}
+}
+
+func TestSkipReference(t *testing.T) {
+	o := quickOptions()
+	o.SkipReference = true
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Scenarios[0]
+	if s.ReferenceNanos != 0 || s.Speedup != 0 {
+		t.Errorf("reference timing present despite SkipReference: %+v", s)
+	}
+}
+
+func TestAllocMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement needs full runs")
+	}
+	o := quickOptions()
+	o.SkipAllocs = false
+	o.SkipReference = true
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := rep.Scenarios[0].AllocsPerInterval; a < 0 || a >= 1 {
+		t.Errorf("steady-state allocations per interval = %v, want [0, 1)", a)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	o := quickOptions()
+	o.SkipReference = true
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != SchemaVersion || len(back.Scenarios) != len(rep.Scenarios) {
+		t.Errorf("round trip mangled the report: %+v", back)
+	}
+	if back.Scenarios[0].Cycles != rep.Scenarios[0].Cycles {
+		t.Error("cycle counts did not survive the round trip")
+	}
+}
+
+func TestReadReportRejectsBadSchema(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader(`{"schema_version": 999}`)); err == nil {
+		t.Error("unknown schema version accepted")
+	}
+	if _, err := ReadReport(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestChecks(t *testing.T) {
+	rep := &Report{Scenarios: []ScenarioResult{
+		{Scenario: "a", AllocsPerInterval: 0.2, Speedup: 2.0},
+		{Scenario: "b", AllocsPerInterval: -1, Speedup: 0}, // unmeasured: skipped
+	}}
+	if err := rep.CheckAllocs(0.5); err != nil {
+		t.Errorf("CheckAllocs(0.5) = %v, want pass", err)
+	}
+	if err := rep.CheckAllocs(0.1); err == nil {
+		t.Error("CheckAllocs(0.1) passed on a 0.2 allocs/interval scenario")
+	}
+	if err := rep.CheckSpeedup(1.5); err != nil {
+		t.Errorf("CheckSpeedup(1.5) = %v, want pass", err)
+	}
+	if err := rep.CheckSpeedup(3.0); err == nil {
+		t.Error("CheckSpeedup(3.0) passed on a 2.0x scenario")
+	}
+}
+
+func TestUnknownScenarioFails(t *testing.T) {
+	o := quickOptions()
+	o.Scenarios = []string{"no-such-scenario"}
+	if _, err := Run(o); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

@@ -9,6 +9,7 @@ package ring
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/mem"
 )
@@ -43,6 +44,12 @@ type Ring struct {
 
 	reqQueue []entry
 	rspQueue []entry
+
+	// Reused delivery buffers (one per direction, so zero steady-state
+	// allocations on the hot path). The returned slice is only valid until
+	// the next Deliver call in the same direction.
+	reqOut []*mem.Request
+	rspOut []*mem.Request
 
 	// Stats.
 	reqDelivered  uint64
@@ -120,11 +127,13 @@ func (r *Ring) Submit(dir Direction, req *mem.Request, now uint64) bool {
 func (r *Ring) Deliver(dir Direction, now uint64) []*mem.Request {
 	q := &r.reqQueue
 	lanes := r.reqLanes
+	buf := &r.reqOut
 	if dir == ResponseRing {
 		q = &r.rspQueue
 		lanes = r.rspLanes
+		buf = &r.rspOut
 	}
-	var out []*mem.Request
+	out := (*buf)[:0]
 	kept := (*q)[:0]
 	for _, e := range *q {
 		if len(out) < lanes && e.ready <= now {
@@ -146,12 +155,38 @@ func (r *Ring) Deliver(dir Direction, now uint64) []*mem.Request {
 		kept = append(kept, e)
 	}
 	*q = kept
+	*buf = out
 	if dir == RequestRing {
 		r.reqDelivered += uint64(len(out))
 	} else {
 		r.rspDelivered += uint64(len(out))
 	}
 	return out
+}
+
+// NextEvent returns a lower bound on the next cycle (strictly after now) at
+// which the ring can deliver a message, assuming no new submissions arrive in
+// between. With both queues empty it returns math.MaxUint64. The bound is
+// exact for idle spans: between now and the returned cycle, a Deliver call
+// would pop nothing and mutate no state, so the simulation driver can skip
+// the span in one step.
+func (r *Ring) NextEvent(now uint64) uint64 {
+	next := uint64(math.MaxUint64)
+	for i := range r.reqQueue {
+		if e := &r.reqQueue[i]; e.ready < next {
+			next = e.ready
+		}
+	}
+	for i := range r.rspQueue {
+		if e := &r.rspQueue[i]; e.ready < next {
+			next = e.ready
+		}
+	}
+	if next <= now {
+		// Messages are ready but lane-limited: delivery continues every cycle.
+		return now + 1
+	}
+	return next
 }
 
 // otherCoreTraffic reports whether the queue currently holds a message from a
@@ -163,6 +198,11 @@ func (r *Ring) otherCoreTraffic(q []entry, core int) bool {
 		}
 	}
 	return false
+}
+
+// HasSpace reports whether the selected queue can accept another message.
+func (r *Ring) HasSpace(dir Direction) bool {
+	return r.QueueLen(dir) < r.queueCap
 }
 
 // QueueLen returns the occupancy of the selected queue.

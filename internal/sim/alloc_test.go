@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/accounting"
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// allocRunOptions builds a fixed-cycle-budget run: InstructionsPerCore is set
+// far above what the budget allows, so the run always executes exactly
+// MaxCycles cycles and the interval count is maxCycles/IntervalCycles.
+func allocRunOptions(t *testing.T, maxCycles uint64, withAccountant bool) Options {
+	t.Helper()
+	sc, err := workload.ScenarioByName("streaming")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := sc.Workload(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Config:              config.ScaledConfig(2),
+		Workload:            wl,
+		InstructionsPerCore: 1 << 40,
+		IntervalCycles:      2000,
+		Seed:                3,
+		MaxCycles:           maxCycles,
+		DiscardIntervals:    true,
+	}
+	if withAccountant {
+		gdpo, err := accounting.NewGDP(2, 32, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Accountants = []accounting.Accountant{gdpo}
+	}
+	return opts
+}
+
+// measureRunAllocs returns the average allocation count of a full Run.
+func measureRunAllocs(t *testing.T, maxCycles uint64, withAccountant bool) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(3, func() {
+		opts := allocRunOptions(t, maxCycles, withAccountant)
+		if _, err := Run(opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestIntervalLoopZeroAllocations is the allocation-regression test for the
+// simulation driver: once a run is warm (request pool filled, scratch slices
+// sized), each additional simulated interval must not allocate. It compares
+// the total allocations of a short and a long run with identical setup; the
+// difference is attributable purely to the extra steady-state intervals.
+func TestIntervalLoopZeroAllocations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement needs full runs")
+	}
+	for _, tc := range []struct {
+		name           string
+		withAccountant bool
+	}{
+		{"no-accountant", false},
+		{"gdp-o", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const interval = 2000
+			shortAllocs := measureRunAllocs(t, 20*interval, tc.withAccountant)
+			longAllocs := measureRunAllocs(t, 120*interval, tc.withAccountant)
+			perInterval := (longAllocs - shortAllocs) / 100
+			if perInterval >= 1 {
+				t.Errorf("steady-state interval loop allocates %.2f objects/interval (short run %.0f, long run %.0f), want 0",
+					perInterval, shortAllocs, longAllocs)
+			} else {
+				t.Logf("steady-state allocations: %.3f objects/interval", perInterval)
+			}
+		})
+	}
+}

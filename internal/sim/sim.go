@@ -4,11 +4,22 @@
 // cache-partitioning policy at repartitioning intervals, and produces the
 // aligned shared-mode / private-mode measurements the paper's evaluation
 // methodology requires (Section VI).
+//
+// Two drivers share the same per-cycle semantics. The default driver is
+// event-driven: whenever every component proves itself idle until some future
+// cycle (cores fully stalled on memory, the memory system waiting on DRAM
+// timing), the driver jumps there in one step, applying the per-cycle
+// bookkeeping of the skipped span in closed form. The reference driver
+// (Options.Reference) ticks cycle by cycle with request pooling disabled; it
+// reproduces the pre-optimization engine exactly and anchors the differential
+// tests and the perf harness baseline. Both drivers produce byte-identical
+// Results.
 package sim
 
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/accounting"
 	"repro/internal/config"
@@ -75,6 +86,11 @@ type Options struct {
 	// consumers set this so long runs hold O(cores) instead of O(intervals)
 	// memory.
 	DiscardIntervals bool
+	// Reference selects the cycle-by-cycle reference driver with request
+	// pooling disabled: the exact pre-optimization engine, kept build-tag-free
+	// for differential testing against the event-driven fast path and as the
+	// perf harness baseline. Results are byte-identical either way.
+	Reference bool
 }
 
 // IntervalRecord is one per-core, per-interval measurement with the estimates
@@ -151,6 +167,38 @@ func Run(opts Options) (*Result, error) {
 	return RunContext(context.Background(), opts)
 }
 
+// samplePointCapHint bounds the pre-allocated per-core sample-point capacity.
+const samplePointCapHint = 4096
+
+// runState holds one shared-mode run in flight: the instantiated hardware,
+// the accumulating result and the reusable per-interval scratch (so the
+// steady-state interval loop performs no heap allocations).
+type runState struct {
+	opts      Options
+	shared    *memsys.System
+	cores     []*cpu.Core
+	res       *Result
+	maxCycles uint64
+
+	sampleTaken  []bool
+	lastSnapshot []cpu.Stats
+
+	// Reusable per-interval scratch.
+	intervals []cpu.Stats
+	records   []IntervalRecord
+	snapshots []partition.CoreSnapshot
+	// reuseEstimates reports that interval records never escape the run
+	// (DiscardIntervals set and no OnInterval sink), so their Estimates maps
+	// can be recycled across intervals.
+	reuseEstimates bool
+
+	// Event fast-forwarding. canSkip is false when an attached accountant
+	// does not declare its Tick schedule (accounting.EventSource), which
+	// forces cycle-by-cycle operation for correctness.
+	canSkip     bool
+	acctSources []accounting.EventSource
+}
+
 // RunContext executes a shared-mode simulation under a context. Cancellation
 // is checked before the first cycle and at every interval boundary, so an
 // already-expired context returns its error without completing a single
@@ -163,6 +211,23 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	st, err := newRunState(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Reference {
+		err = st.runReference(ctx)
+	} else {
+		err = st.runFast(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return st.res, nil
+}
+
+// newRunState instantiates the CMP for one shared-mode run.
+func newRunState(opts Options) (*runState, error) {
 	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = opts.InstructionsPerCore * 500
@@ -171,6 +236,9 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	shared, err := memsys.New(opts.Config)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Reference {
+		shared.DisableRecycling()
 	}
 	cores := make([]*cpu.Core, opts.Config.Cores)
 	for i := range cores {
@@ -219,86 +287,230 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		Intervals:    make([][]IntervalRecord, len(cores)),
 		SamplePoints: make([][]uint64, len(cores)),
 	}
-	sampleTaken := make([]bool, len(cores))
-	lastSnapshot := make([]cpu.Stats, len(cores))
+	spCap := maxCycles/opts.IntervalCycles + 1
+	if spCap > samplePointCapHint {
+		spCap = samplePointCapHint
+	}
+	for i := range res.SamplePoints {
+		res.SamplePoints[i] = make([]uint64, 0, spCap)
+	}
 
+	st := &runState{
+		opts:           opts,
+		shared:         shared,
+		cores:          cores,
+		res:            res,
+		maxCycles:      maxCycles,
+		sampleTaken:    make([]bool, len(cores)),
+		lastSnapshot:   make([]cpu.Stats, len(cores)),
+		intervals:      make([]cpu.Stats, len(cores)),
+		records:        make([]IntervalRecord, len(cores)),
+		reuseEstimates: opts.DiscardIntervals && opts.OnInterval == nil,
+		canSkip:        true,
+		acctSources:    make([]accounting.EventSource, len(opts.Accountants)),
+	}
+	for i, acct := range opts.Accountants {
+		src, ok := acct.(accounting.EventSource)
+		if !ok {
+			// Unknown Tick schedule: never skip a cycle.
+			st.canSkip = false
+			continue
+		}
+		st.acctSources[i] = src
+	}
+	return st, nil
+}
+
+// tickCycle advances the whole CMP by one cycle and reports how many cores
+// have completed their instruction sample.
+func (st *runState) tickCycle(now uint64) (done int) {
+	for _, acct := range st.opts.Accountants {
+		acct.Tick(now)
+	}
+	st.shared.Tick(now)
+	for i, core := range st.cores {
+		for _, req := range st.shared.Completed(i) {
+			core.CompleteRequest(req, now)
+			for _, acct := range st.opts.Accountants {
+				acct.ObserveRequest(i, req)
+			}
+		}
+		core.Tick(now)
+	}
+
+	// Record per-core sample completion for STP.
+	for i, core := range st.cores {
+		if !st.sampleTaken[i] {
+			if stats := core.Stats(); stats.Instructions >= st.opts.InstructionsPerCore {
+				st.res.SampleStats[i] = stats
+				st.sampleTaken[i] = true
+			}
+		}
+		if st.sampleTaken[i] {
+			done++
+		}
+	}
+	return done
+}
+
+// runReference is the cycle-by-cycle driver: every cycle of the run is
+// simulated explicitly. It is the behavioural anchor for the event-driven
+// driver and the perf harness baseline.
+func (st *runState) runReference(ctx context.Context) error {
+	opts := st.opts
 	now := uint64(0)
-	for ; now < maxCycles; now++ {
-		for _, acct := range opts.Accountants {
-			acct.Tick(now)
-		}
-		shared.Tick(now)
-		for i, core := range cores {
-			for _, req := range shared.Completed(i) {
-				core.CompleteRequest(req, now)
-				for _, acct := range opts.Accountants {
-					acct.ObserveRequest(i, req)
-				}
-			}
-			core.Tick(now)
-		}
-
-		// Record per-core sample completion for STP.
-		done := 0
-		for i, core := range cores {
-			st := core.Stats()
-			if !sampleTaken[i] && st.Instructions >= opts.InstructionsPerCore {
-				res.SampleStats[i] = st
-				sampleTaken[i] = true
-			}
-			if sampleTaken[i] {
-				done++
-			}
-			_ = st
-		}
+	for ; now < st.maxCycles; now++ {
+		done := st.tickCycle(now)
 
 		// Interval boundary: estimates, repartitioning and cancellation.
 		if (now+1)%opts.IntervalCycles == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
-			if err := recordInterval(opts, shared, cores, res, lastSnapshot); err != nil {
-				return nil, err
+			if err := st.recordInterval(); err != nil {
+				return err
 			}
 		}
 
-		if done == len(cores) {
+		if done == len(st.cores) {
 			now++
 			break
 		}
 	}
+	st.finish(now)
+	return nil
+}
 
-	res.Cycles = now
-	for i, core := range cores {
-		res.CoreStats[i] = core.Stats()
-		if !sampleTaken[i] {
-			res.SampleStats[i] = core.Stats()
+// runFast is the event-driven driver: after every simulated cycle it asks
+// each component for a lower bound on its next event and, when every bound
+// lies beyond the next cycle, jumps to the earliest one in a single step.
+// The skipped span's per-cycle bookkeeping (stall counters, probe snapshots,
+// DRAM queue-interference charges) is applied in closed form, so the Result
+// is byte-identical to the reference driver's.
+func (st *runState) runFast(ctx context.Context) error {
+	opts := st.opts
+	now := uint64(0)
+	for now < st.maxCycles {
+		done := st.tickCycle(now)
+
+		if (now+1)%opts.IntervalCycles == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := st.recordInterval(); err != nil {
+				return err
+			}
+		}
+
+		if done == len(st.cores) {
+			now++
+			break
+		}
+
+		target := st.nextEventCycle(now)
+		if target > now+1 {
+			// Never skip an interval boundary or the cycle budget.
+			if boundary := now + opts.IntervalCycles - (now+1)%opts.IntervalCycles; target > boundary {
+				target = boundary
+			}
+			if target > st.maxCycles {
+				target = st.maxCycles
+			}
+		}
+		if target > now+1 {
+			for _, core := range st.cores {
+				core.FastForward(now+1, target)
+			}
+			st.shared.FastForward(now+1, target)
+			now = target
+		} else {
+			now++
 		}
 	}
-	return res, nil
+	st.finish(now)
+	return nil
+}
+
+// nextEventCycle returns the earliest cycle after now at which any component
+// can change state (math.MaxUint64 when everything waits forever, which the
+// caller caps at the interval boundary).
+func (st *runState) nextEventCycle(now uint64) uint64 {
+	if !st.canSkip {
+		return now + 1
+	}
+	next := uint64(math.MaxUint64)
+	for _, core := range st.cores {
+		e := core.NextEvent(now)
+		if e <= now+1 {
+			return now + 1
+		}
+		if e < next {
+			next = e
+		}
+	}
+	e := st.shared.NextEvent(now)
+	if e <= now+1 {
+		return now + 1
+	}
+	if e < next {
+		next = e
+	}
+	for _, src := range st.acctSources {
+		if src == nil {
+			continue
+		}
+		e := src.NextEvent(now)
+		if e <= now+1 {
+			return now + 1
+		}
+		if e < next {
+			next = e
+		}
+	}
+	return next
+}
+
+// finish seals the result once the run's last cycle has been simulated.
+func (st *runState) finish(now uint64) {
+	st.res.Cycles = now
+	for i, core := range st.cores {
+		st.res.CoreStats[i] = core.Stats()
+		if !st.sampleTaken[i] {
+			st.res.SampleStats[i] = core.Stats()
+		}
+	}
 }
 
 // recordInterval captures the interval deltas, queries every accountant,
 // delivers the records to the streaming sink, optionally repartitions the LLC
-// and resets interval state.
-func recordInterval(opts Options, shared *memsys.System, cores []*cpu.Core, res *Result, lastSnapshot []cpu.Stats) error {
-	intervals := make([]cpu.Stats, len(cores))
-	records := make([]IntervalRecord, len(cores))
+// and resets interval state. The per-interval scratch (delta slices, record
+// slice and — when records cannot escape — the estimate maps) is reused
+// across intervals, keeping the steady-state interval loop allocation-free.
+func (st *runState) recordInterval() error {
+	opts, res, cores := st.opts, st.res, st.cores
 	for i, core := range cores {
-		st := core.Stats()
-		intervals[i] = st.Delta(lastSnapshot[i])
-		records[i] = IntervalRecord{
-			Core:              i,
-			StartInstructions: lastSnapshot[i].Instructions,
-			EndInstructions:   st.Instructions,
-			Shared:            intervals[i],
-			Estimates:         make(map[string]accounting.Estimate, len(opts.Accountants)),
+		stats := core.Stats()
+		st.intervals[i] = stats.Delta(st.lastSnapshot[i])
+		var ests map[string]accounting.Estimate
+		if st.reuseEstimates && st.records[i].Estimates != nil {
+			ests = st.records[i].Estimates
+			clear(ests)
+		} else {
+			ests = make(map[string]accounting.Estimate, len(opts.Accountants))
 		}
-		lastSnapshot[i] = st
+		st.records[i] = IntervalRecord{
+			Core:              i,
+			StartInstructions: st.lastSnapshot[i].Instructions,
+			EndInstructions:   stats.Instructions,
+			Shared:            st.intervals[i],
+			Estimates:         ests,
+		}
+		st.lastSnapshot[i] = stats
 	}
+	records := st.records
 	for _, acct := range opts.Accountants {
 		for i := range cores {
-			records[i].Estimates[acct.Name()] = acct.Estimate(i, intervals[i])
+			records[i].Estimates[acct.Name()] = acct.Estimate(i, st.intervals[i])
 		}
 		acct.EndInterval()
 	}
@@ -317,29 +529,31 @@ func recordInterval(opts Options, shared *memsys.System, cores []*cpu.Core, res 
 	}
 
 	if opts.Partitioner != nil {
-		snapshots := make([]partition.CoreSnapshot, len(cores))
+		if st.snapshots == nil {
+			st.snapshots = make([]partition.CoreSnapshot, len(cores))
+		}
 		for i := range cores {
-			atd := shared.ATD(i)
-			snapshots[i] = partition.CoreSnapshot{
+			atd := st.shared.ATD(i)
+			st.snapshots[i] = partition.CoreSnapshot{
 				MissCurve: atd.MissCurve(),
-				Interval:  intervals[i],
+				Interval:  st.intervals[i],
 			}
 			if est, ok := records[i].Estimates[opts.PartitionSource]; ok {
-				snapshots[i].PrivateCPI = est.PrivateCPI
+				st.snapshots[i].PrivateCPI = est.PrivateCPI
 			} else if len(opts.Accountants) > 0 {
-				snapshots[i].PrivateCPI = records[i].Estimates[opts.Accountants[0].Name()].PrivateCPI
+				st.snapshots[i].PrivateCPI = records[i].Estimates[opts.Accountants[0].Name()].PrivateCPI
 			} else {
-				snapshots[i].PrivateCPI = intervals[i].CPI()
+				st.snapshots[i].PrivateCPI = st.intervals[i].CPI()
 			}
 			atd.ResetCounters()
 		}
-		decision := opts.Partitioner.Decide(snapshots, opts.Config.LLC.Ways)
-		_ = shared.SetPartition(decision.Allocation)
+		decision := opts.Partitioner.Decide(st.snapshots, opts.Config.LLC.Ways)
+		_ = st.shared.SetPartition(decision.Allocation)
 	} else {
 		// Keep ATD counters interval-scoped even without partitioning so miss
 		// curves stay meaningful for diagnostics.
 		for i := range cores {
-			shared.ATD(i).ResetCounters()
+			st.shared.ATD(i).ResetCounters()
 		}
 	}
 	return nil
@@ -373,12 +587,25 @@ func RunPrivate(cfg *config.CMPConfig, bench workload.Benchmark, samplePoints []
 
 // privateCancelCheckCycles is how often RunPrivateContext polls its context.
 // Private runs have no interval boundaries, so a fixed cycle stride bounds
-// the cancellation latency instead.
+// the cancellation latency instead (the fast driver also caps its skips at
+// this stride, so cancellation responsiveness is preserved).
 const privateCancelCheckCycles = 4096
 
 // RunPrivateContext is RunPrivate under a context, polled every
-// privateCancelCheckCycles cycles.
+// privateCancelCheckCycles cycles. It uses the event-driven fast driver;
+// RunPrivateReference is the cycle-by-cycle twin for differential tests.
 func RunPrivateContext(ctx context.Context, cfg *config.CMPConfig, bench workload.Benchmark, samplePoints []uint64, seed int64, maxCycles uint64) (*PrivateReference, error) {
+	return runPrivate(ctx, cfg, bench, samplePoints, seed, maxCycles, false)
+}
+
+// RunPrivateReference executes a private-mode run on the cycle-by-cycle
+// reference driver with request pooling disabled (the pre-optimization
+// engine). Kept for differential testing against RunPrivateContext.
+func RunPrivateReference(ctx context.Context, cfg *config.CMPConfig, bench workload.Benchmark, samplePoints []uint64, seed int64, maxCycles uint64) (*PrivateReference, error) {
+	return runPrivate(ctx, cfg, bench, samplePoints, seed, maxCycles, true)
+}
+
+func runPrivate(ctx context.Context, cfg *config.CMPConfig, bench workload.Benchmark, samplePoints []uint64, seed int64, maxCycles uint64, reference bool) (*PrivateReference, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -388,6 +615,9 @@ func RunPrivateContext(ctx context.Context, cfg *config.CMPConfig, bench workloa
 	shared, err := memsys.New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if reference {
+		shared.DisableRecycling()
 	}
 	gen, err := bench.NewGenerator(seed)
 	if err != nil {
@@ -414,7 +644,8 @@ func RunPrivateContext(ctx context.Context, cfg *config.CMPConfig, bench workloa
 
 	out := &PrivateReference{Benchmark: bench.Name}
 	next := 0
-	for now := uint64(0); now < maxCycles; now++ {
+	now := uint64(0)
+	for now < maxCycles {
 		if now%privateCancelCheckCycles == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -425,16 +656,41 @@ func RunPrivateContext(ctx context.Context, cfg *config.CMPConfig, bench workloa
 			core.CompleteRequest(req, now)
 		}
 		core.Tick(now)
-		st := core.Stats()
-		for next < len(samplePoints) && st.Instructions >= samplePoints[next] {
-			out.At = append(out.At, st)
+		stats := core.Stats()
+		for next < len(samplePoints) && stats.Instructions >= samplePoints[next] {
+			out.At = append(out.At, stats)
 			cpl, overlap := ref.Retrieve()
 			out.CPLAt = append(out.CPLAt, cpl)
 			out.OverlapAt = append(out.OverlapAt, overlap)
 			next++
 		}
-		if next >= len(samplePoints) && st.Instructions >= target {
+		if next >= len(samplePoints) && stats.Instructions >= target {
 			break
+		}
+
+		if reference {
+			now++
+			continue
+		}
+		skipTo := core.NextEvent(now)
+		if e := shared.NextEvent(now); e < skipTo {
+			skipTo = e
+		}
+		if skipTo > now+1 {
+			// Preserve the cancellation poll stride and the cycle budget.
+			if poll := now - now%privateCancelCheckCycles + privateCancelCheckCycles; skipTo > poll {
+				skipTo = poll
+			}
+			if skipTo > maxCycles {
+				skipTo = maxCycles
+			}
+		}
+		if skipTo > now+1 {
+			core.FastForward(now+1, skipTo)
+			shared.FastForward(now+1, skipTo)
+			now = skipTo
+		} else {
+			now++
 		}
 	}
 	out.Total = core.Stats()
