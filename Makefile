@@ -37,15 +37,18 @@ fmt-check:
 
 # bench runs the benchmark-regression harness (internal/perf) at full size:
 # every scenario on both the event-driven and the cycle-by-cycle reference
-# driver, writing the BENCH_<n>.json trajectory artifact. Takes a few minutes.
-BENCH_OUT ?= BENCH_4.json
+# driver, plus the sweep-level warmup-sharing benchmark (cold vs checkpointed
+# accuracy-sweep fixture), writing the BENCH_<n>.json trajectory artifact.
+# Takes a few minutes.
+BENCH_OUT ?= BENCH_5.json
 bench:
 	$(GO) run ./cmd/gdpsim bench -out $(BENCH_OUT)
 
 # bench-smoke is the CI regression gate: a small fixed-seed scenario on the
-# fast driver only, failing if the steady-state interval loop allocates.
+# fast driver only, failing if the steady-state interval loop allocates or if
+# checkpointed warmup sharing yields less than 1.5x on the tiny sweep fixture.
 bench-smoke:
-	$(GO) run ./cmd/gdpsim bench -quick -out /dev/null -max-allocs 0.5
+	$(GO) run ./cmd/gdpsim bench -quick -out /dev/null -max-allocs 0.5 -min-sweep-speedup 1.5
 
 # bench-go runs the go-test figure/regeneration benchmarks.
 bench-go:

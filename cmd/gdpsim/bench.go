@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/perf"
 )
 
@@ -24,12 +26,17 @@ func cmdBench(args []string) error {
 	interval := fs.Uint64("interval", 10000, "accounting interval in cycles")
 	seed := fs.Int64("seed", 42, "trace seed")
 	repeats := fs.Int("repeats", 3, "timed runs per driver (median reported)")
-	quick := fs.Bool("quick", false, "smoke sizing: bandwidth-bound only, one repeat, no reference baseline")
+	quick := fs.Bool("quick", false, "smoke sizing: bandwidth-bound only, one repeat, no reference baseline, small sweep fixture")
 	noReference := fs.Bool("no-reference", false, "skip the cycle-by-cycle baseline timing")
 	noAllocs := fs.Bool("no-allocs", false, "skip the steady-state allocation measurement")
+	sweep := fs.Bool("sweep", true, "run the sweep-level warmup-sharing benchmark (cold vs checkpointed accuracy-sweep fixture)")
+	sweepPRB := fs.String("sweep-prb", "", "comma-separated PRB sizes of the sweep fixture (default: 10 sizes)")
+	sweepInstructions := fs.Uint64("sweep-instructions", 0, "per-core instruction sample of the sweep fixture (default 20000)")
+	sweepInterval := fs.Uint64("sweep-interval", 0, "accounting interval of the sweep fixture (default 1000)")
 	out := fs.String("out", "", "write the JSON report to this file (default: stdout)")
 	maxAllocs := fs.Float64("max-allocs", -1, "fail if any scenario allocates more than this per interval (-1 disables)")
 	minSpeedup := fs.Float64("min-speedup", 0, "fail if any scenario's fast/reference speedup is below this (0 disables)")
+	minSweepSpeedup := fs.Float64("min-sweep-speedup", 0, "fail if warmup sharing speeds the sweep fixture up by less than this (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,13 +45,23 @@ func cmdBench(args []string) error {
 	}
 
 	opts := perf.Options{
-		Cores:          *cores,
-		Instructions:   *instructions,
-		IntervalCycles: *interval,
-		Seed:           *seed,
-		Repeats:        *repeats,
-		SkipReference:  *noReference,
-		SkipAllocs:     *noAllocs,
+		Cores:               *cores,
+		Instructions:        *instructions,
+		IntervalCycles:      *interval,
+		Seed:                *seed,
+		Repeats:             *repeats,
+		SkipReference:       *noReference,
+		SkipAllocs:          *noAllocs,
+		Sweep:               *sweep,
+		SweepInstructions:   *sweepInstructions,
+		SweepIntervalCycles: *sweepInterval,
+	}
+	if *sweepPRB != "" {
+		sizes, err := experiments.ParseIntList(*sweepPRB)
+		if err != nil {
+			return err
+		}
+		opts.SweepPRBSizes = sizes
 	}
 	if *scenarios != "" {
 		for _, s := range strings.Split(*scenarios, ",") {
@@ -59,6 +76,17 @@ func cmdBench(args []string) error {
 		opts.IntervalCycles = 2000
 		opts.Repeats = 1
 		opts.SkipReference = true
+		// Small sweep fixture: four PRB cells over a short sample, enough to
+		// gate on the warmup-sharing speedup without minutes of CI time.
+		if len(opts.SweepPRBSizes) == 0 {
+			opts.SweepPRBSizes = []int{4, 8, 16, 32}
+		}
+		if opts.SweepInstructions == 0 {
+			opts.SweepInstructions = 6000
+		}
+		if opts.SweepIntervalCycles == 0 {
+			opts.SweepIntervalCycles = 500
+		}
 	}
 
 	rep, err := perf.Run(opts)
@@ -81,6 +109,13 @@ func cmdBench(args []string) error {
 		fmt.Fprintf(os.Stderr, "%-16s %10d %12.2f %12s %8s %9.1f%% %8s\n",
 			s.Scenario, s.Cycles, s.FastCyclesPerSec/1e6, ref, speed,
 			100*s.ProcessedCycleFraction, allocs)
+	}
+	if sw := rep.Sweep; sw != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %d cells, warmup %d intervals, cold %s vs checkpointed %s: %.2fx (rows identical: %v)\n",
+			sw.Cells, sw.WarmupIntervals,
+			(time.Duration(sw.ColdNanos) * time.Nanosecond).Round(time.Millisecond),
+			(time.Duration(sw.CheckpointNanos) * time.Nanosecond).Round(time.Millisecond),
+			sw.Speedup, sw.RowsIdentical)
 	}
 
 	var w *os.File
@@ -107,6 +142,11 @@ func cmdBench(args []string) error {
 	}
 	if *minSpeedup > 0 {
 		if err := rep.CheckSpeedup(*minSpeedup); err != nil {
+			return err
+		}
+	}
+	if *minSweepSpeedup > 0 {
+		if err := rep.CheckSweepSpeedup(*minSweepSpeedup); err != nil {
 			return err
 		}
 	}

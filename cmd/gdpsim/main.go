@@ -318,6 +318,8 @@ func cmdSweep(ctx context.Context, engine *gdp.Engine, args []string) error {
 	techniques := fs.String("techniques", "", "comma-separated accounting techniques (default: all five)")
 	policies := fs.String("policies", "", "comma-separated LLC policies; adds one partitioning cell per (cores, mix)")
 	scenarios := fs.String("scenario", "", "comma-separated scenario names; adds one accuracy cell per (cores, scenario)")
+	checkpoint := fs.Bool("checkpoint", false, "share warmup across grid cells via simulation-state checkpoints (byte-identical rows, less wall-clock)")
+	warmupIntervals := fs.Int("warmup-intervals", 0, "warmup prefix length in accounting intervals shared per checkpoint group (0 with -checkpoint = a conservative instructions/interval default; set explicitly — most of the run, but under the shortest cell — for memory-bound grids)")
 	csvPath := fs.String("csv", "", "also export the rows as CSV to this file")
 	jsonPath := fs.String("json", "", "also export the result as JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -362,6 +364,19 @@ func cmdSweep(ctx context.Context, engine *gdp.Engine, args []string) error {
 				return err
 			}
 		}
+	}
+	if *checkpoint || *warmupIntervals > 0 {
+		w := *warmupIntervals
+		if w <= 0 {
+			// Default warmup: about half the expected run. Runs end after
+			// InstructionsPerCore committed instructions at a CPI of roughly
+			// two, so half the run is ~InstructionsPerCore cycles.
+			w = int(opts.InstructionsPerCore / opts.IntervalCycles)
+			if w < 1 {
+				w = 1
+			}
+		}
+		opts.WarmupIntervals = w
 	}
 
 	res, err := engine.Sweep(ctx, opts)

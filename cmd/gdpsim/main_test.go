@@ -149,7 +149,7 @@ func TestCacheDirFlag(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	files, err := filepath.Glob(filepath.Join(dir, "??", "*.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestCacheDirFlagFigureDriver(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	files, err := filepath.Glob(filepath.Join(dir, "??", "*.json"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,10 @@ type Engine struct {
 	cache    *runner.Cache
 	progress runner.ProgressFunc
 	scale    StudyScale
+	// warmupIntervals is the default checkpointed warmup-sharing prefix
+	// (in accounting intervals) applied to studies and sweeps that do not
+	// carry their own checkpoint configuration. Zero disables sharing.
+	warmupIntervals int
 	// processCache marks the engine behind the deprecated package-level
 	// functions: it resolves its cache through the process-wide default at
 	// every call, so SetDefaultResultCache keeps affecting legacy callers.
@@ -79,6 +83,24 @@ func WithScale(s StudyScale) EngineOption {
 			return fmt.Errorf("gdp: WithScale: incomplete scale %+v", s)
 		}
 		e.scale = s
+		return nil
+	}
+}
+
+// WithCheckpoints turns on checkpointed warmup sharing by default: every
+// accuracy study and sweep the Engine runs simulates its first
+// warmupIntervals accounting intervals once per unique warmup prefix
+// (memoized in the Engine's cache) and forks each cell from the snapshot.
+// Results are byte-identical with or without sharing; only wall-clock
+// changes. A study whose own warmup setting is non-zero overrides the
+// default per call; zero inherits it, and a negative per-call warmup forces
+// cold runs despite the Engine default.
+func WithCheckpoints(warmupIntervals int) EngineOption {
+	return func(e *Engine) error {
+		if warmupIntervals < 0 {
+			return fmt.Errorf("gdp: WithCheckpoints(%d): intervals must be >= 0", warmupIntervals)
+		}
+		e.warmupIntervals = warmupIntervals
 		return nil
 	}
 }
@@ -207,10 +229,30 @@ func (e *Engine) Stream(ctx context.Context, opts SimOptions) (iter.Seq2[Interva
 	return seq, result
 }
 
+// Checkpoint simulates the first warmupCycles cycles of a shared-mode run
+// (a positive multiple of opts.IntervalCycles) and returns the boundary
+// snapshot. The checkpoint is serializable and content-addressable: it can
+// be stored in the Engine's result cache and seed any number of forks.
+func (e *Engine) Checkpoint(ctx context.Context, opts SimOptions, warmupCycles uint64) (*Checkpoint, error) {
+	return sim.RunToCheckpoint(ctx, opts, warmupCycles)
+}
+
+// RunFromCheckpoint forks a shared-mode run from a checkpoint and continues
+// it to completion under opts. The Result is byte-identical to a cold
+// Engine.Run of the same options; a checkpoint that cannot seed these
+// options fails with an error wrapping ErrCheckpointMismatch.
+func (e *Engine) RunFromCheckpoint(ctx context.Context, opts SimOptions, cp *Checkpoint) (*SimResult, error) {
+	return sim.RunFromCheckpoint(ctx, opts, cp)
+}
+
 // AccuracyStudy runs one cell of the accounting-accuracy evaluation
-// (Figures 3-5). Unset Jobs/Cache/Progress options inherit the Engine's.
+// (Figures 3-5). Unset Jobs/Cache/Progress options inherit the Engine's, as
+// does the checkpointed warmup-sharing default (WithCheckpoints).
 func (e *Engine) AccuracyStudy(ctx context.Context, opts AccuracyOptions) (*AccuracyResult, error) {
 	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress)
+	if opts.Checkpoint.WarmupIntervals == 0 {
+		opts.Checkpoint.WarmupIntervals = e.warmupIntervals
+	}
 	return experiments.AccuracyStudyContext(ctx, opts)
 }
 
@@ -229,9 +271,13 @@ func (e *Engine) PartitioningStudy(ctx context.Context, opts PartitioningOptions
 }
 
 // Sweep runs a user-defined experiment grid through the Engine's worker pool.
-// Unset Jobs/Cache/Progress options inherit the Engine's.
+// Unset Jobs/Cache/Progress options inherit the Engine's, as does the
+// checkpointed warmup-sharing default (WithCheckpoints).
 func (e *Engine) Sweep(ctx context.Context, opts SweepOptions) (*SweepResult, error) {
 	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress)
+	if opts.WarmupIntervals == 0 {
+		opts.WarmupIntervals = e.warmupIntervals
+	}
 	return experiments.SweepContext(ctx, opts)
 }
 

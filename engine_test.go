@@ -3,6 +3,7 @@ package gdp
 import (
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 )
 
@@ -49,6 +50,36 @@ func TestNewEngineOptionValidation(t *testing.T) {
 	}
 	if e.Scale().Jobs != 2 {
 		t.Error("engine jobs not reflected in Scale()")
+	}
+	if _, err := NewEngine(WithCheckpoints(-1)); err == nil {
+		t.Error("negative checkpoint warmup accepted")
+	}
+}
+
+// TestEngineCheckpointFork drives the Engine's explicit checkpoint surface:
+// a fork from Engine.Checkpoint must equal a cold Engine.Run byte for byte.
+func TestEngineCheckpointFork(t *testing.T) {
+	e, err := NewEngine(WithCheckpoints(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cold, err := e.Run(ctx, testSimOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := testSimOptions(t)
+	prefix.InstructionsPerCore = 1 << 40
+	cp, err := e.Checkpoint(ctx, prefix, prefix.IntervalCycles*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked, err := e.RunFromCheckpoint(ctx, testSimOptions(t), cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, forked) {
+		t.Error("engine fork diverges from the cold run")
 	}
 }
 

@@ -1,0 +1,228 @@
+package accounting
+
+import (
+	"encoding/json"
+	"fmt"
+
+	gdpcore "repro/internal/core"
+	"repro/internal/dief"
+	"repro/internal/mem"
+)
+
+// Snapshotter is the optional Accountant extension that makes a technique
+// checkpointable. CheckpointKey identifies the technique instance's
+// configuration (two accountants with equal keys are interchangeable at a
+// checkpoint boundary); SnapshotState serializes the complete internal state,
+// registering any retained memory requests in the snapshot table, and
+// RestoreState applies a previously serialized state, resolving request
+// references through the restore table.
+//
+// Accountants that do not implement Snapshotter cannot participate in
+// checkpointed runs (sim.RunToCheckpoint rejects them).
+type Snapshotter interface {
+	CheckpointKey() string
+	SnapshotState(t *mem.SnapshotTable) (json.RawMessage, error)
+	RestoreState(data json.RawMessage, t *mem.RestoreTable) error
+}
+
+// Compile-time interface checks.
+var (
+	_ Snapshotter = (*GDPAccountant)(nil)
+	_ Snapshotter = (*ITCA)(nil)
+	_ Snapshotter = (*PTCA)(nil)
+	_ Snapshotter = (*ASM)(nil)
+)
+
+// gdpState is the serialized form of a GDPAccountant.
+type gdpState struct {
+	Units       []gdpcore.State `json:"units"`
+	Latency     dief.State      `json:"latency"`
+	LastCPL     []uint64        `json:"last_cpl"`
+	LastOverlap []float64       `json:"last_overlap"`
+}
+
+// CheckpointKey implements Snapshotter: the key carries the PRB size, so GDP
+// units of different sizes never restore into each other.
+func (a *GDPAccountant) CheckpointKey() string {
+	return fmt.Sprintf("%s/prb=%d", a.name, a.units[0].Options().PRBEntries)
+}
+
+// SnapshotState implements Snapshotter.
+func (a *GDPAccountant) SnapshotState(*mem.SnapshotTable) (json.RawMessage, error) {
+	st := gdpState{
+		Units:       make([]gdpcore.State, len(a.units)),
+		Latency:     a.latency.Snapshot(),
+		LastCPL:     append([]uint64(nil), a.lastCPL...),
+		LastOverlap: append([]float64(nil), a.lastOverlap...),
+	}
+	for i, u := range a.units {
+		st.Units[i] = u.Snapshot()
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState implements Snapshotter.
+func (a *GDPAccountant) RestoreState(data json.RawMessage, _ *mem.RestoreTable) error {
+	var st gdpState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("accounting: %s state: %w", a.name, err)
+	}
+	if len(st.Units) != len(a.units) || len(st.LastCPL) != len(a.lastCPL) || len(st.LastOverlap) != len(a.lastOverlap) {
+		return fmt.Errorf("accounting: %s snapshot is for %d cores, accountant has %d", a.name, len(st.Units), len(a.units))
+	}
+	for i, u := range a.units {
+		if err := u.Restore(st.Units[i]); err != nil {
+			return err
+		}
+	}
+	if err := a.latency.Restore(st.Latency); err != nil {
+		return err
+	}
+	copy(a.lastCPL, st.LastCPL)
+	copy(a.lastOverlap, st.LastOverlap)
+	return nil
+}
+
+// itcaState is the serialized form of an ITCA accountant.
+type itcaState struct {
+	InterferenceCycles []uint64 `json:"interference_cycles"`
+}
+
+// CheckpointKey implements Snapshotter.
+func (a *ITCA) CheckpointKey() string { return "ITCA" }
+
+// SnapshotState implements Snapshotter.
+func (a *ITCA) SnapshotState(*mem.SnapshotTable) (json.RawMessage, error) {
+	st := itcaState{InterferenceCycles: make([]uint64, len(a.probes))}
+	for i, p := range a.probes {
+		st.InterferenceCycles[i] = p.interferenceCycles
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState implements Snapshotter.
+func (a *ITCA) RestoreState(data json.RawMessage, _ *mem.RestoreTable) error {
+	var st itcaState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("accounting: ITCA state: %w", err)
+	}
+	if len(st.InterferenceCycles) != len(a.probes) {
+		return fmt.Errorf("accounting: ITCA snapshot is for %d cores, accountant has %d", len(st.InterferenceCycles), len(a.probes))
+	}
+	for i, p := range a.probes {
+		p.interferenceCycles = st.InterferenceCycles[i]
+	}
+	return nil
+}
+
+// ptcaProbeState is one core's serialized PTCA stall tracker. StallReq is a
+// reference into the checkpoint's request table: PTCA is the one transparent
+// technique that retains a request pointer across cycles (the request whose
+// stall it is currently measuring).
+type ptcaProbeState struct {
+	Accounted       uint64 `json:"accounted"`
+	InStall         bool   `json:"in_stall,omitempty"`
+	StallCycles     uint64 `json:"stall_cycles,omitempty"`
+	StallROBFullCyc uint64 `json:"stall_rob_full,omitempty"`
+	StallReq        int32  `json:"stall_req"`
+}
+
+type ptcaState struct {
+	Probes []ptcaProbeState `json:"probes"`
+}
+
+// CheckpointKey implements Snapshotter.
+func (a *PTCA) CheckpointKey() string { return "PTCA" }
+
+// SnapshotState implements Snapshotter.
+func (a *PTCA) SnapshotState(t *mem.SnapshotTable) (json.RawMessage, error) {
+	st := ptcaState{Probes: make([]ptcaProbeState, len(a.probes))}
+	for i, p := range a.probes {
+		st.Probes[i] = ptcaProbeState{
+			Accounted:       p.accounted,
+			InStall:         p.inStall,
+			StallCycles:     p.stallCycles,
+			StallROBFullCyc: p.stallROBFullCyc,
+			StallReq:        t.Ref(p.stallReq),
+		}
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState implements Snapshotter.
+func (a *PTCA) RestoreState(data json.RawMessage, t *mem.RestoreTable) error {
+	var st ptcaState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("accounting: PTCA state: %w", err)
+	}
+	if len(st.Probes) != len(a.probes) {
+		return fmt.Errorf("accounting: PTCA snapshot is for %d cores, accountant has %d", len(st.Probes), len(a.probes))
+	}
+	for i, p := range a.probes {
+		ps := st.Probes[i]
+		p.accounted = ps.Accounted
+		p.inStall = ps.InStall
+		p.stallCycles = ps.StallCycles
+		p.stallROBFullCyc = ps.StallROBFullCyc
+		p.stallReq = t.Get(ps.StallReq)
+	}
+	return nil
+}
+
+// asmProbeState is one core's serialized ASM rate counters.
+type asmProbeState struct {
+	TotalCycles   uint64 `json:"total_cycles"`
+	TotalAccesses uint64 `json:"total_accesses"`
+	HPCycles      uint64 `json:"hp_cycles"`
+	HPAccesses    uint64 `json:"hp_accesses"`
+}
+
+type asmState struct {
+	CurrentOwner int             `json:"current_owner"`
+	EpochStart   uint64          `json:"epoch_start"`
+	Probes       []asmProbeState `json:"probes"`
+}
+
+// CheckpointKey implements Snapshotter: the epoch length determines the Tick
+// schedule, so it is part of the configuration identity.
+func (a *ASM) CheckpointKey() string { return fmt.Sprintf("ASM/epoch=%d", a.epochLen) }
+
+// SnapshotState implements Snapshotter. The memory-controller priority ASM
+// installed is part of the controller's own state, not ASM's.
+func (a *ASM) SnapshotState(*mem.SnapshotTable) (json.RawMessage, error) {
+	st := asmState{
+		CurrentOwner: a.currentOwner,
+		EpochStart:   a.epochStart,
+		Probes:       make([]asmProbeState, len(a.probes)),
+	}
+	for i, p := range a.probes {
+		st.Probes[i] = asmProbeState{
+			TotalCycles:   p.totalCycles,
+			TotalAccesses: p.totalAccesses,
+			HPCycles:      p.hpCycles,
+			HPAccesses:    p.hpAccesses,
+		}
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState implements Snapshotter.
+func (a *ASM) RestoreState(data json.RawMessage, _ *mem.RestoreTable) error {
+	var st asmState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("accounting: ASM state: %w", err)
+	}
+	if len(st.Probes) != len(a.probes) {
+		return fmt.Errorf("accounting: ASM snapshot is for %d cores, accountant has %d", len(st.Probes), len(a.probes))
+	}
+	a.currentOwner = st.CurrentOwner
+	a.epochStart = st.EpochStart
+	for i, p := range a.probes {
+		ps := st.Probes[i]
+		p.totalCycles = ps.TotalCycles
+		p.totalAccesses = ps.TotalAccesses
+		p.hpCycles = ps.HPCycles
+		p.hpAccesses = ps.HPAccesses
+	}
+	return nil
+}

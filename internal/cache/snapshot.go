@@ -1,0 +1,125 @@
+package cache
+
+import "fmt"
+
+// LineState is the serialized form of one tag-store entry.
+type LineState struct {
+	Tag   uint64 `json:"t"`
+	Valid bool   `json:"v,omitempty"`
+	Owner int    `json:"o,omitempty"`
+	LRU   uint64 `json:"l,omitempty"`
+}
+
+// CacheState is the serializable state of a Cache: the complete tag store
+// with its LRU ordering, the global LRU tick and the installed way partition.
+// Geometry (sets, ways, line size) is not part of the state — a state may
+// only be restored into a cache of identical geometry.
+type CacheState struct {
+	Sets      int           `json:"sets"`
+	Ways      int           `json:"ways"`
+	LRUTick   uint64        `json:"lru_tick"`
+	Partition []int         `json:"partition,omitempty"`
+	Lines     [][]LineState `json:"lines"`
+	Stats     Stats         `json:"stats"`
+}
+
+// Snapshot captures the cache's complete replacement state.
+func (c *Cache) Snapshot() CacheState {
+	st := CacheState{
+		Sets:    c.sets,
+		Ways:    c.ways,
+		LRUTick: c.lruTick,
+		Stats:   c.stats,
+		Lines:   make([][]LineState, c.sets),
+	}
+	if c.partition != nil {
+		st.Partition = append([]int(nil), c.partition...)
+	}
+	for s := range c.lines {
+		row := make([]LineState, c.ways)
+		for w := range c.lines[s] {
+			l := c.lines[s][w]
+			row[w] = LineState{Tag: l.tag, Valid: l.valid, Owner: l.owner, LRU: l.lru}
+		}
+		st.Lines[s] = row
+	}
+	return st
+}
+
+// Restore overwrites the cache's replacement state with a snapshot taken from
+// a cache of identical geometry. The snapshot is copied, never aliased, so a
+// single state value can restore any number of cache instances.
+func (c *Cache) Restore(st CacheState) error {
+	if st.Sets != c.sets || st.Ways != c.ways || len(st.Lines) != c.sets {
+		return fmt.Errorf("cache %s: snapshot geometry %dx%d does not match %dx%d",
+			c.name, st.Sets, st.Ways, c.sets, c.ways)
+	}
+	c.lruTick = st.LRUTick
+	c.stats = st.Stats
+	if st.Partition == nil {
+		c.partition = nil
+	} else {
+		c.partition = append([]int(nil), st.Partition...)
+	}
+	for s := range c.lines {
+		if len(st.Lines[s]) != c.ways {
+			return fmt.Errorf("cache %s: snapshot set %d has %d ways, want %d", c.name, s, len(st.Lines[s]), c.ways)
+		}
+		for w := range c.lines[s] {
+			ls := st.Lines[s][w]
+			c.lines[s][w] = line{tag: ls.Tag, valid: ls.Valid, owner: ls.Owner, lru: ls.LRU}
+		}
+	}
+	return nil
+}
+
+// ATDState is the serializable state of an auxiliary tag directory: the
+// sampled LRU stacks and the interval miss-curve counters.
+type ATDState struct {
+	Sampled  int        `json:"sampled"`
+	Ways     int        `json:"ways"`
+	Tags     [][]uint64 `json:"tags"`
+	Valid    [][]bool   `json:"valid"`
+	WayHits  []uint64   `json:"way_hits"`
+	Accesses uint64     `json:"accesses"`
+	Misses   uint64     `json:"misses"`
+}
+
+// Snapshot captures the ATD's complete state.
+func (a *ATD) Snapshot() ATDState {
+	st := ATDState{
+		Sampled:  a.sampled,
+		Ways:     a.ways,
+		Tags:     make([][]uint64, a.sampled),
+		Valid:    make([][]bool, a.sampled),
+		WayHits:  append([]uint64(nil), a.wayHits...),
+		Accesses: a.accesses,
+		Misses:   a.misses,
+	}
+	for i := range a.tags {
+		st.Tags[i] = append([]uint64(nil), a.tags[i]...)
+		st.Valid[i] = append([]bool(nil), a.valid[i]...)
+	}
+	return st
+}
+
+// Restore overwrites the ATD's state with a snapshot from an ATD of identical
+// geometry. The snapshot is copied, never aliased.
+func (a *ATD) Restore(st ATDState) error {
+	if st.Sampled != a.sampled || st.Ways != a.ways ||
+		len(st.Tags) != a.sampled || len(st.Valid) != a.sampled || len(st.WayHits) != a.ways {
+		return fmt.Errorf("atd core %d: snapshot geometry (%d sets, %d ways) does not match (%d, %d)",
+			a.core, st.Sampled, st.Ways, a.sampled, a.ways)
+	}
+	copy(a.wayHits, st.WayHits)
+	a.accesses = st.Accesses
+	a.misses = st.Misses
+	for i := range a.tags {
+		if len(st.Tags[i]) != a.ways || len(st.Valid[i]) != a.ways {
+			return fmt.Errorf("atd core %d: snapshot set %d malformed", a.core, i)
+		}
+		copy(a.tags[i], st.Tags[i])
+		copy(a.valid[i], st.Valid[i])
+	}
+	return nil
+}

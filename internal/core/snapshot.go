@@ -1,0 +1,95 @@
+package core
+
+import "fmt"
+
+// PRBEntryState is one serialized Pending Request Buffer entry.
+type PRBEntryState struct {
+	Addr        uint64 `json:"addr"`
+	Depth       uint64 `json:"depth"`
+	CompletedAt uint64 `json:"completed_at,omitempty"`
+	Overlap     uint64 `json:"overlap,omitempty"`
+	Completed   bool   `json:"completed,omitempty"`
+	Valid       bool   `json:"valid,omitempty"`
+}
+
+// PCBState is the serialized Pending Commit Buffer.
+type PCBState struct {
+	Depth     uint64 `json:"depth"`
+	StartedAt uint64 `json:"started_at"`
+	StalledAt uint64 `json:"stalled_at"`
+	Stalled   bool   `json:"stalled,omitempty"`
+	Children  []bool `json:"children"`
+}
+
+// State is the complete serializable state of a GDP unit. A state may only be
+// restored into a unit constructed with the same Options.
+type State struct {
+	PRB    []PRBEntryState `json:"prb"`
+	Newest int             `json:"newest"`
+	Oldest int             `json:"oldest"`
+	PCB    PCBState        `json:"pcb"`
+
+	LastRetrievedDepth uint64 `json:"last_retrieved_depth"`
+	OverlapSum         uint64 `json:"overlap_sum,omitempty"`
+	OverlapSMSLoads    uint64 `json:"overlap_sms_loads,omitempty"`
+
+	Insertions uint64 `json:"insertions"`
+	Evictions  uint64 `json:"evictions"`
+	CPLUpdates uint64 `json:"cpl_updates"`
+}
+
+// Snapshot captures the unit's complete state.
+func (g *GDP) Snapshot() State {
+	st := State{
+		PRB:    make([]PRBEntryState, len(g.prb)),
+		Newest: g.newest,
+		Oldest: g.oldest,
+		PCB: PCBState{
+			Depth:     g.pcb.depth,
+			StartedAt: g.pcb.startedAt,
+			StalledAt: g.pcb.stalledAt,
+			Stalled:   g.pcb.stalled,
+			Children:  append([]bool(nil), g.pcb.children...),
+		},
+		LastRetrievedDepth: g.lastRetrievedDepth,
+		OverlapSum:         g.overlapSum,
+		OverlapSMSLoads:    g.overlapSMSLoads,
+		Insertions:         g.insertions,
+		Evictions:          g.evictions,
+		CPLUpdates:         g.cplUpdates,
+	}
+	for i, e := range g.prb {
+		st.PRB[i] = PRBEntryState{
+			Addr: e.addr, Depth: e.depth, CompletedAt: e.completedAt,
+			Overlap: e.overlap, Completed: e.completed, Valid: e.valid,
+		}
+	}
+	return st
+}
+
+// Restore overwrites the unit's state with a snapshot from a unit of the same
+// PRB size. The snapshot is copied, never aliased.
+func (g *GDP) Restore(st State) error {
+	if len(st.PRB) != len(g.prb) || len(st.PCB.Children) != len(g.pcb.children) {
+		return fmt.Errorf("core: snapshot PRB of %d entries does not match unit of %d", len(st.PRB), len(g.prb))
+	}
+	for i, e := range st.PRB {
+		g.prb[i] = prbEntry{
+			addr: e.Addr, depth: e.Depth, completedAt: e.CompletedAt,
+			overlap: e.Overlap, completed: e.Completed, valid: e.Valid,
+		}
+	}
+	g.newest, g.oldest = st.Newest, st.Oldest
+	g.pcb.depth = st.PCB.Depth
+	g.pcb.startedAt = st.PCB.StartedAt
+	g.pcb.stalledAt = st.PCB.StalledAt
+	g.pcb.stalled = st.PCB.Stalled
+	copy(g.pcb.children, st.PCB.Children)
+	g.lastRetrievedDepth = st.LastRetrievedDepth
+	g.overlapSum = st.OverlapSum
+	g.overlapSMSLoads = st.OverlapSMSLoads
+	g.insertions = st.Insertions
+	g.evictions = st.Evictions
+	g.cplUpdates = st.CPLUpdates
+	return nil
+}

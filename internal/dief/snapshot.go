@@ -1,0 +1,47 @@
+package dief
+
+import "fmt"
+
+// State is the serializable state of the DIEF estimator: the per-interval
+// accumulators and the persistent latency floors.
+type State struct {
+	LatencySum      []uint64 `json:"latency_sum"`
+	InterferenceSum []uint64 `json:"interference_sum"`
+	RingSum         []uint64 `json:"ring_sum"`
+	LLCSum          []uint64 `json:"llc_sum"`
+	MemSum          []uint64 `json:"mem_sum"`
+	Count           []uint64 `json:"count"`
+	Floor           []uint64 `json:"floor"`
+}
+
+// Snapshot captures the estimator's complete state.
+func (e *Estimator) Snapshot() State {
+	cp := func(s []uint64) []uint64 { return append([]uint64(nil), s...) }
+	return State{
+		LatencySum:      cp(e.latencySum),
+		InterferenceSum: cp(e.interferenceSum),
+		RingSum:         cp(e.ringSum),
+		LLCSum:          cp(e.llcSum),
+		MemSum:          cp(e.memSum),
+		Count:           cp(e.count),
+		Floor:           cp(e.floor),
+	}
+}
+
+// Restore overwrites the estimator's state with a snapshot taken from an
+// estimator for the same core count. The snapshot is copied, never aliased.
+func (e *Estimator) Restore(st State) error {
+	for _, s := range [][]uint64{st.LatencySum, st.InterferenceSum, st.RingSum, st.LLCSum, st.MemSum, st.Count, st.Floor} {
+		if len(s) != e.cores {
+			return fmt.Errorf("dief: snapshot is for %d cores, estimator has %d", len(s), e.cores)
+		}
+	}
+	copy(e.latencySum, st.LatencySum)
+	copy(e.interferenceSum, st.InterferenceSum)
+	copy(e.ringSum, st.RingSum)
+	copy(e.llcSum, st.LLCSum)
+	copy(e.memSum, st.MemSum)
+	copy(e.count, st.Count)
+	copy(e.floor, st.Floor)
+	return nil
+}

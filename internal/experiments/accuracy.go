@@ -105,6 +105,11 @@ type AccuracyOptions struct {
 	Cache *runner.Cache
 	// Progress, when non-nil, receives one event per completed job.
 	Progress runner.ProgressFunc
+	// Checkpoint enables warmup sharing for the shared-mode simulations: the
+	// first WarmupIntervals intervals are simulated once per unique prefix
+	// (memoized in Cache) and every cell forks from the snapshot. Results
+	// are byte-identical with or without it.
+	Checkpoint CheckpointOptions
 }
 
 // withDefaults fills unset options.
@@ -427,13 +432,8 @@ func runTransparentCell(ctx context.Context, wl workload.Workload, opts Accuracy
 	for _, a := range transparent {
 		transparentNames = append(transparentNames, a.Name())
 	}
-	res, err := sim.RunContext(ctx, sim.Options{
-		Config:              opts.Config,
-		Workload:            wl,
-		InstructionsPerCore: opts.InstructionsPerCore,
-		IntervalCycles:      opts.IntervalCycles,
-		Seed:                simSeed,
-		Accountants:         transparent,
+	res, err := runSharedCheckpointed(ctx, opts, wl, simSeed, transparent, func() ([]accounting.Accountant, error) {
+		return buildPrefixTransparent(opts)
 	})
 	if err != nil {
 		return partial, err
@@ -454,13 +454,14 @@ func runASMCell(ctx context.Context, wl workload.Workload, opts AccuracyOptions,
 	if err != nil {
 		return partial, err
 	}
-	res, err := sim.RunContext(ctx, sim.Options{
-		Config:              opts.Config,
-		Workload:            wl,
-		InstructionsPerCore: opts.InstructionsPerCore,
-		IntervalCycles:      opts.IntervalCycles,
-		Seed:                simSeed,
-		Accountants:         []accounting.Accountant{asm},
+	res, err := runSharedCheckpointed(ctx, opts, wl, simSeed, []accounting.Accountant{asm}, func() ([]accounting.Accountant, error) {
+		// ASM is invasive (it reprograms the memory controller), so its
+		// prefix is its own: only identically configured ASM runs share it.
+		prefixASM, err := accounting.NewASM(opts.Cores, opts.IntervalCycles/4, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []accounting.Accountant{prefixASM}, nil
 	})
 	if err != nil {
 		return partial, err

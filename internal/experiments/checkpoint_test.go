@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// checkpointTestOptions returns a small accuracy cell. Each call gets a fresh
+// cache so runs never recall each other's cells — the comparisons below must
+// exercise real simulation, not cache hits.
+func checkpointTestOptions(prb, warmupIntervals int) AccuracyOptions {
+	return AccuracyOptions{
+		Cores:               4,
+		Mix:                 workload.MixH,
+		Workloads:           2,
+		InstructionsPerCore: 6000,
+		IntervalCycles:      2500,
+		Seed:                42,
+		PRBEntries:          prb,
+		Jobs:                1,
+		Cache:               runner.NewCache(),
+		Checkpoint:          CheckpointOptions{WarmupIntervals: warmupIntervals},
+	}
+}
+
+// TestCheckpointedAccuracyStudyMatchesCold: warmup sharing must not change a
+// study's numbers — the checkpointed study is byte-identical to the cold one.
+func TestCheckpointedAccuracyStudyMatchesCold(t *testing.T) {
+	ctx := context.Background()
+	cold, err := AccuracyStudyContext(ctx, checkpointTestOptions(32, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpointed, err := AccuracyStudyContext(ctx, checkpointTestOptions(32, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold.Techniques, checkpointed.Techniques) {
+		t.Fatal("checkpointed accuracy study diverges from the cold study")
+	}
+	if !reflect.DeepEqual(cold.Components, checkpointed.Components) {
+		t.Fatal("checkpointed component errors diverge from the cold study")
+	}
+}
+
+// TestCheckpointedStudySharesPrefixAcrossPRBSizes: two PRB cells configured
+// with each other as co-sizes must simulate exactly one warmup prefix (the
+// second cell's checkpoint lookup hits the shared cache entry).
+func TestCheckpointedStudySharesPrefixAcrossPRBSizes(t *testing.T) {
+	ctx := context.Background()
+	cache := runner.NewCache()
+	for _, prb := range []int{16, 32} {
+		opts := checkpointTestOptions(prb, 1)
+		opts.Cache = cache
+		opts.Checkpoint.CoPRBSizes = []int{16, 32}
+		cold, coldErr := AccuracyStudyContext(ctx, checkpointTestOptions(prb, 0))
+		if coldErr != nil {
+			t.Fatal(coldErr)
+		}
+		got, err := AccuracyStudyContext(ctx, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold.Techniques, got.Techniques) {
+			t.Fatalf("prb=%d: shared-prefix study diverges from the cold study", prb)
+		}
+	}
+}
+
+// TestCheckpointedSweepMatchesColdAndIsJobsInvariant is the sweep-level
+// acceptance test: a warmup-sharing sweep produces byte-identical rows to a
+// cold sweep, at jobs=1 and jobs=8 alike.
+func TestCheckpointedSweepMatchesColdAndIsJobsInvariant(t *testing.T) {
+	ctx := context.Background()
+	run := func(warmupIntervals, jobs int) *SweepResult {
+		t.Helper()
+		res, err := SweepContext(ctx, SweepOptions{
+			CoreCounts:          []int{2},
+			Mixes:               []workload.MixKind{workload.MixH},
+			PRBSizes:            []int{16, 32},
+			Techniques:          []string{"GDP", "GDP-O", "ITCA", "ASM"},
+			Scenarios:           []string{"streaming"},
+			Workloads:           1,
+			InstructionsPerCore: 5000,
+			IntervalCycles:      2000,
+			Seed:                7,
+			Jobs:                jobs,
+			Cache:               runner.NewCache(),
+			WarmupIntervals:     warmupIntervals,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold := run(0, 1)
+	for _, tc := range []struct {
+		name   string
+		warmup int
+		jobs   int
+	}{
+		{"checkpointed-jobs1", 1, 1},
+		{"checkpointed-jobs8", 1, 8},
+	} {
+		got := run(tc.warmup, tc.jobs)
+		coldJSON, err := json.Marshal(cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(coldJSON) != string(gotJSON) {
+			t.Fatalf("%s: sweep rows diverge from the cold jobs=1 sweep", tc.name)
+		}
+	}
+}
+
+// TestSweepCellsRecalledFromCache: grid cells carry specs, so re-running the
+// same grid over the same cache recalls every cell instead of re-simulating.
+func TestSweepCellsRecalledFromCache(t *testing.T) {
+	ctx := context.Background()
+	cache := runner.NewCache()
+	opts := SweepOptions{
+		CoreCounts:          []int{2},
+		Mixes:               []workload.MixKind{workload.MixL},
+		PRBSizes:            []int{32},
+		Techniques:          []string{"GDP"},
+		Workloads:           1,
+		InstructionsPerCore: 4000,
+		IntervalCycles:      2000,
+		Seed:                3,
+		Jobs:                1,
+		Cache:               cache,
+	}
+	first, err := SweepContext(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore, _ := cache.Stats()
+	second, err := SweepContext(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsAfter, _ := cache.Stats()
+	if hitsAfter <= hitsBefore {
+		t.Fatalf("second sweep hit the cache %d times, want more than %d", hitsAfter, hitsBefore)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("recalled sweep diverges from the computed one")
+	}
+}
+
+// TestCheckpointFallbackWhenSampleInsideWarmup: a cell whose instruction
+// sample ends inside the warmup cannot fork; it must fall back to a cold run
+// and still produce the cold numbers.
+func TestCheckpointFallbackWhenSampleInsideWarmup(t *testing.T) {
+	ctx := context.Background()
+	cold, err := AccuracyStudyContext(ctx, checkpointTestOptions(32, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := checkpointTestOptions(32, 200) // warmup beyond the ~150-interval run
+	got, err := AccuracyStudyContext(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold.Techniques, got.Techniques) {
+		t.Fatal("fallback study diverges from the cold study")
+	}
+}

@@ -41,18 +41,32 @@ type SweepOptions struct {
 
 	// Jobs is the worker-pool width for the grid (0 = runtime.NumCPU()).
 	Jobs int
-	// Cache memoizes private-mode reference runs (nil = DefaultCache()).
+	// Cache memoizes private-mode reference runs, whole grid cells and — when
+	// WarmupIntervals is set — shared warmup checkpoints (nil = DefaultCache()).
 	Cache *runner.Cache
 	// Progress, when non-nil, receives one event per completed grid cell.
 	Progress runner.ProgressFunc
+
+	// WarmupIntervals, when positive, turns on checkpointed warmup sharing:
+	// every accuracy and scenario cell simulates its first WarmupIntervals
+	// accounting intervals through a shared, cache-memoized checkpoint. Cells
+	// that differ only in PRB size fork from one prefix (the prefix
+	// co-simulates GDP/GDP-O units for every size in PRBSizes), and ASM cells
+	// share their own invasive prefix across PRB variants. Results are
+	// byte-identical with or without warmup sharing; only wall-clock changes.
+	// Zero disables sharing (unless an Engine WithCheckpoints default fills
+	// it in); negative forces cold runs despite such a default.
+	WarmupIntervals int
 }
 
-// withDefaults fills unset sweep options.
+// withDefaults fills unset sweep options. The mix default only applies to
+// grids without scenario cells: a scenarios-only sweep evaluates exactly the
+// named scenarios instead of dragging the three default mixes along.
 func (o SweepOptions) withDefaults() SweepOptions {
 	if len(o.CoreCounts) == 0 {
 		o.CoreCounts = []int{4}
 	}
-	if len(o.Mixes) == 0 {
+	if len(o.Mixes) == 0 && len(o.Scenarios) == 0 {
 		o.Mixes = []workload.MixKind{workload.MixH, workload.MixM, workload.MixL}
 	}
 	if len(o.PRBSizes) == 0 {
@@ -161,7 +175,7 @@ func SweepContext(ctx context.Context, opts SweepOptions) (*SweepResult, error) 
 			// no matter what else the grid contains.
 			// PRB size is excluded from the seed (like accuracy cells) so
 			// PRB variants evaluate the same workload streams.
-			cellSeed = opts.Seed + int64(cell.cores)*8 + scenarioSeedOffset(cell.scenario)
+			cellSeed = ScenarioSweepSeed(opts.Seed, cell.cores, cell.scenario)
 			label = fmt.Sprintf("scenario/%dc-%s/prb%d", cell.cores, cell.scenario, cell.prb)
 		} else {
 			cellSeed = pairSeed(cell.cores, cell.mix)
@@ -172,6 +186,7 @@ func SweepContext(ctx context.Context, opts SweepOptions) (*SweepResult, error) 
 		}
 		jobs[i] = runner.Job[[]SweepRow]{
 			Label: label,
+			Spec:  cellSpec(cell, cellSeed, opts),
 			Fn: func(ctx context.Context) ([]SweepRow, error) {
 				return runSweepCell(ctx, cell, cellSeed, opts)
 			},
@@ -192,6 +207,65 @@ func SweepContext(ctx context.Context, opts SweepOptions) (*SweepResult, error) 
 	return out, nil
 }
 
+// sweepCellSpec is the content-hashable identity of one grid cell: everything
+// its rows depend on. Warmup sharing is deliberately absent — a checkpointed
+// cell is byte-identical to a cold one (the differential tests pin that), so
+// checkpointed and cold sweeps share cache entries.
+type sweepCellSpec struct {
+	Op                  string   `json:"op"`
+	Kind                string   `json:"kind"`
+	Cores               int      `json:"cores"`
+	Mix                 string   `json:"mix,omitempty"`
+	Scenario            string   `json:"scenario,omitempty"`
+	PRB                 int      `json:"prb,omitempty"`
+	Seed                int64    `json:"seed"`
+	Workloads           int      `json:"workloads"`
+	InstructionsPerCore uint64   `json:"instructions_per_core"`
+	IntervalCycles      uint64   `json:"interval_cycles"`
+	Techniques          []string `json:"techniques,omitempty"`
+	Policies            []string `json:"policies,omitempty"`
+}
+
+// cellSpec builds the cache spec of one grid cell, so repeated sweeps (and
+// overlapping grids) recall finished cells from the two-layer cache instead
+// of re-simulating them.
+func cellSpec(cell sweepCell, seed int64, opts SweepOptions) sweepCellSpec {
+	spec := sweepCellSpec{
+		Op:                  "SweepCell/v1",
+		Kind:                cell.kind,
+		Cores:               cell.cores,
+		Scenario:            cell.scenario,
+		Seed:                seed,
+		Workloads:           opts.Workloads,
+		InstructionsPerCore: opts.InstructionsPerCore,
+		IntervalCycles:      opts.IntervalCycles,
+	}
+	switch cell.kind {
+	case "partitioning":
+		spec.Mix = cell.mix.String()
+		spec.Policies = opts.Policies
+	case "scenario":
+		spec.PRB = cell.prb
+		spec.Techniques = opts.Techniques
+	default:
+		spec.Mix = cell.mix.String()
+		spec.PRB = cell.prb
+		spec.Techniques = opts.Techniques
+	}
+	return spec
+}
+
+// sweepCheckpoint builds the warmup-sharing options of one accuracy or
+// scenario cell: the prefix co-simulates GDP units for every PRB size of the
+// grid, so all PRB variants of a (cores, mix) or (cores, scenario) pair fork
+// from one checkpoint.
+func sweepCheckpoint(opts SweepOptions) CheckpointOptions {
+	return CheckpointOptions{
+		WarmupIntervals: opts.WarmupIntervals,
+		CoPRBSizes:      opts.PRBSizes,
+	}
+}
+
 // runSweepCell executes one grid cell. Cell-level fan-out already saturates
 // the pool, so the inner study runs serially (Jobs: 1) to avoid nesting
 // worker pools.
@@ -209,6 +283,7 @@ func runSweepCell(ctx context.Context, cell sweepCell, seed int64, opts SweepOpt
 			Techniques:          opts.Techniques,
 			Jobs:                1,
 			Cache:               opts.Cache,
+			Checkpoint:          sweepCheckpoint(opts),
 		})
 		if err != nil {
 			return nil, err
@@ -265,6 +340,7 @@ func runSweepCell(ctx context.Context, cell sweepCell, seed int64, opts SweepOpt
 			Techniques:          opts.Techniques,
 			Jobs:                1,
 			Cache:               opts.Cache,
+			Checkpoint:          sweepCheckpoint(opts),
 		})
 		if err != nil {
 			return nil, err
@@ -283,6 +359,13 @@ func runSweepCell(ctx context.Context, cell sweepCell, seed int64, opts SweepOpt
 	default:
 		return nil, fmt.Errorf("experiments: unknown sweep cell kind %q", cell.kind)
 	}
+}
+
+// ScenarioSweepSeed returns the seed a sweep derives for a scenario cell, so
+// external calibration (the perf harness's warmup sizing) can reproduce the
+// exact simulation a scenario cell will run.
+func ScenarioSweepSeed(base int64, cores int, scenario string) int64 {
+	return base + int64(cores)*8 + scenarioSeedOffset(scenario)
 }
 
 // scenarioSeedOffset maps a scenario name to a stable seed offset so that a

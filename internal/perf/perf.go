@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"time"
 
@@ -27,8 +28,11 @@ import (
 	"repro/internal/workload"
 )
 
-// SchemaVersion identifies the report layout.
-const SchemaVersion = 1
+// SchemaVersion identifies the report layout. Version 2 adds the
+// GOMAXPROCS / jobs / git-revision provenance fields (so reports are
+// comparable across machines and source states) and the sweep-level
+// warmup-sharing benchmark section.
+const SchemaVersion = 2
 
 // Options configure one harness run. The zero value selects every registered
 // scenario at the default fixed-seed sizing.
@@ -53,6 +57,21 @@ type Options struct {
 	SkipReference bool
 	// SkipAllocs skips the allocation measurement.
 	SkipAllocs bool
+	// Jobs is the worker-pool width recorded in the report and used by the
+	// sweep benchmark (default 1: at width 1 wall-clock equals CPU time, so
+	// the warmup-sharing speedup is measured without parallel slack).
+	Jobs int
+	// Sweep enables the sweep-level warmup-sharing benchmark (opt-in: it
+	// runs the accuracy-sweep fixture twice).
+	Sweep bool
+	// SweepPRBSizes is the accuracy-sweep fixture's PRB-size axis (default 8
+	// sizes, all forking from one shared warmup checkpoint per workload).
+	SweepPRBSizes []int
+	// SweepInstructions and SweepIntervalCycles size the fixture's runs
+	// (defaults 20000 / 1000: ~40 intervals per run, so a deep warmup
+	// prefix exists to share).
+	SweepInstructions   uint64
+	SweepIntervalCycles uint64
 }
 
 func (o *Options) setDefaults() {
@@ -73,6 +92,18 @@ func (o *Options) setDefaults() {
 	}
 	if o.Repeats == 0 {
 		o.Repeats = 3
+	}
+	if o.Jobs == 0 {
+		o.Jobs = 1
+	}
+	if len(o.SweepPRBSizes) == 0 {
+		o.SweepPRBSizes = []int{2, 3, 4, 6, 8, 12, 16, 24, 32, 48}
+	}
+	if o.SweepInstructions == 0 {
+		o.SweepInstructions = 20000
+	}
+	if o.SweepIntervalCycles == 0 {
+		o.SweepIntervalCycles = 1000
 	}
 }
 
@@ -106,6 +137,27 @@ type ScenarioResult struct {
 	AllocsPerInterval float64 `json:"allocs_per_interval"`
 }
 
+// SweepBenchResult is the sweep-level warmup-sharing measurement: the
+// accuracy-sweep fixture timed cold and with checkpointed warmup sharing,
+// each over a fresh in-memory cache.
+type SweepBenchResult struct {
+	Cells           int    `json:"cells"`
+	Rows            int    `json:"rows"`
+	PRBSizes        []int  `json:"prb_sizes"`
+	Instructions    uint64 `json:"instructions_per_core"`
+	IntervalCycles  uint64 `json:"interval_cycles"`
+	WarmupIntervals int    `json:"warmup_intervals"`
+	Jobs            int    `json:"jobs"`
+
+	ColdNanos       int64 `json:"cold_wall_ns"`
+	CheckpointNanos int64 `json:"checkpoint_wall_ns"`
+	// Speedup is cold wall-clock over checkpointed wall-clock.
+	Speedup float64 `json:"speedup"`
+	// RowsIdentical confirms the two sweeps produced byte-identical rows
+	// (checkpointing is a pure wall-clock optimization).
+	RowsIdentical bool `json:"rows_identical"`
+}
+
 // Report is the harness output.
 type Report struct {
 	SchemaVersion int    `json:"schema_version"`
@@ -113,9 +165,13 @@ type Report struct {
 	GOOS          string `json:"goos"`
 	GOARCH        string `json:"goarch"`
 	NumCPU        int    `json:"num_cpu"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Jobs          int    `json:"jobs"`
+	GitRevision   string `json:"git_revision,omitempty"`
 	GeneratedAt   string `json:"generated_at,omitempty"`
 
-	Scenarios []ScenarioResult `json:"scenarios"`
+	Scenarios []ScenarioResult  `json:"scenarios"`
+	Sweep     *SweepBenchResult `json:"sweep,omitempty"`
 }
 
 // simOptions builds the fixed-seed run options for one scenario.
@@ -239,6 +295,29 @@ func steadyAllocsPerInterval(name string, o Options) (float64, error) {
 	return perInterval, nil
 }
 
+// gitRevision returns the VCS revision stamped into the binary by the Go
+// toolchain (empty when the build carries no VCS metadata, e.g. `go test`).
+func gitRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" && dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
 // Run executes the harness and assembles the report.
 func Run(o Options) (*Report, error) {
 	o.setDefaults()
@@ -248,6 +327,9 @@ func Run(o Options) (*Report, error) {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Jobs:          o.Jobs,
+		GitRevision:   gitRevision(),
 		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, name := range o.Scenarios {
@@ -292,6 +374,13 @@ func Run(o Options) (*Report, error) {
 			sr.AllocsPerInterval = allocs
 		}
 		rep.Scenarios = append(rep.Scenarios, sr)
+	}
+	if o.Sweep {
+		sweep, err := runSweepBench(o)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sweep = sweep
 	}
 	return rep, nil
 }

@@ -40,6 +40,13 @@ func TestRunProducesMeasurements(t *testing.T) {
 	if s.AllocsPerInterval != -1 {
 		t.Errorf("allocs measured despite SkipAllocs: %v", s.AllocsPerInterval)
 	}
+	if rep.SchemaVersion != 2 || rep.GOMAXPROCS < 1 || rep.Jobs != 1 {
+		t.Errorf("schema-2 provenance fields missing: version=%d gomaxprocs=%d jobs=%d",
+			rep.SchemaVersion, rep.GOMAXPROCS, rep.Jobs)
+	}
+	if rep.Sweep != nil {
+		t.Error("sweep benchmark ran without being requested")
+	}
 }
 
 func TestSkipReference(t *testing.T) {
@@ -119,6 +126,21 @@ func TestChecks(t *testing.T) {
 	}
 	if err := rep.CheckSpeedup(3.0); err == nil {
 		t.Error("CheckSpeedup(3.0) passed on a 2.0x scenario")
+	}
+
+	if err := rep.CheckSweepSpeedup(1.5); err != nil {
+		t.Errorf("CheckSweepSpeedup without a sweep section = %v, want pass", err)
+	}
+	rep.Sweep = &SweepBenchResult{Speedup: 2.0, RowsIdentical: true}
+	if err := rep.CheckSweepSpeedup(1.5); err != nil {
+		t.Errorf("CheckSweepSpeedup(1.5) = %v, want pass", err)
+	}
+	if err := rep.CheckSweepSpeedup(3.0); err == nil {
+		t.Error("CheckSweepSpeedup(3.0) passed on a 2.0x sweep")
+	}
+	rep.Sweep.RowsIdentical = false
+	if err := rep.CheckSweepSpeedup(1.5); err == nil {
+		t.Error("CheckSweepSpeedup passed on diverging rows")
 	}
 }
 

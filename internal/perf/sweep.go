@@ -1,0 +1,167 @@
+package perf
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/accounting"
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Sweep fixture shape: one 4-core scenario workload swept across the PRB-size
+// axis. Scenario workloads run the same benchmark profile on every core, so
+// the cores progress in near-lockstep and the shared warmup prefix — which
+// must end before the *fastest* core completes its instruction sample —
+// covers most of the run. Every cell differs only in its GDP/GDP-O PRB size,
+// so with warmup sharing all of them fork from one checkpoint.
+const (
+	sweepFixtureCores    = 4
+	sweepFixtureScenario = "latency-bound"
+)
+
+// sweepFixture builds the fixture grid. The PRB sizes are deliberately small:
+// a GDP unit's per-cycle cost scales with its PRB size, and that cost is paid
+// once per cell cold but concentrated into the one prefix when sharing — big
+// buffers would measure probe arithmetic, not warmup sharing. ASM is
+// excluded: it is invasive, so its cells would neither share with the
+// transparent ones nor benefit differently, only blur the measurement.
+func sweepFixture(o Options, warmupIntervals int) experiments.SweepOptions {
+	return experiments.SweepOptions{
+		CoreCounts:          []int{sweepFixtureCores},
+		Scenarios:           []string{sweepFixtureScenario},
+		PRBSizes:            o.SweepPRBSizes,
+		Techniques:          []string{"GDP", "GDP-O", "ITCA", "PTCA"},
+		Workloads:           1,
+		InstructionsPerCore: o.SweepInstructions,
+		IntervalCycles:      o.SweepIntervalCycles,
+		Seed:                o.Seed,
+		Jobs:                o.Jobs,
+		Cache:               runner.NewCache(), // fresh per sweep: no cross-run recall
+		WarmupIntervals:     warmupIntervals,
+	}
+}
+
+// calibrateWarmup simulates the fixture's shared run once and returns the
+// last interval boundary at which no core has completed its instruction
+// sample yet: the longest warmup every PRB cell can still fork from
+// (RunFromCheckpoint rejects any later boundary, because the fastest core's
+// sample statistics would have been recorded mid-warmup). The calibration
+// run uses the exact workload and seed derivation the sweep's scenario cell
+// uses, and a transparent accountant, so its trajectory equals the cells'.
+func calibrateWarmup(o Options) (int, error) {
+	sc, err := workload.ScenarioByName(sweepFixtureScenario)
+	if err != nil {
+		return 0, err
+	}
+	wl, err := sc.Workload(sweepFixtureCores)
+	if err != nil {
+		return 0, err
+	}
+	gdpo, err := accounting.NewGDP(sweepFixtureCores, 32, true)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Run(sim.Options{
+		Config:              config.ScaledConfig(sweepFixtureCores),
+		Workload:            wl,
+		InstructionsPerCore: o.SweepInstructions,
+		IntervalCycles:      o.SweepIntervalCycles,
+		Seed:                experiments.ScenarioSweepSeed(o.Seed, sweepFixtureCores, sweepFixtureScenario),
+		Accountants:         []accounting.Accountant{gdpo},
+	})
+	if err != nil {
+		return 0, err
+	}
+	warmup := 0
+	for k := 0; k < len(res.Intervals[0]); k++ {
+		maxEnd := uint64(0)
+		for core := range res.Intervals {
+			if e := res.Intervals[core][k].EndInstructions; e > maxEnd {
+				maxEnd = e
+			}
+		}
+		if maxEnd >= o.SweepInstructions {
+			break
+		}
+		warmup = k + 1
+	}
+	if warmup < 1 {
+		warmup = 1
+	}
+	return warmup, nil
+}
+
+// runSweepBench times the accuracy-sweep fixture cold and with checkpointed
+// warmup sharing, each over a fresh in-memory cache, and verifies the two
+// produce byte-identical rows.
+func runSweepBench(o Options) (*SweepBenchResult, error) {
+	warmup, err := calibrateWarmup(o)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	coldStart := time.Now()
+	cold, err := experiments.SweepContext(ctx, sweepFixture(o, 0))
+	if err != nil {
+		return nil, err
+	}
+	coldNanos := time.Since(coldStart).Nanoseconds()
+
+	chkStart := time.Now()
+	checkpointed, err := experiments.SweepContext(ctx, sweepFixture(o, warmup))
+	if err != nil {
+		return nil, err
+	}
+	chkNanos := time.Since(chkStart).Nanoseconds()
+
+	coldJSON, err := json.Marshal(cold)
+	if err != nil {
+		return nil, err
+	}
+	chkJSON, err := json.Marshal(checkpointed)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &SweepBenchResult{
+		Cells:           cold.Cells,
+		Rows:            len(cold.Rows),
+		PRBSizes:        o.SweepPRBSizes,
+		Instructions:    o.SweepInstructions,
+		IntervalCycles:  o.SweepIntervalCycles,
+		WarmupIntervals: warmup,
+		Jobs:            o.Jobs,
+		ColdNanos:       coldNanos,
+		CheckpointNanos: chkNanos,
+		RowsIdentical:   string(coldJSON) == string(chkJSON),
+	}
+	if chkNanos > 0 {
+		out.Speedup = float64(coldNanos) / float64(chkNanos)
+	}
+	return out, nil
+}
+
+// CheckSweepSpeedup returns an error if the report's sweep benchmark fell
+// below the required warmup-sharing speedup, or if the checkpointed sweep's
+// rows diverged from the cold sweep's (which would be a correctness bug, not
+// a performance regression). A report without a sweep section passes.
+func (r *Report) CheckSweepSpeedup(min float64) error {
+	if r.Sweep == nil {
+		return nil
+	}
+	if !r.Sweep.RowsIdentical {
+		return fmt.Errorf("perf: checkpointed sweep rows diverge from the cold sweep's")
+	}
+	if r.Sweep.Speedup < min {
+		return fmt.Errorf("perf: warmup-sharing sweep speedup %.2fx below the required %.2fx",
+			r.Sweep.Speedup, min)
+	}
+	return nil
+}

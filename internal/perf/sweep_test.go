@@ -1,0 +1,39 @@
+package perf
+
+import "testing"
+
+// TestSweepBenchSmall runs the sweep benchmark at a reduced fixture size and
+// checks the structural invariants: both sweeps produce identical rows and
+// warmup sharing does not slow the grid down. The ≥1.5x CI gate runs at the
+// full fixture size through `gdpsim bench` (bench-smoke), not here — the
+// small fixture's speedup is real but modest, and test machines vary.
+func TestSweepBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep benchmark runs full simulations")
+	}
+	o := Options{
+		Seed:                42,
+		SweepPRBSizes:       []int{8, 32, 128},
+		SweepInstructions:   6000,
+		SweepIntervalCycles: 500,
+	}
+	o.setDefaults()
+	res, err := runSweepBench(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RowsIdentical {
+		t.Fatal("checkpointed sweep rows diverge from the cold sweep's")
+	}
+	if res.Cells != 3 || res.Rows == 0 {
+		t.Fatalf("implausible fixture: %+v", res)
+	}
+	if res.WarmupIntervals < 1 {
+		t.Fatalf("calibration produced warmup of %d intervals", res.WarmupIntervals)
+	}
+	if res.Speedup < 1.0 {
+		t.Errorf("warmup sharing slowed the sweep down: %.2fx", res.Speedup)
+	}
+	t.Logf("cells=%d warmup=%d intervals cold=%dms checkpointed=%dms speedup=%.2fx",
+		res.Cells, res.WarmupIntervals, res.ColdNanos/1e6, res.CheckpointNanos/1e6, res.Speedup)
+}

@@ -1,0 +1,73 @@
+package ring
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// EntryState is the serialized form of one queued ring message. The request
+// payload is a reference into the checkpoint's request table.
+type EntryState struct {
+	Req        int32  `json:"req"`
+	Ready      uint64 `json:"ready"`
+	Enqueued   uint64 `json:"enq"`
+	AheadOther bool   `json:"ahead,omitempty"`
+}
+
+// State is the serializable state of the ring interconnect: both queues in
+// FIFO order plus the delivery statistics.
+type State struct {
+	ReqQueue      []EntryState `json:"req_queue"`
+	RspQueue      []EntryState `json:"rsp_queue"`
+	ReqDelivered  uint64       `json:"req_delivered"`
+	RspDelivered  uint64       `json:"rsp_delivered"`
+	TotalQueueing uint64       `json:"total_queueing"`
+}
+
+func snapshotQueue(q []entry, t *mem.SnapshotTable) []EntryState {
+	out := make([]EntryState, len(q))
+	for i, e := range q {
+		out[i] = EntryState{Req: t.Ref(e.req), Ready: e.ready, Enqueued: e.enqueued, AheadOther: e.aheadOther}
+	}
+	return out
+}
+
+func restoreQueue(dst *[]entry, src []EntryState, t *mem.RestoreTable, cap int) error {
+	if len(src) > cap {
+		return fmt.Errorf("ring: snapshot queue of %d entries exceeds capacity %d", len(src), cap)
+	}
+	q := (*dst)[:0]
+	for _, e := range src {
+		q = append(q, entry{req: t.Get(e.Req), ready: e.Ready, enqueued: e.Enqueued, aheadOther: e.AheadOther})
+	}
+	*dst = q
+	return nil
+}
+
+// Snapshot captures the ring's complete state, registering every in-flight
+// request in the snapshot table.
+func (r *Ring) Snapshot(t *mem.SnapshotTable) State {
+	return State{
+		ReqQueue:      snapshotQueue(r.reqQueue, t),
+		RspQueue:      snapshotQueue(r.rspQueue, t),
+		ReqDelivered:  r.reqDelivered,
+		RspDelivered:  r.rspDelivered,
+		TotalQueueing: r.totalQueueing,
+	}
+}
+
+// Restore overwrites the ring's state with a snapshot, resolving request
+// references through the restore table.
+func (r *Ring) Restore(st State, t *mem.RestoreTable) error {
+	if err := restoreQueue(&r.reqQueue, st.ReqQueue, t, r.queueCap); err != nil {
+		return err
+	}
+	if err := restoreQueue(&r.rspQueue, st.RspQueue, t, r.queueCap); err != nil {
+		return err
+	}
+	r.reqDelivered = st.ReqDelivered
+	r.rspDelivered = st.RspDelivered
+	r.totalQueueing = st.TotalQueueing
+	return nil
+}

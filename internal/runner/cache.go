@@ -18,6 +18,12 @@ import (
 // when a directory is configured, mirrored to disk as JSON so repeated CLI
 // invocations can reuse earlier simulations.
 //
+// The on-disk layer shards entries into 256 two-hex-character subdirectories
+// of the cache directory (dir/ab/<key>.json): checkpoint blobs and large
+// sweeps would otherwise pile thousands of files into one directory, which
+// degrades lookup on most filesystems. Entries written by earlier versions
+// into the flat layout are found and migrated transparently on first access.
+//
 // Concurrent lookups of the same key are deduplicated: while one goroutine
 // computes a result, others requesting the same spec block and share the
 // outcome, so a private-mode reference needed by several studies is simulated
@@ -78,6 +84,18 @@ func Memo[T any](c *Cache, spec any, fn func() (T, error)) (T, bool, error) {
 	return MemoContext(context.Background(), c, spec, fn)
 }
 
+// MemoKeyedContext is MemoContext for callers that already hold the spec's
+// content hash: the worker pool computes SpecKey once per job submission and
+// reuses it for the lookup, the in-flight registration and the disk write, so
+// large sweeps do not re-marshal the same spec JSON on every cache touch.
+func MemoKeyedContext[T any](ctx context.Context, c *Cache, key string, fn func() (T, error)) (T, bool, error) {
+	if c == nil {
+		v, err := fn()
+		return v, false, err
+	}
+	return memoKeyed(ctx, c, key, fn)
+}
+
 // MemoContext is Memo under a context: a caller blocked on another
 // goroutine's in-flight computation of the same spec stops waiting when ctx
 // is cancelled (the computation itself keeps running for the goroutine that
@@ -98,7 +116,12 @@ func MemoContext[T any](ctx context.Context, c *Cache, spec any, fn func() (T, e
 	if err != nil {
 		return zero, false, err
 	}
+	return memoKeyed(ctx, c, key, fn)
+}
 
+// memoKeyed is the shared implementation of MemoContext and MemoKeyedContext.
+func memoKeyed[T any](ctx context.Context, c *Cache, key string, fn func() (T, error)) (T, bool, error) {
+	var zero T
 	var call *inflightCall
 	for {
 		c.mu.Lock()
@@ -166,7 +189,7 @@ func MemoContext[T any](ctx context.Context, c *Cache, spec any, fn func() (T, e
 func computeCached[T any](c *Cache, key string, fn func() (T, error)) (T, bool, error) {
 	var zero T
 	if c.dir != "" {
-		if raw, err := os.ReadFile(c.path(key)); err == nil {
+		if raw, ok := c.readDisk(key); ok {
 			var v T
 			if err := json.Unmarshal(raw, &v); err == nil {
 				return v, true, nil
@@ -180,15 +203,63 @@ func computeCached[T any](c *Cache, key string, fn func() (T, error)) (T, bool, 
 	}
 	if c.dir != "" {
 		if raw, err := json.Marshal(v); err == nil {
-			tmp := c.path(key) + ".tmp"
-			if err := os.WriteFile(tmp, raw, 0o644); err == nil {
-				_ = os.Rename(tmp, c.path(key))
-			}
+			c.writeDisk(key, raw)
 		}
 	}
 	return v, false, nil
 }
 
+// path returns the sharded on-disk location of a key: a two-hex-character
+// subdirectory keeps any one directory's entry count bounded.
 func (c *Cache) path(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(c.dir, shard, key+".json")
+}
+
+// legacyPath is the pre-sharding flat location of a key.
+func (c *Cache) legacyPath(key string) string {
 	return filepath.Join(c.dir, key+".json")
+}
+
+// readDisk loads a key's bytes from the sharded location, transparently
+// migrating an entry an earlier version wrote into the flat layout: the
+// legacy file is renamed into its shard (same filesystem, atomic) and read
+// from there.
+func (c *Cache) readDisk(key string) ([]byte, bool) {
+	p := c.path(key)
+	if raw, err := os.ReadFile(p); err == nil {
+		return raw, true
+	}
+	legacy := c.legacyPath(key)
+	if _, err := os.Stat(legacy); err != nil {
+		return nil, false
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err == nil {
+		if os.Rename(legacy, p) == nil {
+			if raw, err := os.ReadFile(p); err == nil {
+				return raw, true
+			}
+			return nil, false
+		}
+	}
+	// Migration failed (read-only directory, concurrent migration): fall back
+	// to reading the legacy file in place.
+	raw, err := os.ReadFile(legacy)
+	return raw, err == nil
+}
+
+// writeDisk persists a key's bytes into the sharded layout via an atomic
+// rename. Failures are silent: the disk layer is an optimization.
+func (c *Cache) writeDisk(key string, raw []byte) {
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err == nil {
+		_ = os.Rename(tmp, p)
+	}
 }

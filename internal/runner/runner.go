@@ -115,6 +115,24 @@ func Run[T any](ctx context.Context, jobs []Job[T], opts Options) ([]T, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Memoize every job's spec hash once at submission: the cache touches the
+	// key on lookup, in-flight registration and the disk write, and hashing
+	// means marshaling the whole spec JSON — per-touch recomputation is pure
+	// waste on large sweeps.
+	keys := make([]string, len(jobs))
+	if opts.Cache != nil {
+		for i := range jobs {
+			if jobs[i].Spec == nil {
+				continue
+			}
+			key, err := SpecKey(jobs[i].Spec)
+			if err != nil {
+				return nil, fmt.Errorf("runner: job %q: %w", jobs[i].Label, err)
+			}
+			keys[i] = key
+		}
+	}
+
 	results := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 	ran := make([]bool, len(jobs))
@@ -163,7 +181,7 @@ func Run[T any](ctx context.Context, jobs []Job[T], opts Options) ([]T, error) {
 				if ctx.Err() != nil {
 					return
 				}
-				res, hit, err := runOne(ctx, jobs[i], opts.Cache)
+				res, hit, err := runOne(ctx, jobs[i], keys[i], opts.Cache)
 				results[i], errs[i], ran[i] = res, err, true
 				if err != nil {
 					cancel() // stop scheduling further jobs
@@ -198,11 +216,11 @@ func Run[T any](ctx context.Context, jobs []Job[T], opts Options) ([]T, error) {
 	return results, nil
 }
 
-// runOne executes (or recalls) a single job.
-func runOne[T any](ctx context.Context, job Job[T], cache *Cache) (T, bool, error) {
-	if cache == nil || job.Spec == nil {
+// runOne executes (or recalls) a single job using its precomputed spec key.
+func runOne[T any](ctx context.Context, job Job[T], key string, cache *Cache) (T, bool, error) {
+	if cache == nil || key == "" {
 		res, err := job.Fn(ctx)
 		return res, false, err
 	}
-	return MemoContext(ctx, cache, job.Spec, func() (T, error) { return job.Fn(ctx) })
+	return MemoKeyedContext(ctx, cache, key, func() (T, error) { return job.Fn(ctx) })
 }

@@ -186,9 +186,85 @@ func TestDiskCachePersistsAcrossInstances(t *testing.T) {
 	if computed.Load() != 1 {
 		t.Fatalf("computed %d times, want 1", computed.Load())
 	}
-	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	// Entries land in the sharded layout: dir/<2-hex-chars>/<key>.json.
+	files, _ := filepath.Glob(filepath.Join(dir, "??", "*.json"))
 	if len(files) != 1 {
-		t.Fatalf("cache dir holds %d files, want 1", len(files))
+		t.Fatalf("cache dir holds %d sharded files, want 1", len(files))
+	}
+	if flat, _ := filepath.Glob(filepath.Join(dir, "*.json")); len(flat) != 0 {
+		t.Fatalf("cache dir holds %d flat files, want 0", len(flat))
+	}
+}
+
+// TestDiskCacheShardLayout pins the sharded path scheme: the shard directory
+// is the first two hex characters of the spec key.
+func TestDiskCacheShardLayout(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specV{Op: "shard", Seed: 3}
+	if _, _, err := Memo(c, spec, func() (int, error) { return 9, nil }); err != nil {
+		t.Fatal(err)
+	}
+	key, err := SpecKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(dir, key[:2], key+".json")
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("expected entry at %s: %v", want, err)
+	}
+}
+
+// TestDiskCacheMigratesLegacyFlatEntries: an entry written by the pre-shard
+// layout (dir/<key>.json) is found, served and moved into its shard.
+func TestDiskCacheMigratesLegacyFlatEntries(t *testing.T) {
+	dir := t.TempDir()
+	spec := specV{Op: "legacy", Seed: 11}
+	key, err := SpecKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("42"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computed atomic.Int64
+	v, hit, err := Memo(c, spec, func() (int, error) { computed.Add(1); return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || v != 42 || computed.Load() != 0 {
+		t.Fatalf("legacy recall failed: hit=%v v=%d computed=%d", hit, v, computed.Load())
+	}
+	if _, err := os.Stat(filepath.Join(dir, key[:2], key+".json")); err != nil {
+		t.Fatalf("legacy entry was not migrated into its shard: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+".json")); !os.IsNotExist(err) {
+		t.Fatalf("legacy flat entry still present (err=%v)", err)
+	}
+}
+
+// TestMemoKeyedContextMatchesMemoContext: the precomputed-key path and the
+// spec path address the same entries.
+func TestMemoKeyedContextMatchesMemoContext(t *testing.T) {
+	cache := NewCache()
+	spec := specV{Op: "keyed", Seed: 1}
+	if _, _, err := Memo(cache, spec, func() (int, error) { return 31, nil }); err != nil {
+		t.Fatal(err)
+	}
+	key, err := SpecKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, hit, err := MemoKeyedContext(context.Background(), cache, key, func() (int, error) { return -1, nil })
+	if err != nil || !hit || v != 31 {
+		t.Fatalf("keyed lookup: v=%d hit=%v err=%v, want 31/true/nil", v, hit, err)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	gdpcore "repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/mem"
 	"repro/internal/memsys"
 	"repro/internal/partition"
 	"repro/internal/trace"
@@ -177,8 +178,18 @@ type runState struct {
 	opts      Options
 	shared    *memsys.System
 	cores     []*cpu.Core
+	sources   []trace.Source
 	res       *Result
 	maxCycles uint64
+
+	// startCycle is the first cycle the drivers simulate: 0 for a cold run,
+	// the checkpoint boundary for a forked run.
+	startCycle uint64
+	// cpCapture, when non-nil, arms checkpointing: recordInterval accumulates
+	// the per-interval data and the drivers stop at cpCapture.at with the
+	// snapshot in cpOut.
+	cpCapture *checkpointCapture
+	cpOut     *Checkpoint
 
 	sampleTaken  []bool
 	lastSnapshot []cpu.Stats
@@ -241,6 +252,7 @@ func newRunState(opts Options) (*runState, error) {
 		shared.DisableRecycling()
 	}
 	cores := make([]*cpu.Core, opts.Config.Cores)
+	sources := make([]trace.Source, opts.Config.Cores)
 	for i := range cores {
 		var src trace.Source
 		if len(opts.Sources) > 0 {
@@ -257,6 +269,7 @@ func newRunState(opts Options) (*runState, error) {
 			}
 			src = gen
 		}
+		sources[i] = src
 		core, err := cpu.New(i, opts.Config, src, shared)
 		if err != nil {
 			return nil, err
@@ -299,6 +312,7 @@ func newRunState(opts Options) (*runState, error) {
 		opts:           opts,
 		shared:         shared,
 		cores:          cores,
+		sources:        sources,
 		res:            res,
 		maxCycles:      maxCycles,
 		sampleTaken:    make([]bool, len(cores)),
@@ -358,7 +372,7 @@ func (st *runState) tickCycle(now uint64) (done int) {
 // driver and the perf harness baseline.
 func (st *runState) runReference(ctx context.Context) error {
 	opts := st.opts
-	now := uint64(0)
+	now := st.startCycle
 	for ; now < st.maxCycles; now++ {
 		done := st.tickCycle(now)
 
@@ -369,6 +383,9 @@ func (st *runState) runReference(ctx context.Context) error {
 			}
 			if err := st.recordInterval(); err != nil {
 				return err
+			}
+			if st.cpCapture != nil && now+1 == st.cpCapture.at {
+				return st.takeCheckpoint(now + 1)
 			}
 		}
 
@@ -389,7 +406,7 @@ func (st *runState) runReference(ctx context.Context) error {
 // is byte-identical to the reference driver's.
 func (st *runState) runFast(ctx context.Context) error {
 	opts := st.opts
-	now := uint64(0)
+	now := st.startCycle
 	for now < st.maxCycles {
 		done := st.tickCycle(now)
 
@@ -399,6 +416,9 @@ func (st *runState) runFast(ctx context.Context) error {
 			}
 			if err := st.recordInterval(); err != nil {
 				return err
+			}
+			if st.cpCapture != nil && now+1 == st.cpCapture.at {
+				return st.takeCheckpoint(now + 1)
 			}
 		}
 
@@ -508,9 +528,38 @@ func (st *runState) recordInterval() error {
 		st.lastSnapshot[i] = stats
 	}
 	records := st.records
-	for _, acct := range opts.Accountants {
+	if st.cpCapture != nil {
+		// Checkpoint capture: the accountant-independent record parts, stored
+		// per interval so a fork rebuilds the warmup records verbatim.
+		base := make([]IntervalRecordBase, len(cores))
 		for i := range cores {
-			records[i].Estimates[acct.Name()] = acct.Estimate(i, st.intervals[i])
+			base[i] = IntervalRecordBase{
+				Core:              i,
+				StartInstructions: records[i].StartInstructions,
+				EndInstructions:   records[i].EndInstructions,
+				Shared:            records[i].Shared,
+			}
+		}
+		st.cpCapture.bases = append(st.cpCapture.bases, base)
+	}
+	for ai, acct := range opts.Accountants {
+		var captured []accounting.Estimate
+		if st.cpCapture != nil {
+			captured = make([]accounting.Estimate, len(cores))
+		}
+		for i := range cores {
+			est := acct.Estimate(i, st.intervals[i])
+			// A prefix run may attach several same-named accountants (for
+			// example GDP units of different PRB sizes); the map keeps the
+			// last one, but the capture stores every accountant's estimates
+			// by index, which is what forks consume.
+			records[i].Estimates[acct.Name()] = est
+			if captured != nil {
+				captured[i] = est
+			}
+		}
+		if captured != nil {
+			st.cpCapture.ests[ai] = append(st.cpCapture.ests[ai], captured)
 		}
 		acct.EndInterval()
 	}
@@ -595,42 +644,53 @@ const privateCancelCheckCycles = 4096
 // privateCancelCheckCycles cycles. It uses the event-driven fast driver;
 // RunPrivateReference is the cycle-by-cycle twin for differential tests.
 func RunPrivateContext(ctx context.Context, cfg *config.CMPConfig, bench workload.Benchmark, samplePoints []uint64, seed int64, maxCycles uint64) (*PrivateReference, error) {
-	return runPrivate(ctx, cfg, bench, samplePoints, seed, maxCycles, false)
+	ref, _, err := runPrivate(ctx, cfg, bench, samplePoints, seed, maxCycles, privateRunConfig{})
+	return ref, err
 }
 
 // RunPrivateReference executes a private-mode run on the cycle-by-cycle
 // reference driver with request pooling disabled (the pre-optimization
 // engine). Kept for differential testing against RunPrivateContext.
 func RunPrivateReference(ctx context.Context, cfg *config.CMPConfig, bench workload.Benchmark, samplePoints []uint64, seed int64, maxCycles uint64) (*PrivateReference, error) {
-	return runPrivate(ctx, cfg, bench, samplePoints, seed, maxCycles, true)
+	ref, _, err := runPrivate(ctx, cfg, bench, samplePoints, seed, maxCycles, privateRunConfig{reference: true})
+	return ref, err
 }
 
-func runPrivate(ctx context.Context, cfg *config.CMPConfig, bench workload.Benchmark, samplePoints []uint64, seed int64, maxCycles uint64, reference bool) (*PrivateReference, error) {
+// privateRunConfig selects a private run's driver variant: the cycle-by-cycle
+// reference engine, a prefix run stopping at a checkpoint, or a fork resuming
+// from one.
+type privateRunConfig struct {
+	reference bool
+	stopAt    uint64             // snapshot-and-stop cycle (0 = run to completion)
+	resume    *PrivateCheckpoint // state to fork from (nil = cold start)
+}
+
+func runPrivate(ctx context.Context, cfg *config.CMPConfig, bench workload.Benchmark, samplePoints []uint64, seed int64, maxCycles uint64, prc privateRunConfig) (*PrivateReference, *PrivateCheckpoint, error) {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	shared, err := memsys.New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if reference {
+	if prc.reference {
 		shared.DisableRecycling()
 	}
 	gen, err := bench.NewGenerator(seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	core, err := cpu.New(0, cfg, gen, shared)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Reference dataflow unit: effectively unbounded PRB, overlap tracking on.
 	ref, err := gdpcore.New(gdpcore.Options{PRBEntries: 4096, TrackOverlap: true})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	core.AttachProbe(ref)
 
@@ -645,10 +705,58 @@ func runPrivate(ctx context.Context, cfg *config.CMPConfig, bench workload.Bench
 	out := &PrivateReference{Benchmark: bench.Name}
 	next := 0
 	now := uint64(0)
+	if cp := prc.resume; cp != nil {
+		if err := cp.validatePrivateFork(cfg, bench, samplePoints, seed, maxCycles); err != nil {
+			return nil, nil, err
+		}
+		rt := mem.NewRestoreTable(cp.Requests)
+		if err := shared.Restore(cp.Memsys, rt); err != nil {
+			return nil, nil, err
+		}
+		if err := core.Restore(cp.Core, rt); err != nil {
+			return nil, nil, err
+		}
+		if err := trace.RestoreSource(gen, cp.Source); err != nil {
+			return nil, nil, err
+		}
+		if err := ref.Restore(cp.Ref); err != nil {
+			return nil, nil, err
+		}
+		next = cp.Next
+		out.At = append(out.At, cp.At...)
+		out.CPLAt = append(out.CPLAt, cp.CPLAt...)
+		out.OverlapAt = append(out.OverlapAt, cp.OverlapAt...)
+		now = cp.Cycle
+	}
 	for now < maxCycles {
+		if prc.stopAt != 0 && now >= prc.stopAt {
+			t := mem.NewSnapshotTable()
+			cp := &PrivateCheckpoint{
+				Version:      CheckpointVersion,
+				Cycle:        now,
+				Config:       cfg,
+				Benchmark:    bench,
+				SamplePoints: samplePoints,
+				Seed:         seed,
+				Core:         core.Snapshot(t),
+				Memsys:       shared.Snapshot(t),
+				Ref:          ref.Snapshot(),
+				Next:         next,
+				At:           append([]cpu.Stats(nil), out.At...),
+				CPLAt:        append([]uint64(nil), out.CPLAt...),
+				OverlapAt:    append([]float64(nil), out.OverlapAt...),
+			}
+			src, err := trace.SnapshotSource(gen)
+			if err != nil {
+				return nil, nil, err
+			}
+			cp.Source = src
+			cp.Requests = t.Requests
+			return nil, cp, nil
+		}
 		if now%privateCancelCheckCycles == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		shared.Tick(now)
@@ -668,7 +776,7 @@ func runPrivate(ctx context.Context, cfg *config.CMPConfig, bench workload.Bench
 			break
 		}
 
-		if reference {
+		if prc.reference {
 			now++
 			continue
 		}
@@ -683,6 +791,12 @@ func runPrivate(ctx context.Context, cfg *config.CMPConfig, bench workload.Bench
 			}
 			if skipTo > maxCycles {
 				skipTo = maxCycles
+			}
+			// Never skip past a pending checkpoint cycle. Splitting an idle
+			// span at the boundary is exact: FastForward is additive over
+			// adjacent spans.
+			if prc.stopAt != 0 && skipTo > prc.stopAt {
+				skipTo = prc.stopAt
 			}
 		}
 		if skipTo > now+1 {
@@ -701,5 +815,5 @@ func runPrivate(ctx context.Context, cfg *config.CMPConfig, bench workload.Bench
 		out.CPLAt = append(out.CPLAt, 0)
 		out.OverlapAt = append(out.OverlapAt, 0)
 	}
-	return out, nil
+	return out, nil, nil
 }

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// countingSource wraps the standard math/rand source and counts how many
+// values it has produced. Every rand.Rand method bottoms out in exactly one
+// source draw per state advance, so (seed, draws) fully determines the source
+// state: a fresh source seeded identically and advanced draws times is in the
+// same state. That makes the generator snapshottable without changing a
+// single value of the streams it produces.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src = rand.NewSource(seed).(rand.Source64)
+	s.draws = 0
+}
+
+// skipTo advances a freshly seeded source until it has produced n values.
+func (s *countingSource) skipTo(n uint64) {
+	for s.draws < n {
+		s.Uint64()
+	}
+}
+
+// GeneratorState is the serializable state of a Generator: the RNG draw count
+// plus the walk state of the synthetic-stream machinery. Params and seed are
+// not part of the state — a state may only be restored into a generator
+// constructed with the same (params, seed) pair, which is what the checkpoint
+// layer reconstructs from the workload description.
+type GeneratorState struct {
+	Draws        uint64   `json:"draws"`
+	Index        uint64   `json:"index"`
+	LastLoadDist uint64   `json:"last_load_dist"`
+	StoreBurst   int      `json:"store_burst,omitempty"`
+	SinceBurst   int      `json:"since_burst,omitempty"`
+	Cursor       []uint64 `json:"cursor"`
+}
+
+// SnapshotState captures the generator's position in its stream.
+func (g *Generator) SnapshotState() GeneratorState {
+	return GeneratorState{
+		Draws:        g.src.draws,
+		Index:        g.index,
+		LastLoadDist: g.lastLoadDist,
+		StoreBurst:   g.storeBurst,
+		SinceBurst:   g.sinceBurst,
+		Cursor:       append([]uint64(nil), g.cursor...),
+	}
+}
+
+// RestoreState rewinds the generator to a snapshotted position: the RNG is
+// re-seeded and fast-forwarded to the recorded draw count, and the walk state
+// is overwritten. The generator must have been constructed with the same
+// (params, seed) pair the snapshot was taken from.
+func (g *Generator) RestoreState(st GeneratorState) error {
+	if len(st.Cursor) != len(g.cursor) {
+		return fmt.Errorf("trace: snapshot has %d working-set cursors, generator has %d", len(st.Cursor), len(g.cursor))
+	}
+	g.src.Seed(g.seed)
+	g.src.skipTo(st.Draws)
+	g.index = st.Index
+	g.lastLoadDist = st.LastLoadDist
+	g.storeBurst = st.StoreBurst
+	g.sinceBurst = st.SinceBurst
+	copy(g.cursor, st.Cursor)
+	return nil
+}
+
+// ReplayerState is the serializable position of a Replayer in its recording.
+type ReplayerState struct {
+	Pos   int `json:"pos"`
+	Wraps int `json:"wraps,omitempty"`
+}
+
+// SnapshotState captures the replayer's position.
+func (p *Replayer) SnapshotState() ReplayerState {
+	return ReplayerState{Pos: p.pos, Wraps: p.wraps}
+}
+
+// RestoreState moves the replayer to a snapshotted position. The replayer
+// must hold the same recording the snapshot was taken from.
+func (p *Replayer) RestoreState(st ReplayerState) error {
+	if st.Pos < 0 || st.Pos > len(p.insts) {
+		return fmt.Errorf("trace: snapshot position %d outside recording of %d instructions", st.Pos, len(p.insts))
+	}
+	p.pos = st.Pos
+	p.wraps = st.Wraps
+	return nil
+}
+
+// SourceState is the tagged union of snapshottable source states, used by the
+// simulation checkpoint to persist per-core stream positions.
+type SourceState struct {
+	Kind      string          `json:"kind"` // "generator" or "replayer"
+	Generator *GeneratorState `json:"generator,omitempty"`
+	Replayer  *ReplayerState  `json:"replayer,omitempty"`
+}
+
+// SnapshotSource captures the state of any supported source. Sources other
+// than Generator and Replayer are rejected: the checkpoint cannot reproduce
+// their position.
+func SnapshotSource(src Source) (SourceState, error) {
+	switch s := src.(type) {
+	case *Generator:
+		st := s.SnapshotState()
+		return SourceState{Kind: "generator", Generator: &st}, nil
+	case *Replayer:
+		st := s.SnapshotState()
+		return SourceState{Kind: "replayer", Replayer: &st}, nil
+	default:
+		return SourceState{}, fmt.Errorf("trace: source type %T is not snapshottable", src)
+	}
+}
+
+// RestoreSource applies a SourceState to a source of the matching kind.
+func RestoreSource(src Source, st SourceState) error {
+	switch s := src.(type) {
+	case *Generator:
+		if st.Kind != "generator" || st.Generator == nil {
+			return fmt.Errorf("trace: cannot restore %q state into a generator", st.Kind)
+		}
+		return s.RestoreState(*st.Generator)
+	case *Replayer:
+		if st.Kind != "replayer" || st.Replayer == nil {
+			return fmt.Errorf("trace: cannot restore %q state into a replayer", st.Kind)
+		}
+		return s.RestoreState(*st.Replayer)
+	default:
+		return fmt.Errorf("trace: source type %T is not snapshottable", src)
+	}
+}

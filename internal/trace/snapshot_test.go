@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// testParams returns a parameter set exercising every generator feature that
+// carries state (working-set cursors, store bursts, phases, load deps).
+func testParams() Params {
+	return Params{
+		LoadFrac: 0.3, StoreFrac: 0.1, FPFrac: 0.2, FPMulFrac: 0.3, IntMulFrac: 0.1,
+		BranchFrac: 0.1, MispredictRate: 0.05,
+		WorkingSets: []WorkingSet{
+			{Bytes: 4096, AccessProb: 0.5, Sequential: true, Stride: 64},
+			{Bytes: 1 << 16, AccessProb: 0.5},
+		},
+		LoadDepFrac: 0.4, DepDistanceMean: 6,
+		PhaseLength: 500, ComputePhaseScale: 0.2,
+		StoreBurstLen: 8, StoreBurstGap: 200,
+	}
+}
+
+// TestGeneratorSnapshotRoundTrip: snapshot mid-stream, keep drawing, restore
+// into a fresh generator, and verify the continuation is identical.
+func TestGeneratorSnapshotRoundTrip(t *testing.T) {
+	g, err := NewGenerator(testParams(), 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1234; i++ {
+		g.Next()
+	}
+	st := g.SnapshotState()
+	want := g.Generate(2000)
+
+	fresh, err := NewGenerator(testParams(), 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	got := fresh.Generate(2000)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("restored generator diverges from the original stream")
+	}
+}
+
+// TestGeneratorRestoreRejectsMismatchedShape guards against restoring across
+// different working-set layouts.
+func TestGeneratorRestoreRejectsMismatchedShape(t *testing.T) {
+	g, err := NewGenerator(testParams(), 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.SnapshotState()
+	st.Cursor = st.Cursor[:1]
+	if err := g.RestoreState(st); err == nil {
+		t.Fatal("expected a cursor-shape mismatch error")
+	}
+}
+
+// TestReplayerSnapshotRoundTrip: position and wrap counter survive a
+// snapshot/restore cycle, including through the SourceState tagged union.
+func TestReplayerSnapshotRoundTrip(t *testing.T) {
+	g, err := NewGenerator(testParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, "snap", g, 500); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewReplayer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 777; i++ { // wraps once
+		p.Next()
+	}
+	st, err := SnapshotSource(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Instruction
+	for i := 0; i < 300; i++ {
+		want = append(want, p.Next())
+	}
+
+	q, err := NewReplayer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RestoreSource(q, st); err != nil {
+		t.Fatal(err)
+	}
+	if q.Wraps() != 1 {
+		t.Fatalf("restored wrap counter = %d, want 1", q.Wraps())
+	}
+	var got []Instruction
+	for i := 0; i < 300; i++ {
+		got = append(got, q.Next())
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("restored replayer diverges from the original stream")
+	}
+}
+
+// TestRestoreSourceRejectsKindMismatch: generator state cannot restore into a
+// replayer and vice versa.
+func TestRestoreSourceRejectsKindMismatch(t *testing.T) {
+	g, err := NewGenerator(testParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := SnapshotSource(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewReplayerFromInstructions("x", []Instruction{{Kind: IntOp}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RestoreSource(p, st); err == nil {
+		t.Fatal("expected a kind mismatch error")
+	}
+}

@@ -391,7 +391,29 @@ type SweepRequest struct {
 	InstructionsPerCore uint64   `json:"instructions_per_core,omitempty"`
 	IntervalCycles      uint64   `json:"interval_cycles,omitempty"`
 	Seed                int64    `json:"seed,omitempty"`
+	// Checkpoint, when non-nil, turns on checkpointed warmup sharing for the
+	// grid's accuracy and scenario cells. Rows are byte-identical with or
+	// without it; only the sweep's wall-clock changes. Operational note:
+	// checkpoint blobs are memoized in the serving Engine's result cache,
+	// which holds entries for the life of the process — each distinct
+	// (workload, seed, config, warmup, accountant-set) prefix is retained.
+	// A shared deployment that lets untrusted clients vary those fields
+	// freely should run with a disk-backed cache and periodic restarts, or
+	// leave the knob to trusted callers (eviction is a ROADMAP item).
+	Checkpoint *SweepCheckpointRequest `json:"checkpoint,omitempty"`
 }
+
+// SweepCheckpointRequest is the warmup-sharing knob of a sweep request.
+type SweepCheckpointRequest struct {
+	// WarmupIntervals is the shared warmup prefix length in accounting
+	// intervals (1..maxServiceWarmupIntervals).
+	WarmupIntervals int `json:"warmup_intervals"`
+}
+
+// maxServiceWarmupIntervals bounds the warmup prefix one request may demand:
+// the prefix simulation costs warmup_intervals x interval_cycles cycles even
+// when every cell later falls back to a cold run.
+const maxServiceWarmupIntervals = 4096
 
 // SweepResponse is the outcome of a sweep query.
 type SweepResponse struct {
@@ -451,6 +473,13 @@ func (req *SweepRequest) validate() (SweepOptions, error) {
 			return SweepOptions{}, badRequestErr(err)
 		}
 	}
+	if req.Checkpoint != nil {
+		w := req.Checkpoint.WarmupIntervals
+		if w < 1 || w > maxServiceWarmupIntervals {
+			return SweepOptions{}, badRequestf("checkpoint.warmup_intervals = %d out of range (1..%d)", w, maxServiceWarmupIntervals)
+		}
+		opts.WarmupIntervals = w
+	}
 	if len(req.Mixes) > 0 {
 		mixes, err := experiments.ParseMixList(strings.Join(req.Mixes, ","))
 		if err != nil {
@@ -459,15 +488,16 @@ func (req *SweepRequest) validate() (SweepOptions, error) {
 		opts.Mixes = mixes
 	}
 	// Account for the grid defaults SweepOptions fills in (cores {4},
-	// mixes {H, M, L}, PRB sizes {32}) when sizing the request. mixN comes
-	// from the parsed opts.Mixes, not len(req.Mixes): ParseMixList drops
-	// whitespace-only entries, and a request whose mixes all parse away gets
-	// the 3-mix default — counting the raw entries would undersize the grid.
+	// mixes {H, M, L} — only for grids without scenario cells — and PRB
+	// sizes {32}) when sizing the request. mixN comes from the parsed
+	// opts.Mixes, not len(req.Mixes): ParseMixList drops whitespace-only
+	// entries, and a request whose mixes all parse away gets the 3-mix
+	// default — counting the raw entries would undersize the grid.
 	coreN, mixN, prbN := len(req.CoreCounts), len(opts.Mixes), len(req.PRBSizes)
 	if coreN == 0 {
 		coreN = 1
 	}
-	if mixN == 0 {
+	if mixN == 0 && len(req.Scenarios) == 0 {
 		mixN = 3
 	}
 	if prbN == 0 {

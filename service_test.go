@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -191,6 +192,26 @@ func TestSweepEndpoint(t *testing.T) {
 	}
 }
 
+// TestSweepEndpointCheckpointKnob: the checkpoint knob turns on warmup
+// sharing, and — because forked runs are byte-identical to cold runs — the
+// response matches the uncheckpointed one exactly.
+func TestSweepEndpointCheckpointKnob(t *testing.T) {
+	srv := testServer(t)
+	body := `{"core_counts": [2], "mixes": ["H"], "prb_sizes": [16, 32], "techniques": ["GDP-O"],
+		  "workloads": 1, "instructions_per_core": 4000, "interval_cycles": 1000%s}`
+	cold := postJSON(t, srv, "/v1/sweep", fmt.Sprintf(body, ""))
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold status = %d, body = %s", cold.Code, cold.Body.String())
+	}
+	checkpointed := postJSON(t, srv, "/v1/sweep", fmt.Sprintf(body, `, "checkpoint": {"warmup_intervals": 2}`))
+	if checkpointed.Code != http.StatusOK {
+		t.Fatalf("checkpointed status = %d, body = %s", checkpointed.Code, checkpointed.Body.String())
+	}
+	if cold.Body.String() != checkpointed.Body.String() {
+		t.Error("checkpointed sweep response diverges from the cold one")
+	}
+}
+
 func TestSweepEndpointRejectsInvalidNamesAndSizes(t *testing.T) {
 	srv := testServer(t)
 	cases := []string{
@@ -200,6 +221,8 @@ func TestSweepEndpointRejectsInvalidNamesAndSizes(t *testing.T) {
 		`{"instructions_per_core": 999999999999}`,
 		`{"interval_cycles": 3}`,
 		`{"prb_sizes": [0]}`,
+		`{"checkpoint": {"warmup_intervals": 0}}`,
+		`{"checkpoint": {"warmup_intervals": 5000}}`,
 	}
 	for _, body := range cases {
 		rec := postJSON(t, srv, "/v1/sweep", body)
