@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke vet fmt-check bench bench-smoke bench-go bench-sweep clean
+.PHONY: all build test race fuzz-smoke vet fmt-check bench bench-smoke bench-go bench-sweep serve-smoke clean
 
 all: build test vet fmt-check
 
@@ -49,6 +49,11 @@ bench:
 # checkpointed warmup sharing yields less than 1.5x on the tiny sweep fixture.
 bench-smoke:
 	$(GO) run ./cmd/gdpsim bench -quick -out /dev/null -max-allocs 0.5 -min-sweep-speedup 1.5
+
+# serve-smoke boots the real binary, curls /healthz and /metrics and checks
+# the telemetry exposition end to end (see scripts/serve_smoke.sh).
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # bench-go runs the go-test figure/regeneration benchmarks.
 bench-go:

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	gdp "repro"
 	"repro/internal/experiments"
 	"repro/internal/perf"
 )
@@ -34,6 +35,7 @@ func cmdBench(args []string) error {
 	sweepInstructions := fs.Uint64("sweep-instructions", 0, "per-core instruction sample of the sweep fixture (default 20000)")
 	sweepInterval := fs.Uint64("sweep-interval", 0, "accounting interval of the sweep fixture (default 1000)")
 	out := fs.String("out", "", "write the JSON report to this file (default: stdout)")
+	metricsOut := fs.String("metrics-out", "", "also write a JSON snapshot of the harness's metric registry to this file")
 	maxAllocs := fs.Float64("max-allocs", -1, "fail if any scenario allocates more than this per interval (-1 disables)")
 	minSpeedup := fs.Float64("min-speedup", 0, "fail if any scenario's fast/reference speedup is below this (0 disables)")
 	minSweepSpeedup := fs.Float64("min-sweep-speedup", 0, "fail if warmup sharing speeds the sweep fixture up by less than this (0 disables)")
@@ -67,6 +69,12 @@ func cmdBench(args []string) error {
 		for _, s := range strings.Split(*scenarios, ",") {
 			opts.Scenarios = append(opts.Scenarios, strings.TrimSpace(s))
 		}
+	}
+	var reg *gdp.MetricsRegistry
+	if *metricsOut != "" {
+		reg = gdp.NewMetricsRegistry()
+		opts.Registry = reg
+		opts.Instr = gdp.NewInstrumentation(reg)
 	}
 	if *quick {
 		if len(opts.Scenarios) == 0 {
@@ -133,6 +141,12 @@ func cmdBench(args []string) error {
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	if *metricsOut != "" {
+		if err := gdp.WriteJSONFile(*metricsOut, reg.Snapshot()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
 	}
 
 	if *maxAllocs >= 0 {

@@ -32,7 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -73,7 +73,12 @@ func run(ctx context.Context, args []string) error {
 	jobs := fs.Int("jobs", 0, "worker-pool width for simulation cells (0 = all CPUs, 1 = serial)")
 	cacheDir := fs.String("cache-dir", "", "persist private-mode reference simulations in this directory")
 	progress := fs.Bool("progress", false, "report per-cell progress and ETA on stderr")
+	logLevel := fs.String("log-level", "info", "minimum structured log level on stderr (debug, info, warn, error)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := newLogger(*logLevel)
+	if err != nil {
 		return err
 	}
 	rest := fs.Args()
@@ -141,10 +146,20 @@ func run(ctx context.Context, args []string) error {
 	case "trace":
 		return cmdTrace(ctx, engine, rest[1:])
 	case "serve":
-		return cmdServe(ctx, engine, rest[1:])
+		return cmdServe(ctx, engine, logger, rest[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", rest[0])
 	}
+}
+
+// newLogger builds the process logger: text records on stderr, filtered at
+// the given minimum level.
+func newLogger(level string) (*slog.Logger, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q (want debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l})), nil
 }
 
 func cmdTable1(cores int) error {
@@ -403,20 +418,24 @@ func cmdSweep(ctx context.Context, engine *gdp.Engine, args []string) error {
 // ctx is cancelled (SIGINT/SIGTERM), then shuts down gracefully: the
 // listener closes, in-flight requests drain (bounded by -shutdown-timeout)
 // and only then does the command return.
-func cmdServe(ctx context.Context, engine *gdp.Engine, args []string) error {
+func cmdServe(ctx context.Context, engine *gdp.Engine, logger *slog.Logger, args []string) error {
 	fs := flag.NewFlagSet("gdpsim serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	maxConcurrent := fs.Int("max-concurrent", 0, "concurrent estimation/sweep requests (0 = 2x CPUs)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "how long to drain in-flight requests on shutdown")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes process internals; keep off in shared deployments)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("serve: unexpected argument %q", fs.Arg(0))
 	}
-	var srvOpts []gdp.ServerOption
+	srvOpts := []gdp.ServerOption{gdp.WithLogger(logger)}
 	if *maxConcurrent > 0 {
 		srvOpts = append(srvOpts, gdp.WithMaxConcurrent(*maxConcurrent))
+	}
+	if *pprofFlag {
+		srvOpts = append(srvOpts, gdp.WithPprof())
 	}
 	handler, err := gdp.NewServer(engine, srvOpts...)
 	if err != nil {
@@ -426,27 +445,30 @@ func cmdServe(ctx context.Context, engine *gdp.Engine, args []string) error {
 	if err != nil {
 		return err
 	}
-	return serveUntilDone(ctx, ln, handler, *shutdownTimeout, os.Stderr)
+	return serveUntilDone(ctx, ln, handler, *shutdownTimeout, logger)
 }
 
 // serveUntilDone serves handler on ln until ctx is cancelled, then performs a
 // graceful shutdown. Split from cmdServe so tests can drive it with their own
 // listener and context.
-func serveUntilDone(ctx context.Context, ln net.Listener, handler http.Handler, shutdownTimeout time.Duration, logw io.Writer) error {
+func serveUntilDone(ctx context.Context, ln net.Listener, handler http.Handler, shutdownTimeout time.Duration, logger *slog.Logger) error {
 	httpSrv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(logw, "gdpsim: serving on http://%s (POST /v1/estimate, POST /v1/sweep, GET /healthz)\n", ln.Addr())
+	// The serving line is the startup contract: scripts (and the serve-smoke
+	// CI check) parse the addr attribute to find the ephemeral port.
+	logger.Info("serving", "addr", ln.Addr().String(),
+		"endpoints", "POST /v1/estimate, POST /v1/sweep, GET /healthz, GET /metrics")
 
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(logw, "gdpsim: shutting down, draining in-flight requests")
+	logger.Info("shutting down, draining in-flight requests", "timeout", shutdownTimeout)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

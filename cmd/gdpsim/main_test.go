@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -184,7 +185,8 @@ func TestServeEndToEnd(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serveUntilDone(ctx, ln, handler, 10*time.Second, os.Stderr) }()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	go func() { done <- serveUntilDone(ctx, ln, handler, 10*time.Second, logger) }()
 
 	base := "http://" + ln.Addr().String()
 	resp, err := http.Post(base+"/v1/estimate", "application/json",

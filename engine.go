@@ -10,6 +10,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Engine is the long-lived entry point of the library: constructed once, it
@@ -36,6 +37,12 @@ type Engine struct {
 	// functions: it resolves its cache through the process-wide default at
 	// every call, so SetDefaultResultCache keeps affecting legacy callers.
 	processCache bool
+
+	// registry holds every metric family the Engine's layers register; the
+	// service layer exposes it as /metrics. instr is the per-layer
+	// instrumentation bundle threaded into studies and simulations.
+	registry *telemetry.Registry
+	instr    *experiments.Instrumentation
 }
 
 // EngineOption configures an Engine at construction time.
@@ -116,7 +123,35 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 	if e.cache == nil {
 		e.cache = runner.NewCache()
 	}
+	e.initTelemetry()
 	return e, nil
+}
+
+// initTelemetry builds the Engine's metric registry and instrumentation
+// bundle. Cache metrics read through Cache() at scrape time, so they follow
+// the process-wide default cache on the legacy Engine.
+func (e *Engine) initTelemetry() {
+	e.registry = telemetry.NewRegistry()
+	e.instr = experiments.NewInstrumentation(e.registry)
+	runner.RegisterCacheMetrics(e.registry, func() runner.CacheStats {
+		return e.Cache().DetailedStats()
+	})
+}
+
+// MetricsRegistry returns the Engine's telemetry registry: the backing store
+// of the service layer's /metrics endpoint and of `gdpsim bench
+// -metrics-out` snapshots.
+func (e *Engine) MetricsRegistry() *telemetry.Registry {
+	return e.registry
+}
+
+// simMetrics returns the Engine's simulation counters (nil when the Engine
+// was built without constructors, e.g. a zero value in tests).
+func (e *Engine) simMetrics() *sim.Metrics {
+	if e.instr == nil {
+		return nil
+	}
+	return e.instr.Sim
 }
 
 // Cache returns the Engine's result cache.
@@ -140,12 +175,15 @@ func (e *Engine) Scale() StudyScale {
 	if s.Progress == nil {
 		s.Progress = e.progress
 	}
+	if s.Instr == nil {
+		s.Instr = e.instr
+	}
 	return s
 }
 
 // fillScale resolves a per-call scale against the Engine defaults: a zero
-// scale selects the Engine's, and unset Jobs/Cache/Progress inherit the
-// Engine's.
+// scale selects the Engine's, and unset Jobs/Cache/Progress/Instr inherit
+// the Engine's.
 func (e *Engine) fillScale(s StudyScale) StudyScale {
 	if s.WorkloadsPerCell == 0 && s.InstructionsPerCore == 0 && len(s.CoreCounts) == 0 {
 		return e.Scale()
@@ -159,6 +197,9 @@ func (e *Engine) fillScale(s StudyScale) StudyScale {
 	if s.Progress == nil {
 		s.Progress = e.progress
 	}
+	if s.Instr == nil {
+		s.Instr = e.instr
+	}
 	return s
 }
 
@@ -166,6 +207,9 @@ func (e *Engine) fillScale(s StudyScale) StudyScale {
 // interval boundary: an already-expired context returns its error without
 // completing a single interval.
 func (e *Engine) Run(ctx context.Context, opts SimOptions) (*SimResult, error) {
+	if opts.Metrics == nil {
+		opts.Metrics = e.simMetrics()
+	}
 	return sim.RunContext(ctx, opts)
 }
 
@@ -210,6 +254,9 @@ func (e *Engine) Stream(ctx context.Context, opts SimOptions) (iter.Seq2[Interva
 		consumed = true
 		simOpts := opts
 		simOpts.DiscardIntervals = true
+		if simOpts.Metrics == nil {
+			simOpts.Metrics = e.simMetrics()
+		}
 		stopped := false
 		simOpts.OnInterval = func(rec sim.IntervalRecord) error {
 			if !yield(rec, nil) {
@@ -234,6 +281,9 @@ func (e *Engine) Stream(ctx context.Context, opts SimOptions) (iter.Seq2[Interva
 // snapshot. The checkpoint is serializable and content-addressable: it can
 // be stored in the Engine's result cache and seed any number of forks.
 func (e *Engine) Checkpoint(ctx context.Context, opts SimOptions, warmupCycles uint64) (*Checkpoint, error) {
+	if opts.Metrics == nil {
+		opts.Metrics = e.simMetrics()
+	}
 	return sim.RunToCheckpoint(ctx, opts, warmupCycles)
 }
 
@@ -242,6 +292,9 @@ func (e *Engine) Checkpoint(ctx context.Context, opts SimOptions, warmupCycles u
 // Engine.Run of the same options; a checkpoint that cannot seed these
 // options fails with an error wrapping ErrCheckpointMismatch.
 func (e *Engine) RunFromCheckpoint(ctx context.Context, opts SimOptions, cp *Checkpoint) (*SimResult, error) {
+	if opts.Metrics == nil {
+		opts.Metrics = e.simMetrics()
+	}
 	return sim.RunFromCheckpoint(ctx, opts, cp)
 }
 
@@ -249,7 +302,7 @@ func (e *Engine) RunFromCheckpoint(ctx context.Context, opts SimOptions, cp *Che
 // (Figures 3-5). Unset Jobs/Cache/Progress options inherit the Engine's, as
 // does the checkpointed warmup-sharing default (WithCheckpoints).
 func (e *Engine) AccuracyStudy(ctx context.Context, opts AccuracyOptions) (*AccuracyResult, error) {
-	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress)
+	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress, &opts.Instr)
 	if opts.Checkpoint.WarmupIntervals == 0 {
 		opts.Checkpoint.WarmupIntervals = e.warmupIntervals
 	}
@@ -259,14 +312,14 @@ func (e *Engine) AccuracyStudy(ctx context.Context, opts AccuracyOptions) (*Accu
 // AccuracyStudyForWorkload runs the accuracy study over one explicit
 // workload.
 func (e *Engine) AccuracyStudyForWorkload(ctx context.Context, wl Workload, opts AccuracyOptions) (*AccuracyResult, error) {
-	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress)
+	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress, &opts.Instr)
 	return experiments.AccuracyStudyForWorkloadContext(ctx, wl, opts)
 }
 
 // PartitioningStudy runs one cell of the LLC-partitioning evaluation
 // (Figure 6). Unset Jobs/Cache/Progress options inherit the Engine's.
 func (e *Engine) PartitioningStudy(ctx context.Context, opts PartitioningOptions) (*PartitioningResult, error) {
-	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress)
+	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress, &opts.Instr)
 	return experiments.PartitioningStudyContext(ctx, opts)
 }
 
@@ -274,7 +327,7 @@ func (e *Engine) PartitioningStudy(ctx context.Context, opts PartitioningOptions
 // Unset Jobs/Cache/Progress options inherit the Engine's, as does the
 // checkpointed warmup-sharing default (WithCheckpoints).
 func (e *Engine) Sweep(ctx context.Context, opts SweepOptions) (*SweepResult, error) {
-	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress)
+	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress, &opts.Instr)
 	if opts.WarmupIntervals == 0 {
 		opts.WarmupIntervals = e.warmupIntervals
 	}
@@ -293,9 +346,9 @@ func (e *Engine) Figure7(ctx context.Context, opts SensitivityOptions) ([]*Sensi
 	return experiments.Figure7Context(ctx, opts)
 }
 
-// fillStudy applies the Engine defaults to a study's Jobs/Cache/Progress
-// option fields when the caller left them unset.
-func (e *Engine) fillStudy(jobs *int, cache **ResultCache, progress *ProgressFunc) {
+// fillStudy applies the Engine defaults to a study's Jobs/Cache/Progress/
+// Instr option fields when the caller left them unset.
+func (e *Engine) fillStudy(jobs *int, cache **ResultCache, progress *ProgressFunc, instr **experiments.Instrumentation) {
 	if *jobs == 0 {
 		*jobs = e.jobs
 	}
@@ -304,6 +357,9 @@ func (e *Engine) fillStudy(jobs *int, cache **ResultCache, progress *ProgressFun
 	}
 	if *progress == nil {
 		*progress = e.progress
+	}
+	if *instr == nil {
+		*instr = e.instr
 	}
 }
 
@@ -321,6 +377,7 @@ var (
 func DefaultEngine() *Engine {
 	defaultEngineOnce.Do(func() {
 		defaultEngine = &Engine{scale: experiments.DefaultScale(), processCache: true}
+		defaultEngine.initTelemetry()
 	})
 	return defaultEngine
 }

@@ -50,6 +50,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -290,6 +291,32 @@ type (
 	// ResultTable is a rectangular result set ready for CSV export.
 	ResultTable = runner.Table
 )
+
+// Telemetry types.
+type (
+	// MetricsRegistry holds labeled metric families (counters, gauges,
+	// histograms) and encodes them in the Prometheus text format; Server
+	// exposes an Engine's registry as GET /metrics.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is one metric family in a JSON-ready point-in-time
+	// copy of a registry (see MetricsRegistry.Snapshot).
+	MetricsSnapshot = telemetry.FamilySnapshot
+	// Instrumentation bundles the per-layer telemetry sinks a study threads
+	// through the runner pool, the checkpoint layer and the simulator.
+	Instrumentation = experiments.Instrumentation
+	// CacheStats is the per-layer breakdown of result-cache activity.
+	CacheStats = runner.CacheStats
+)
+
+// NewMetricsRegistry returns an empty telemetry registry for standalone use;
+// Engines built by NewEngine already own one (Engine.MetricsRegistry).
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewInstrumentation registers the full experiment-layer metric set
+// (runner pool, checkpoint layer, simulation counters) on r.
+func NewInstrumentation(r *MetricsRegistry) *Instrumentation {
+	return experiments.NewInstrumentation(r)
+}
 
 // NewResultCache returns an in-memory result cache.
 func NewResultCache() *ResultCache { return runner.NewCache() }

@@ -110,6 +110,10 @@ type AccuracyOptions struct {
 	// (memoized in Cache) and every cell forks from the snapshot. Results
 	// are byte-identical with or without it.
 	Checkpoint CheckpointOptions
+	// Instr, when non-nil, attaches telemetry to the study: pool metrics on
+	// the worker pool, run counters on every simulation, and fork/fallback
+	// counters on the checkpoint layer. Purely observational.
+	Instr *Instrumentation
 }
 
 // withDefaults fills unset options.
@@ -485,6 +489,7 @@ func accuracyStudyOver(ctx context.Context, workloads []workload.Workload, opts 
 	partials, err := runner.Run(ctx, accuracyJobs(workloads, opts), runner.Options{
 		Workers:  opts.Jobs,
 		Progress: opts.Progress,
+		Metrics:  opts.Instr.pool(),
 	})
 	if err != nil {
 		return nil, err

@@ -123,6 +123,7 @@ func buildPrefixTransparent(opts AccuracyOptions) ([]accounting.Accountant, erro
 func runSharedCheckpointed(ctx context.Context, opts AccuracyOptions, wl workload.Workload, simSeed int64,
 	cellAccts []accounting.Accountant, prefixBuild func() ([]accounting.Accountant, error)) (*sim.Result, error) {
 
+	cpMetrics := opts.Instr.checkpoint()
 	simOpts := sim.Options{
 		Config:              opts.Config,
 		Workload:            wl,
@@ -130,6 +131,7 @@ func runSharedCheckpointed(ctx context.Context, opts AccuracyOptions, wl workloa
 		IntervalCycles:      opts.IntervalCycles,
 		Seed:                simSeed,
 		Accountants:         cellAccts,
+		Metrics:             opts.Instr.simMetrics(),
 	}
 	if !opts.Checkpoint.enabled() {
 		return sim.RunContext(ctx, simOpts)
@@ -145,6 +147,7 @@ func runSharedCheckpointed(ctx context.Context, opts AccuracyOptions, wl workloa
 		s, ok := acct.(accounting.Snapshotter)
 		if !ok {
 			// Non-checkpointable accountant in play: run cold.
+			cpMetrics.coldFallback()
 			return sim.RunContext(ctx, simOpts)
 		}
 		keys = append(keys, s.CheckpointKey())
@@ -161,6 +164,7 @@ func runSharedCheckpointed(ctx context.Context, opts AccuracyOptions, wl workloa
 		Keys:           keys,
 	}
 	cp, _, err := runner.MemoContext(ctx, opts.Cache, spec, func() (*sim.Checkpoint, error) {
+		cpMetrics.prefixRun()
 		prefixOpts := simOpts
 		prefixOpts.Accountants = prefixAccts
 		prefixOpts.InstructionsPerCore = prefixInstructionBudget
@@ -169,6 +173,7 @@ func runSharedCheckpointed(ctx context.Context, opts AccuracyOptions, wl workloa
 	})
 	if err != nil {
 		if errors.Is(err, sim.ErrWarmupTooLong) {
+			cpMetrics.coldFallback()
 			return sim.RunContext(ctx, simOpts)
 		}
 		return nil, err
@@ -177,7 +182,11 @@ func runSharedCheckpointed(ctx context.Context, opts AccuracyOptions, wl workloa
 	if errors.Is(err, sim.ErrCheckpointMismatch) {
 		// This cell cannot use the shared prefix (typically: its instruction
 		// sample ends inside the warmup). Its siblings still can.
+		cpMetrics.coldFallback()
 		return sim.RunContext(ctx, simOpts)
+	}
+	if err == nil {
+		cpMetrics.fork()
 	}
 	return res, err
 }

@@ -32,6 +32,9 @@ type StudyScale struct {
 	// Progress, when non-nil, receives one runner event per completed
 	// simulation job.
 	Progress runner.ProgressFunc
+	// Instr, when non-nil, attaches telemetry to every driver that accepts
+	// this scale. Purely observational.
+	Instr *Instrumentation
 }
 
 // DefaultScale returns the quick-run scale used by tests and benchmarks.
@@ -98,6 +101,7 @@ func Figure3Context(ctx context.Context, scale StudyScale) (*Figure3Result, erro
 				Jobs:                scale.Jobs,
 				Cache:               scale.Cache,
 				Progress:            scale.Progress,
+				Instr:               scale.Instr,
 			})
 			if err != nil {
 				return nil, err

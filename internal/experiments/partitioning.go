@@ -39,6 +39,9 @@ type PartitioningOptions struct {
 	Cache *runner.Cache
 	// Progress, when non-nil, receives one event per completed job.
 	Progress runner.ProgressFunc
+	// Instr, when non-nil, attaches telemetry (pool metrics, simulation run
+	// counters) to the study. Purely observational.
+	Instr *Instrumentation
 }
 
 func (o PartitioningOptions) withDefaults() PartitioningOptions {
@@ -169,6 +172,7 @@ func PartitioningStudyContext(ctx context.Context, opts PartitioningOptions) (*P
 	stps, err := runner.Run(ctx, jobs, runner.Options{
 		Workers:  opts.Jobs,
 		Progress: opts.Progress,
+		Metrics:  opts.Instr.pool(),
 	})
 	if err != nil {
 		return nil, err
@@ -216,6 +220,7 @@ func runPolicyCell(ctx context.Context, opts PartitioningOptions, wl workload.Wo
 		Accountants:         accts,
 		Partitioner:         pol,
 		PartitionSource:     source,
+		Metrics:             opts.Instr.simMetrics(),
 	})
 	if err != nil {
 		return 0, err

@@ -46,6 +46,9 @@ type SweepOptions struct {
 	Cache *runner.Cache
 	// Progress, when non-nil, receives one event per completed grid cell.
 	Progress runner.ProgressFunc
+	// Instr, when non-nil, attaches telemetry to the sweep and is forwarded
+	// into every cell's inner study. Purely observational.
+	Instr *Instrumentation
 
 	// WarmupIntervals, when positive, turns on checkpointed warmup sharing:
 	// every accuracy and scenario cell simulates its first WarmupIntervals
@@ -193,9 +196,14 @@ func SweepContext(ctx context.Context, opts SweepOptions) (*SweepResult, error) 
 		}
 	}
 
+	// Cache is the whole-cell memoization layer cellSpec exists for: repeated
+	// sweeps (and overlapping grids) recall finished cells instead of
+	// re-simulating them.
 	rowGroups, err := runner.Run(ctx, jobs, runner.Options{
 		Workers:  opts.Jobs,
+		Cache:    opts.Cache,
 		Progress: opts.Progress,
+		Metrics:  opts.Instr.pool(),
 	})
 	if err != nil {
 		return nil, err
@@ -284,6 +292,7 @@ func runSweepCell(ctx context.Context, cell sweepCell, seed int64, opts SweepOpt
 			Jobs:                1,
 			Cache:               opts.Cache,
 			Checkpoint:          sweepCheckpoint(opts),
+			Instr:               opts.Instr,
 		})
 		if err != nil {
 			return nil, err
@@ -310,6 +319,7 @@ func runSweepCell(ctx context.Context, cell sweepCell, seed int64, opts SweepOpt
 			Policies:            opts.Policies,
 			Jobs:                1,
 			Cache:               opts.Cache,
+			Instr:               opts.Instr,
 		})
 		if err != nil {
 			return nil, err
@@ -341,6 +351,7 @@ func runSweepCell(ctx context.Context, cell sweepCell, seed int64, opts SweepOpt
 			Jobs:                1,
 			Cache:               opts.Cache,
 			Checkpoint:          sweepCheckpoint(opts),
+			Instr:               opts.Instr,
 		})
 		if err != nil {
 			return nil, err

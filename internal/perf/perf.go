@@ -23,8 +23,10 @@ import (
 	"repro/internal/accounting"
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/experiments"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -72,6 +74,15 @@ type Options struct {
 	// prefix exists to share).
 	SweepInstructions   uint64
 	SweepIntervalCycles uint64
+	// Registry, when non-nil, receives the harness's telemetry (the sweep
+	// fixture's cache statistics register here). `gdpsim bench -metrics-out`
+	// dumps its snapshot next to the report.
+	Registry *telemetry.Registry
+	// Instr, when non-nil, attaches worker-pool, simulation and checkpoint
+	// instrumentation to every harness run. Purely observational: the
+	// counters are batched at interval boundaries, so the timed runs stay
+	// allocation-free.
+	Instr *experiments.Instrumentation
 }
 
 func (o *Options) setDefaults() {
@@ -188,7 +199,7 @@ func simOptions(name string, o Options, reference bool, extra ...accounting.Acco
 	if err != nil {
 		return sim.Options{}, err
 	}
-	return sim.Options{
+	opts := sim.Options{
 		Config:              config.ScaledConfig(o.Cores),
 		Workload:            wl,
 		InstructionsPerCore: o.Instructions,
@@ -197,7 +208,11 @@ func simOptions(name string, o Options, reference bool, extra ...accounting.Acco
 		Accountants:         append([]accounting.Accountant{gdpo}, extra...),
 		DiscardIntervals:    true,
 		Reference:           reference,
-	}, nil
+	}
+	if o.Instr != nil {
+		opts.Metrics = o.Instr.Sim
+	}
+	return opts, nil
 }
 
 // timeRun executes one simulation and returns its wall time and cycle count.
@@ -294,6 +309,12 @@ func steadyAllocsPerInterval(name string, o Options) (float64, error) {
 	}
 	return perInterval, nil
 }
+
+// GitRevision returns the VCS revision stamped into the binary by the Go
+// toolchain (empty when the build carries no VCS metadata, e.g. `go test`).
+// The service layer's healthz payload reports the same value, so probes and
+// benchmark reports agree on build identity.
+func GitRevision() string { return gitRevision() }
 
 // gitRevision returns the VCS revision stamped into the binary by the Go
 // toolchain (empty when the build carries no VCS metadata, e.g. `go test`).

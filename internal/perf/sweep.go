@@ -31,7 +31,7 @@ const (
 // buffers would measure probe arithmetic, not warmup sharing. ASM is
 // excluded: it is invasive, so its cells would neither share with the
 // transparent ones nor benefit differently, only blur the measurement.
-func sweepFixture(o Options, warmupIntervals int) experiments.SweepOptions {
+func sweepFixture(o Options, warmupIntervals int, cache *runner.Cache) experiments.SweepOptions {
 	return experiments.SweepOptions{
 		CoreCounts:          []int{sweepFixtureCores},
 		Scenarios:           []string{sweepFixtureScenario},
@@ -42,8 +42,9 @@ func sweepFixture(o Options, warmupIntervals int) experiments.SweepOptions {
 		IntervalCycles:      o.SweepIntervalCycles,
 		Seed:                o.Seed,
 		Jobs:                o.Jobs,
-		Cache:               runner.NewCache(), // fresh per sweep: no cross-run recall
+		Cache:               cache,
 		WarmupIntervals:     warmupIntervals,
+		Instr:               o.Instr,
 	}
 }
 
@@ -67,14 +68,18 @@ func calibrateWarmup(o Options) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := sim.Run(sim.Options{
+	simOpts := sim.Options{
 		Config:              config.ScaledConfig(sweepFixtureCores),
 		Workload:            wl,
 		InstructionsPerCore: o.SweepInstructions,
 		IntervalCycles:      o.SweepIntervalCycles,
 		Seed:                experiments.ScenarioSweepSeed(o.Seed, sweepFixtureCores, sweepFixtureScenario),
 		Accountants:         []accounting.Accountant{gdpo},
-	})
+	}
+	if o.Instr != nil {
+		simOpts.Metrics = o.Instr.Sim
+	}
+	res, err := sim.Run(simOpts)
 	if err != nil {
 		return 0, err
 	}
@@ -107,15 +112,31 @@ func runSweepBench(o Options) (*SweepBenchResult, error) {
 	}
 	ctx := context.Background()
 
+	// Fresh caches per sweep (no cross-run recall), created up front so the
+	// registry's cache series cover both the cold and checkpointed passes.
+	coldCache, chkCache := runner.NewCache(), runner.NewCache()
+	if o.Registry != nil {
+		runner.RegisterCacheMetrics(o.Registry, func() runner.CacheStats {
+			a, b := coldCache.DetailedStats(), chkCache.DetailedStats()
+			return runner.CacheStats{
+				MemoryHits:       a.MemoryHits + b.MemoryHits,
+				DiskHits:         a.DiskHits + b.DiskHits,
+				Misses:           a.Misses + b.Misses,
+				InflightJoins:    a.InflightJoins + b.InflightJoins,
+				DiskBytesWritten: a.DiskBytesWritten + b.DiskBytesWritten,
+			}
+		})
+	}
+
 	coldStart := time.Now()
-	cold, err := experiments.SweepContext(ctx, sweepFixture(o, 0))
+	cold, err := experiments.SweepContext(ctx, sweepFixture(o, 0, coldCache))
 	if err != nil {
 		return nil, err
 	}
 	coldNanos := time.Since(coldStart).Nanoseconds()
 
 	chkStart := time.Now()
-	checkpointed, err := experiments.SweepContext(ctx, sweepFixture(o, warmup))
+	checkpointed, err := experiments.SweepContext(ctx, sweepFixture(o, warmup, chkCache))
 	if err != nil {
 		return nil, err
 	}

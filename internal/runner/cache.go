@@ -34,8 +34,11 @@ type Cache struct {
 	inflight map[string]*inflightCall
 	dir      string // empty = memory only
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	memHits       atomic.Int64
+	diskHits      atomic.Int64
+	misses        atomic.Int64
+	inflightJoins atomic.Int64
+	diskBytes     atomic.Int64
 }
 
 type inflightCall struct {
@@ -60,9 +63,40 @@ func NewDiskCache(dir string) (*Cache, error) {
 	return c, nil
 }
 
-// Stats reports the cache's hit and miss counters.
+// Stats reports the cache's aggregate hit and miss counters. Hits sum every
+// layer that avoided a recomputation: memory lookups, disk loads, and joins
+// onto another caller's in-flight computation. Use DetailedStats for the
+// per-layer split.
 func (c *Cache) Stats() (hits, misses int64) {
-	return c.hits.Load(), c.misses.Load()
+	s := c.DetailedStats()
+	return s.MemoryHits + s.DiskHits + s.InflightJoins, s.Misses
+}
+
+// CacheStats is the per-layer breakdown of cache activity, JSON-ready for
+// healthz payloads and metrics snapshots.
+type CacheStats struct {
+	// MemoryHits counts lookups satisfied by the in-process map.
+	MemoryHits int64 `json:"memory_hits"`
+	// DiskHits counts lookups satisfied by the sharded on-disk layer.
+	DiskHits int64 `json:"disk_hits"`
+	// Misses counts lookups that ran the computation.
+	Misses int64 `json:"misses"`
+	// InflightJoins counts lookups that blocked on and shared another
+	// caller's concurrent computation of the same key.
+	InflightJoins int64 `json:"inflight_joins"`
+	// DiskBytesWritten counts JSON bytes persisted to the disk layer.
+	DiskBytesWritten int64 `json:"disk_bytes_written"`
+}
+
+// DetailedStats reports the cache's counters split by layer.
+func (c *Cache) DetailedStats() CacheStats {
+	return CacheStats{
+		MemoryHits:       c.memHits.Load(),
+		DiskHits:         c.diskHits.Load(),
+		Misses:           c.misses.Load(),
+		InflightJoins:    c.inflightJoins.Load(),
+		DiskBytesWritten: c.diskBytes.Load(),
+	}
 }
 
 // SpecKey returns the content hash of a job spec: the hex SHA-256 of its
@@ -131,7 +165,7 @@ func memoKeyed[T any](ctx context.Context, c *Cache, key string, fn func() (T, e
 			if !ok {
 				return zero, false, fmt.Errorf("runner: cache entry %s holds %T, want %T", key[:12], v, zero)
 			}
-			c.hits.Add(1)
+			c.memHits.Add(1)
 			return typed, true, nil
 		}
 		waiting, ok := c.inflight[key]
@@ -158,7 +192,7 @@ func memoKeyed[T any](ctx context.Context, c *Cache, key string, fn func() (T, e
 		if !ok {
 			return zero, false, fmt.Errorf("runner: cache entry %s holds %T, want %T", key[:12], waiting.val, zero)
 		}
-		c.hits.Add(1)
+		c.inflightJoins.Add(1)
 		return typed, true, nil
 	}
 	call = &inflightCall{done: make(chan struct{})}
@@ -178,7 +212,7 @@ func memoKeyed[T any](ctx context.Context, c *Cache, key string, fn func() (T, e
 		return zero, false, err
 	}
 	if fromDisk {
-		c.hits.Add(1)
+		c.diskHits.Add(1)
 	} else {
 		c.misses.Add(1)
 	}
@@ -260,6 +294,8 @@ func (c *Cache) writeDisk(key string, raw []byte) {
 	}
 	tmp := p + ".tmp"
 	if err := os.WriteFile(tmp, raw, 0o644); err == nil {
-		_ = os.Rename(tmp, p)
+		if os.Rename(tmp, p) == nil {
+			c.diskBytes.Add(int64(len(raw)))
+		}
 	}
 }

@@ -53,6 +53,9 @@ type Options struct {
 	Cache *Cache
 	// Progress, when non-nil, receives one event per completed job.
 	Progress ProgressFunc
+	// Metrics, when non-nil, instruments the pool (queue depth, busy
+	// workers, per-job wall-clock).
+	Metrics *PoolMetrics
 }
 
 // workers resolves the effective pool width for n jobs.
@@ -138,11 +141,17 @@ func Run[T any](ctx context.Context, jobs []Job[T], opts Options) ([]T, error) {
 	ran := make([]bool, len(jobs))
 
 	idxCh := make(chan int)
+	opts.Metrics.enqueued(len(jobs))
 	go func() {
 		defer close(idxCh)
+		sent := 0
+		// Jobs never handed to a worker must leave the queue-depth gauge
+		// balanced when the feeder exits on cancellation.
+		defer func() { opts.Metrics.drained(len(jobs) - sent) }()
 		for i := range jobs {
 			select {
 			case idxCh <- i:
+				sent++
 			case <-ctx.Done():
 				return
 			}
@@ -179,9 +188,13 @@ func Run[T any](ctx context.Context, jobs []Job[T], opts Options) ([]T, error) {
 			defer wg.Done()
 			for i := range idxCh {
 				if ctx.Err() != nil {
+					opts.Metrics.drained(1)
 					return
 				}
+				opts.Metrics.jobStarted()
+				jobStart := time.Now()
 				res, hit, err := runOne(ctx, jobs[i], keys[i], opts.Cache)
+				opts.Metrics.jobFinished(time.Since(jobStart), hit, err)
 				results[i], errs[i], ran[i] = res, err, true
 				if err != nil {
 					cancel() // stop scheduling further jobs

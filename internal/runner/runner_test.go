@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // sleepJobs builds jobs whose execution time is inversely related to their
@@ -418,5 +420,117 @@ func TestMemoContextWaiterSurvivesOwnersCancellation(t *testing.T) {
 	}
 	if err != nil || v != 42 {
 		t.Fatalf("waiter got (%d, %v), want (42, nil): owner's cancellation leaked", v, err)
+	}
+}
+
+// TestDetailedStatsSplitsLayers drives a disk-backed cache through a miss, a
+// memory hit, and (via a fresh instance over the same directory) a disk hit,
+// checking each lands in its own counter and that Stats() stays the sum.
+func TestDetailedStatsSplitsLayers(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := map[string]int{"n": 1}
+	fn := func() (int, error) { return 7, nil }
+
+	if _, hit, err := Memo(c1, spec, fn); err != nil || hit {
+		t.Fatalf("first call: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := Memo(c1, spec, fn); err != nil || !hit {
+		t.Fatalf("second call: hit=%v err=%v", hit, err)
+	}
+	s := c1.DetailedStats()
+	if s.Misses != 1 || s.MemoryHits != 1 || s.DiskHits != 0 {
+		t.Fatalf("c1 stats = %+v", s)
+	}
+	if s.DiskBytesWritten <= 0 {
+		t.Fatalf("disk bytes written = %d, want > 0", s.DiskBytesWritten)
+	}
+
+	c2, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := Memo(c2, spec, fn); err != nil || !hit {
+		t.Fatalf("disk-layer call: hit=%v err=%v", hit, err)
+	}
+	s2 := c2.DetailedStats()
+	if s2.DiskHits != 1 || s2.MemoryHits != 0 || s2.Misses != 0 {
+		t.Fatalf("c2 stats = %+v", s2)
+	}
+	hits, misses := c2.Stats()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("c2 aggregate = %d/%d, want 1/0", hits, misses)
+	}
+}
+
+// TestInflightJoinCountsAsJoin verifies a concurrent duplicate lookup lands
+// in the inflight-join counter rather than the memory-hit counter.
+func TestInflightJoinCountsAsJoin(t *testing.T) {
+	c := NewCache()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	spec := "dup"
+	go func() {
+		_, _, _ = Memo(c, spec, func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	joined := make(chan struct{})
+	go func() {
+		defer close(joined)
+		if _, hit, err := Memo(c, spec, func() (int, error) { return 1, nil }); err != nil || !hit {
+			t.Errorf("joiner: hit=%v err=%v", hit, err)
+		}
+	}()
+	// Give the joiner time to block on the in-flight call before releasing.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	<-joined
+	s := c.DetailedStats()
+	if s.InflightJoins != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 join and 1 miss", s)
+	}
+}
+
+// TestPoolMetricsBalance runs a pool with metrics attached and checks the
+// gauges return to zero and the outcome counters add up.
+func TestPoolMetricsBalance(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	pm := NewPoolMetrics(reg)
+	cache := NewCache()
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Label: fmt.Sprintf("m-%d", i),
+			Spec:  i % 4, // indices 4..7 repeat specs 0..3
+			Fn:    func(ctx context.Context) (int, error) { return i, nil },
+		}
+	}
+	if _, err := Run(context.Background(), jobs, Options{Workers: 2, Cache: cache, Metrics: pm}); err != nil {
+		t.Fatal(err)
+	}
+	if d := pm.QueueDepth.Value(); d != 0 {
+		t.Errorf("queue depth after run = %d, want 0", d)
+	}
+	if b := pm.BusyWorkers.Value(); b != 0 {
+		t.Errorf("busy workers after run = %d, want 0", b)
+	}
+	ok := pm.JobsTotal.With("ok").Value()
+	cached := pm.JobsTotal.With("cached").Value()
+	if ok+cached != 8 {
+		t.Errorf("outcomes ok=%d cached=%d, want sum 8", ok, cached)
+	}
+	if cached == 0 {
+		t.Errorf("expected some cached outcomes with repeated specs")
+	}
+	if pm.JobSeconds.Count() != 8 {
+		t.Errorf("job histogram count = %d, want 8", pm.JobSeconds.Count())
 	}
 }

@@ -1,0 +1,99 @@
+package runner
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// PoolMetrics instruments the worker pool: queue depth, worker occupancy and
+// per-job wall-clock. A nil *PoolMetrics disables instrumentation at the
+// cost of one branch per event, so Run never needs to special-case it.
+type PoolMetrics struct {
+	// QueueDepth is the number of submitted jobs not yet picked up by a
+	// worker, summed over all concurrent Run calls sharing the metrics.
+	QueueDepth *telemetry.Gauge
+	// BusyWorkers is the number of workers currently executing a job. The
+	// ratio of the job-seconds histogram sum to wall-clock time gives mean
+	// utilization.
+	BusyWorkers *telemetry.Gauge
+	// JobsTotal counts completed jobs by outcome ("ok", "cached", "error").
+	JobsTotal *telemetry.CounterVec
+	// JobSeconds observes each job's wall-clock duration.
+	JobSeconds *telemetry.Histogram
+}
+
+// NewPoolMetrics registers the runner's metric families on r.
+func NewPoolMetrics(r *telemetry.Registry) *PoolMetrics {
+	return &PoolMetrics{
+		QueueDepth: r.Gauge("gdpsim_runner_queue_depth_jobs",
+			"Submitted jobs waiting for a worker."),
+		BusyWorkers: r.Gauge("gdpsim_runner_busy_workers",
+			"Workers currently executing a job."),
+		JobsTotal: r.CounterVec("gdpsim_runner_jobs_total",
+			"Completed jobs by outcome.", "outcome"),
+		JobSeconds: r.Histogram("gdpsim_runner_job_seconds",
+			"Per-job wall-clock duration in seconds.", nil),
+	}
+}
+
+// jobStarted moves one job from the queue to a worker.
+func (m *PoolMetrics) jobStarted() {
+	if m == nil {
+		return
+	}
+	m.QueueDepth.Dec()
+	m.BusyWorkers.Inc()
+}
+
+// jobFinished records a completed (or failed) job.
+func (m *PoolMetrics) jobFinished(d time.Duration, hit bool, err error) {
+	if m == nil {
+		return
+	}
+	m.BusyWorkers.Dec()
+	m.JobSeconds.Observe(d.Seconds())
+	switch {
+	case err != nil:
+		m.JobsTotal.With("error").Inc()
+	case hit:
+		m.JobsTotal.With("cached").Inc()
+	default:
+		m.JobsTotal.With("ok").Inc()
+	}
+}
+
+// enqueued/drained adjust the queue-depth gauge at submission and when the
+// feeder exits without having handed every job to a worker (cancellation).
+func (m *PoolMetrics) enqueued(n int) {
+	if m == nil {
+		return
+	}
+	m.QueueDepth.Add(int64(n))
+}
+
+func (m *PoolMetrics) drained(n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.QueueDepth.Add(-int64(n))
+}
+
+// RegisterCacheMetrics exposes a cache's per-layer counters on r as
+// function-backed series, read live at scrape time. stats is typically
+// Cache.DetailedStats on one cache, or a closure summing several.
+func RegisterCacheMetrics(r *telemetry.Registry, stats func() CacheStats) {
+	hits := r.CounterVec("gdpsim_cache_hits_total",
+		"Cache lookups that avoided a recomputation, by layer.", "layer")
+	hits.WithFunc(func() uint64 { return uint64(stats().MemoryHits) }, "memory")
+	hits.WithFunc(func() uint64 { return uint64(stats().DiskHits) }, "disk")
+	r.CounterFunc("gdpsim_cache_misses_total",
+		"Cache lookups that ran the computation.",
+		func() uint64 { return uint64(stats().Misses) })
+	r.CounterFunc("gdpsim_cache_inflight_joins_total",
+		"Cache lookups that joined another caller's in-flight computation.",
+		func() uint64 { return uint64(stats().InflightJoins) })
+	r.CounterFunc("gdpsim_cache_disk_bytes_written_total",
+		"Bytes persisted to the on-disk cache layer.",
+		func() uint64 { return uint64(stats().DiskBytesWritten) })
+}

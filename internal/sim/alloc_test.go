@@ -5,13 +5,14 @@ import (
 
 	"repro/internal/accounting"
 	"repro/internal/config"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
 // allocRunOptions builds a fixed-cycle-budget run: InstructionsPerCore is set
 // far above what the budget allows, so the run always executes exactly
 // MaxCycles cycles and the interval count is maxCycles/IntervalCycles.
-func allocRunOptions(t *testing.T, maxCycles uint64, withAccountant bool) Options {
+func allocRunOptions(t *testing.T, maxCycles uint64, withAccountant bool, metrics *Metrics) Options {
 	t.Helper()
 	sc, err := workload.ScenarioByName("streaming")
 	if err != nil {
@@ -29,6 +30,7 @@ func allocRunOptions(t *testing.T, maxCycles uint64, withAccountant bool) Option
 		Seed:                3,
 		MaxCycles:           maxCycles,
 		DiscardIntervals:    true,
+		Metrics:             metrics,
 	}
 	if withAccountant {
 		gdpo, err := accounting.NewGDP(2, 32, true)
@@ -41,10 +43,10 @@ func allocRunOptions(t *testing.T, maxCycles uint64, withAccountant bool) Option
 }
 
 // measureRunAllocs returns the average allocation count of a full Run.
-func measureRunAllocs(t *testing.T, maxCycles uint64, withAccountant bool) float64 {
+func measureRunAllocs(t *testing.T, maxCycles uint64, withAccountant bool, metrics *Metrics) float64 {
 	t.Helper()
 	return testing.AllocsPerRun(3, func() {
-		opts := allocRunOptions(t, maxCycles, withAccountant)
+		opts := allocRunOptions(t, maxCycles, withAccountant, metrics)
 		if _, err := Run(opts); err != nil {
 			t.Fatal(err)
 		}
@@ -55,22 +57,27 @@ func measureRunAllocs(t *testing.T, maxCycles uint64, withAccountant bool) float
 // simulation driver: once a run is warm (request pool filled, scratch slices
 // sized), each additional simulated interval must not allocate. It compares
 // the total allocations of a short and a long run with identical setup; the
-// difference is attributable purely to the extra steady-state intervals.
+// difference is attributable purely to the extra steady-state intervals. The
+// instrumented variants attach a telemetry.Metrics sink, pinning the claim
+// that observability does not cost the hot path its allocation-free status.
 func TestIntervalLoopZeroAllocations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation measurement needs full runs")
 	}
+	reg := telemetry.NewRegistry()
 	for _, tc := range []struct {
 		name           string
 		withAccountant bool
+		metrics        *Metrics
 	}{
-		{"no-accountant", false},
-		{"gdp-o", true},
+		{"no-accountant", false, nil},
+		{"gdp-o", true, nil},
+		{"gdp-o+metrics", true, NewMetrics(reg)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			const interval = 2000
-			shortAllocs := measureRunAllocs(t, 20*interval, tc.withAccountant)
-			longAllocs := measureRunAllocs(t, 120*interval, tc.withAccountant)
+			shortAllocs := measureRunAllocs(t, 20*interval, tc.withAccountant, tc.metrics)
+			longAllocs := measureRunAllocs(t, 120*interval, tc.withAccountant, tc.metrics)
 			perInterval := (longAllocs - shortAllocs) / 100
 			if perInterval >= 1 {
 				t.Errorf("steady-state interval loop allocates %.2f objects/interval (short run %.0f, long run %.0f), want 0",
@@ -79,5 +86,43 @@ func TestIntervalLoopZeroAllocations(t *testing.T) {
 				t.Logf("steady-state allocations: %.3f objects/interval", perInterval)
 			}
 		})
+	}
+}
+
+// TestMetricsCountersMatchRun checks the flushed counters against the known
+// geometry of a fixed-budget run: exact interval and cycle counts, and a
+// fast-forward fraction consistent with the event-driven driver actually
+// skipping work.
+func TestMetricsCountersMatchRun(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	const interval = 2000
+	const cycles = 20 * interval
+	opts := allocRunOptions(t, cycles, true, m)
+	if _, err := Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Runs(); got != 1 {
+		t.Errorf("runs = %d, want 1", got)
+	}
+	if got := m.Intervals(); got != 20 {
+		t.Errorf("intervals = %d, want 20", got)
+	}
+	if got := m.Cycles(); got != cycles {
+		t.Errorf("cycles = %d, want %d", got, cycles)
+	}
+	if ff := m.FastForwardedCycles(); ff >= m.Cycles() {
+		t.Errorf("fast-forwarded cycles %d not below total %d", ff, m.Cycles())
+	}
+
+	// A second run accumulates into the same counters.
+	if _, err := Run(allocRunOptions(t, cycles, true, m)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Runs(); got != 2 {
+		t.Errorf("runs after second run = %d, want 2", got)
+	}
+	if got := m.Cycles(); got != 2*cycles {
+		t.Errorf("cycles after second run = %d, want %d", got, 2*cycles)
 	}
 }

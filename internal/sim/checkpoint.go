@@ -375,6 +375,7 @@ func RunFromCheckpoint(ctx context.Context, opts Options, cp *Checkpoint) (*Resu
 	}
 
 	st.startCycle = cp.Cycle
+	st.flushedCycle = cp.Cycle
 	if opts.Reference {
 		err = st.runReference(ctx)
 	} else {

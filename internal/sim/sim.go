@@ -92,6 +92,9 @@ type Options struct {
 	// for differential testing against the event-driven fast path and as the
 	// perf harness baseline. Results are byte-identical either way.
 	Reference bool
+	// Metrics, when non-nil, receives run/interval/cycle counters. Updates
+	// are batched at interval boundaries so the hot loop stays untouched.
+	Metrics *Metrics
 }
 
 // IntervalRecord is one per-core, per-interval measurement with the estimates
@@ -208,6 +211,11 @@ type runState struct {
 	// forces cycle-by-cycle operation for correctness.
 	canSkip     bool
 	acctSources []accounting.EventSource
+
+	// Telemetry accumulators: plain fields the drivers advance on the hot
+	// path and flushMetrics publishes atomically at interval boundaries.
+	flushedCycle uint64
+	ffPending    uint64
 }
 
 // RunContext executes a shared-mode simulation under a context. Cancellation
@@ -384,6 +392,7 @@ func (st *runState) runReference(ctx context.Context) error {
 			if err := st.recordInterval(); err != nil {
 				return err
 			}
+			st.flushMetrics(now+1, 1)
 			if st.cpCapture != nil && now+1 == st.cpCapture.at {
 				return st.takeCheckpoint(now + 1)
 			}
@@ -417,6 +426,7 @@ func (st *runState) runFast(ctx context.Context) error {
 			if err := st.recordInterval(); err != nil {
 				return err
 			}
+			st.flushMetrics(now+1, 1)
 			if st.cpCapture != nil && now+1 == st.cpCapture.at {
 				return st.takeCheckpoint(now + 1)
 			}
@@ -442,6 +452,7 @@ func (st *runState) runFast(ctx context.Context) error {
 				core.FastForward(now+1, target)
 			}
 			st.shared.FastForward(now+1, target)
+			st.ffPending += target - (now + 1)
 			now = target
 		} else {
 			now++
@@ -498,6 +509,10 @@ func (st *runState) finish(now uint64) {
 		if !st.sampleTaken[i] {
 			st.res.SampleStats[i] = core.Stats()
 		}
+	}
+	st.flushMetrics(now, 0)
+	if m := st.opts.Metrics; m != nil {
+		m.runs.Add(1)
 	}
 }
 

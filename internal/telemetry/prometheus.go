@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the Prometheus text exposition format
+// produced by WritePrometheus.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus encodes the registry in the Prometheus text exposition
+// format (version 0.0.4). Families are emitted sorted by name and series
+// sorted by label values, so the output is deterministic for a given state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		series := f.sortedSeries()
+		if len(series) == 0 {
+			continue
+		}
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, s := range series {
+			switch f.typ {
+			case typeCounter:
+				v := s.counter.Value()
+				if s.counterFn != nil {
+					v = s.counterFn()
+				}
+				writeSample(bw, f.name, "", f.labelNames, s.labelValues, "", "", formatUint(v))
+			case typeGauge:
+				var val string
+				if s.gaugeFn != nil {
+					val = formatFloat(s.gaugeFn())
+				} else {
+					val = strconv.FormatInt(s.gauge.Value(), 10)
+				}
+				writeSample(bw, f.name, "", f.labelNames, s.labelValues, "", "", val)
+			case typeHistogram:
+				h := s.hist
+				var cum uint64
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					writeSample(bw, f.name, "_bucket", f.labelNames, s.labelValues, "le", formatFloat(bound), formatUint(cum))
+				}
+				writeSample(bw, f.name, "_bucket", f.labelNames, s.labelValues, "le", "+Inf", formatUint(h.Count()))
+				writeSample(bw, f.name, "_sum", f.labelNames, s.labelValues, "", "", formatFloat(h.Sum()))
+				writeSample(bw, f.name, "_count", f.labelNames, s.labelValues, "", "", formatUint(h.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels} value` line. extraName/extraValue add a
+// trailing label (used for histogram `le`).
+func writeSample(bw *bufio.Writer, name, suffix string, labelNames, labelValues []string, extraName, extraValue, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labelNames) > 0 || extraName != "" {
+		bw.WriteByte('{')
+		first := true
+		for i, ln := range labelNames {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(ln)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabelValue(labelValues[i]))
+			bw.WriteByte('"')
+		}
+		if extraName != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraName)
+			bw.WriteString(`="`)
+			bw.WriteString(extraValue)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// formatUint renders a counter value.
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// formatFloat renders a float sample the way Prometheus expects (shortest
+// representation; infinities spelled +Inf/-Inf).
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string (backslash and newline).
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+// escapeLabelValue escapes a label value (backslash, double quote, newline).
+func escapeLabelValue(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}

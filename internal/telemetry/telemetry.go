@@ -1,0 +1,398 @@
+// Package telemetry is the dependency-free observability spine of the
+// reproduction: lock-free Counter/Gauge/Histogram primitives safe to update
+// from the zero-allocation simulation interval loop, a Registry of labeled
+// metric families, a Prometheus text-format (version 0.0.4) encoder and a
+// JSON snapshot for provenance artifacts.
+//
+// Design constraints, in order:
+//
+//   - The write path (Inc/Add/Set/Observe) is wait-free for counters and
+//     gauges and lock-free for histograms, performs no heap allocations and
+//     takes no locks, so instrumentation may live inside the simulator's
+//     steady-state interval loop without violating the allocation gates in
+//     internal/sim/alloc_test.go.
+//   - Nil receivers are no-ops: instrumented code paths never need nil
+//     checks, so opting out of telemetry (a nil *Metrics bundle) costs one
+//     predictable branch per update.
+//   - No third-party dependencies: the Prometheus exposition format is
+//     written directly, which keeps the module self-contained.
+//
+// Metric families follow the gdpsim_<layer>_<name>_<unit> naming convention
+// (for example gdpsim_http_request_seconds, gdpsim_runner_queue_depth_jobs,
+// gdpsim_cache_hits_total).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. The zero value is ready to
+// use; a nil *Counter ignores updates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. The zero value is ready to use;
+// a nil *Gauge ignores updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations. The bucket
+// layout is immutable after construction, every slot is an atomic, and
+// Observe allocates nothing, so it is safe on the simulator's hot path. A
+// nil *Histogram ignores observations.
+type Histogram struct {
+	// bounds are the inclusive upper bounds of the finite buckets, strictly
+	// increasing; an implicit +Inf bucket follows.
+	bounds []float64
+	// counts[i] is the number of observations in (bounds[i-1], bounds[i]];
+	// counts[len(bounds)] is the +Inf overflow bucket.
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	// sumBits holds math.Float64bits of the running sum, advanced by CAS.
+	sumBits atomic.Uint64
+}
+
+// newHistogram validates and copies the bucket bounds.
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("telemetry: histogram bounds not strictly increasing at %d: %v", i, bounds))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one value. It is lock-free and allocation-free.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small (~15) and the slice is contiguous,
+	// so this beats binary search at these sizes and never allocates.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// DefaultLatencyBuckets covers request and job latencies from 1ms to 30s,
+// the span between a cache-hit lookup and a large sweep cell.
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Family type strings of the Prometheus exposition format.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// series is one sample stream of a family: either a stored metric or a
+// read-at-collect-time function (used to expose counters that already live
+// in a subsystem, like the result cache's hit counts).
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	counterFn   func() uint64
+	gaugeFn     func() float64
+}
+
+// family is one named metric family with a fixed type and label schema.
+type family struct {
+	name       string
+	help       string
+	typ        string
+	labelNames []string
+	buckets    []float64
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// seriesKey joins label values into a map key (label values never contain
+// \x1f in this codebase; the separator only needs to be unambiguous).
+func seriesKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// get returns the series for the label values, creating it via mk on first
+// use.
+func (f *family) get(values []string, mk func() *series) *series {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("telemetry: family %s wants %d label values, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = mk()
+		s.labelValues = append([]string(nil), values...)
+		f.series[key] = s
+	}
+	return s
+}
+
+// Registry holds metric families. The zero value is not usable; construct
+// with NewRegistry. Registration is idempotent: asking for an existing
+// family with the same schema returns the existing metric, and conflicting
+// re-registration (different type or label names) panics, because metric
+// names are programmer-controlled constants.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// family returns (creating if needed) the named family, enforcing schema
+// consistency.
+func (r *Registry) family(name, help, typ string, labelNames []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:       name,
+			help:       help,
+			typ:        typ,
+			labelNames: append([]string(nil), labelNames...),
+			buckets:    append([]float64(nil), buckets...),
+			series:     map[string]*series{},
+		}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: family %s re-registered as %s (is %s)", name, typ, f.typ))
+	}
+	if len(f.labelNames) != len(labelNames) {
+		panic(fmt.Sprintf("telemetry: family %s re-registered with labels %v (has %v)", name, labelNames, f.labelNames))
+	}
+	for i := range labelNames {
+		if f.labelNames[i] != labelNames[i] {
+			panic(fmt.Sprintf("telemetry: family %s re-registered with labels %v (has %v)", name, labelNames, f.labelNames))
+		}
+	}
+	return f
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, typeCounter, nil, nil)
+	s := f.get(nil, func() *series { return &series{counter: &Counter{}} })
+	return s.counter
+}
+
+// CounterFunc registers an unlabeled counter whose value is read from fn at
+// collection time. Re-registration replaces the function.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	f := r.family(name, help, typeCounter, nil, nil)
+	s := f.get(nil, func() *series { return &series{} })
+	f.mu.Lock()
+	s.counterFn = fn
+	f.mu.Unlock()
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, typeGauge, nil, nil)
+	s := f.get(nil, func() *series { return &series{gauge: &Gauge{}} })
+	return s.gauge
+}
+
+// GaugeFunc registers an unlabeled gauge whose value is read from fn at
+// collection time. Re-registration replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, typeGauge, nil, nil)
+	s := f.get(nil, func() *series { return &series{} })
+	f.mu.Lock()
+	s.gaugeFn = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers (or returns) an unlabeled histogram with the given
+// bucket upper bounds (nil selects DefaultLatencyBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefaultLatencyBuckets
+	}
+	f := r.family(name, help, typeHistogram, nil, buckets)
+	s := f.get(nil, func() *series { return &series{hist: newHistogram(f.buckets)} })
+	return s.hist
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ fam *family }
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{fam: r.family(name, help, typeCounter, labelNames, nil)}
+}
+
+// With returns the counter for the label values (created on first use).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	s := v.fam.get(labelValues, func() *series { return &series{counter: &Counter{}} })
+	return s.counter
+}
+
+// WithFunc registers a function-backed counter series for the label values.
+func (v *CounterVec) WithFunc(fn func() uint64, labelValues ...string) {
+	s := v.fam.get(labelValues, func() *series { return &series{} })
+	v.fam.mu.Lock()
+	s.counterFn = fn
+	v.fam.mu.Unlock()
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ fam *family }
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{fam: r.family(name, help, typeGauge, labelNames, nil)}
+}
+
+// With returns the gauge for the label values (created on first use).
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	s := v.fam.get(labelValues, func() *series { return &series{gauge: &Gauge{}} })
+	return s.gauge
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ fam *family }
+
+// HistogramVec registers (or returns) a labeled histogram family with the
+// given bucket upper bounds (nil selects DefaultLatencyBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefaultLatencyBuckets
+	}
+	return &HistogramVec{fam: r.family(name, help, typeHistogram, labelNames, buckets)}
+}
+
+// With returns the histogram for the label values (created on first use).
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	s := v.fam.get(labelValues, func() *series { return &series{hist: newHistogram(v.fam.buckets)} })
+	return s.hist
+}
+
+// sortedFamilies returns the families sorted by name (collection order is
+// deterministic regardless of registration order).
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries returns a family's series sorted by label values.
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return seriesKey(out[i].labelValues) < seriesKey(out[j].labelValues)
+	})
+	return out
+}

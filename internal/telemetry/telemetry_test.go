@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeBasics exercises the scalar metric types single-threaded.
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "help"); again != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("g", "help")
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+// TestNilMetricsAreNoOps verifies that every write-path method tolerates a
+// nil receiver, the contract instrumented code relies on to skip nil checks.
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram state")
+	}
+}
+
+// TestHistogramBuckets checks the bucket boundary convention (upper bounds
+// are inclusive) and the sum/count bookkeeping.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "help", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 1, 1} // (-inf,1], (1,2], (2,5], (5,+inf)
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-18) > 1e-12 {
+		t.Errorf("sum = %g, want 18", got)
+	}
+}
+
+// TestVecSeriesIdentity checks that With returns the same series for the
+// same label values and distinct series otherwise.
+func TestVecSeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("req_total", "help", "endpoint", "code")
+	a := vec.With("/v1/estimate", "200")
+	b := vec.With("/v1/estimate", "200")
+	c := vec.With("/v1/estimate", "500")
+	if a != b {
+		t.Fatal("same labels returned different series")
+	}
+	if a == c {
+		t.Fatal("different labels returned the same series")
+	}
+	a.Add(2)
+	c.Inc()
+	if a.Value() != 2 || c.Value() != 1 {
+		t.Fatalf("vec values = %d,%d", a.Value(), c.Value())
+	}
+}
+
+// TestFuncMetrics checks function-backed series evaluation at collect time.
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	var n uint64
+	r.CounterFunc("fn_total", "help", func() uint64 { return n })
+	n = 42
+	snap := r.Snapshot()
+	if len(snap) != 1 || len(snap[0].Series) != 1 || snap[0].Series[0].Value == nil {
+		t.Fatalf("snapshot shape: %+v", snap)
+	}
+	if *snap[0].Series[0].Value != 42 {
+		t.Fatalf("fn counter = %v, want 42", *snap[0].Series[0].Value)
+	}
+}
+
+// TestSchemaConflictPanics verifies that re-registering a family under a
+// different type panics (metric names are programmer-controlled constants;
+// a conflict is always a bug).
+func TestSchemaConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type conflict")
+		}
+	}()
+	r.Gauge("x", "help")
+}
+
+// TestConcurrentHammer drives all three metric types from many goroutines;
+// run under -race this is the data-race gate for the write path, and the
+// final values double as a lost-update check.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "help")
+	g := r.Gauge("hammer_gauge", "help")
+	h := r.Histogram("hammer_seconds", "help", []float64{0.25, 0.5, 0.75})
+	vec := r.CounterVec("hammer_vec_total", "help", "worker")
+
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lbl := string(rune('a' + id%4))
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(j%4) * 0.25)
+				vec.With(lbl).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if c.Value() != total {
+		t.Errorf("counter = %d, want %d", c.Value(), total)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != total {
+		t.Errorf("histogram count = %d, want %d", h.Count(), total)
+	}
+	wantSum := float64(total/4) * (0 + 0.25 + 0.5 + 0.75)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", h.Sum(), wantSum)
+	}
+	var vecTotal uint64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		vecTotal += vec.With(l).Value()
+	}
+	if vecTotal != total {
+		t.Errorf("vec total = %d, want %d", vecTotal, total)
+	}
+}
+
+// TestObserveAllocationFree asserts the histogram write path performs zero
+// heap allocations — the property that makes it legal inside the simulation
+// interval loop guarded by internal/sim/alloc_test.go.
+func TestObserveAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("alloc_seconds", "help", nil)
+	c := r.Counter("alloc_total", "help")
+	g := r.Gauge("alloc_gauge", "help")
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(0.0042)
+		c.Add(3)
+		g.Set(7)
+	})
+	if allocs != 0 {
+		t.Fatalf("metric write path allocates %.1f/op, want 0", allocs)
+	}
+}

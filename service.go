@@ -5,13 +5,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"slices"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/perf"
+	"repro/internal/runner"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -549,12 +556,18 @@ type ScenariosResponse struct {
 //	POST /v1/estimate   EstimateRequest  -> EstimateResponse
 //	POST /v1/sweep      SweepRequest     -> SweepResponse
 //	GET  /v1/scenarios  ScenariosResponse (the named scenario registry)
-//	GET  /healthz       liveness + cache statistics
+//	GET  /healthz       liveness, build identity + cache statistics
+//	GET  /metrics       Prometheus text exposition of the Engine's registry
 //
 // Error responses carry {"error": "..."} with status 400 (malformed or
 // invalid request), 405 (wrong method), 503 (concurrent-request limit
 // reached) or 500. A request whose client disappears mid-simulation is
 // aborted at the next interval boundary via the request context.
+//
+// Every endpoint is instrumented: request counts by status code, latency
+// histograms and in-flight gauges land in the Engine's metric registry under
+// the gdpsim_http_* families, and each request emits one structured access
+// log record (WithLogger installs the sink).
 //
 // Server is an http.Handler; wrap it in an http.Server for timeouts and
 // graceful shutdown (see cmd/gdpsim's serve subcommand).
@@ -564,6 +577,39 @@ type Server struct {
 	mux    *http.ServeMux
 	// maxBodyBytes bounds a request body; requests beyond it fail decoding.
 	maxBodyBytes int64
+	// logger receives one record per request plus lifecycle events; defaults
+	// to a discard handler.
+	logger *slog.Logger
+	// pprofEnabled mounts net/http/pprof under /debug/pprof/.
+	pprofEnabled bool
+	metrics      *httpServerMetrics
+}
+
+// httpServerMetrics holds the HTTP-layer metric handles, resolved once at
+// server construction so the per-request path performs no registry lookups
+// beyond the label resolution of its own series.
+type httpServerMetrics struct {
+	requests   *telemetry.CounterVec
+	latency    *telemetry.HistogramVec
+	inFlight   *telemetry.GaugeVec
+	shed       *telemetry.Counter
+	clientGone *telemetry.Counter
+}
+
+// newHTTPServerMetrics registers the HTTP metric families on r.
+func newHTTPServerMetrics(r *telemetry.Registry) *httpServerMetrics {
+	return &httpServerMetrics{
+		requests: r.CounterVec("gdpsim_http_requests_total",
+			"HTTP requests by endpoint and status code.", "endpoint", "code"),
+		latency: r.HistogramVec("gdpsim_http_request_seconds",
+			"HTTP request latency in seconds, by endpoint.", nil, "endpoint"),
+		inFlight: r.GaugeVec("gdpsim_http_in_flight_requests",
+			"HTTP requests currently being served, by endpoint.", "endpoint"),
+		shed: r.Counter("gdpsim_http_shed_total",
+			"Requests rejected with 503 because the concurrent-request limit was reached."),
+		clientGone: r.Counter("gdpsim_http_client_gone_total",
+			"Requests whose client disappeared mid-simulation (status 499)."),
+	}
 }
 
 // ServerOption configures a Server.
@@ -582,15 +628,46 @@ func WithMaxConcurrent(n int) ServerOption {
 	}
 }
 
+// WithLogger installs a structured logger. Every request emits one access
+// record (method, endpoint, status, latency and — for estimation/sweep
+// requests — the 12-character spec-key prefix identifying the request in the
+// result cache); server lifecycle events land on the same logger.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) error {
+		if l == nil {
+			return fmt.Errorf("gdp: WithLogger(nil)")
+		}
+		s.logger = l
+		return nil
+	}
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/. Off by default: the
+// profile endpoints expose process internals and belong behind an operator
+// flag, not on every deployment.
+func WithPprof() ServerOption {
+	return func(s *Server) error {
+		s.pprofEnabled = true
+		return nil
+	}
+}
+
 // NewServer wraps an Engine as an HTTP handler. A nil engine selects
 // DefaultEngine().
 func NewServer(engine *Engine, opts ...ServerOption) (*Server, error) {
 	if engine == nil {
 		engine = DefaultEngine()
 	}
+	if engine.registry == nil {
+		// Zero-value Engines (struct literals in tests) skip NewEngine; give
+		// them a registry so /metrics and the instrumentation still work.
+		engine.initTelemetry()
+	}
 	s := &Server{
 		engine:       engine,
 		maxBodyBytes: 1 << 20,
+		logger:       slog.New(slog.DiscardHandler),
+		metrics:      newHTTPServerMetrics(engine.registry),
 	}
 	for _, opt := range opts {
 		if err := opt(s); err != nil {
@@ -601,11 +678,85 @@ func NewServer(engine *Engine, opts ...ServerOption) (*Server, error) {
 		s.sem = make(chan struct{}, 2*defaultConcurrency())
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/v1/estimate", handleJSON(s, s.engine.Estimate))
-	s.mux.HandleFunc("/v1/sweep", handleJSON(s, s.engine.EvaluateSweep))
-	s.mux.HandleFunc("/v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux.HandleFunc("/v1/estimate", s.instrument("/v1/estimate", handleJSON(s, s.engine.Estimate)))
+	s.mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", handleJSON(s, s.engine.EvaluateSweep)))
+	s.mux.HandleFunc("/v1/scenarios", s.instrument("/v1/scenarios", s.handleScenarios))
+	if s.pprofEnabled {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
+}
+
+// statusRecorder captures the status code a handler writes so the access log
+// and the request counter can label by it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// requestInfo carries per-request annotations from the handler back to the
+// instrument wrapper (currently the result-cache spec-key prefix, set by
+// handleJSON once the body has decoded).
+type requestInfo struct {
+	specKey string
+}
+
+type requestInfoKey struct{}
+
+// instrument wraps a handler with the per-endpoint metrics and the access
+// log: an in-flight gauge around the call, then a latency observation, a
+// (endpoint, code) request count and one structured log record.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	requests := s.metrics.requests
+	latency := s.metrics.latency.With(endpoint)
+	inFlight := s.metrics.inFlight.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		info := &requestInfo{}
+		r = r.WithContext(context.WithValue(r.Context(), requestInfoKey{}, info))
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		inFlight.Inc()
+		start := time.Now()
+		h(rec, r)
+		elapsed := time.Since(start)
+		inFlight.Dec()
+		latency.Observe(elapsed.Seconds())
+		requests.With(endpoint, strconv.Itoa(rec.status)).Inc()
+		attrs := make([]slog.Attr, 0, 5)
+		attrs = append(attrs,
+			slog.String("method", r.Method),
+			slog.String("endpoint", endpoint),
+			slog.Int("status", rec.status),
+			slog.Duration("latency", elapsed),
+		)
+		if info.specKey != "" {
+			attrs = append(attrs, slog.String("spec_key", info.specKey))
+		}
+		s.logger.LogAttrs(context.Background(), slog.LevelInfo, "request", attrs...)
+	}
+}
+
+// annotateSpecKey records the request's cache spec-key prefix for the access
+// log, letting operators correlate a slow request with the cache entry (and
+// the bench reports) it corresponds to.
+func annotateSpecKey(ctx context.Context, spec any) {
+	info, ok := ctx.Value(requestInfoKey{}).(*requestInfo)
+	if !ok {
+		return
+	}
+	if key, err := runner.SpecKey(spec); err == nil && len(key) >= 12 {
+		info.specKey = key[:12]
+	}
 }
 
 // handleScenarios lists the scenario registry. The listing is static and
@@ -630,19 +781,39 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// handleHealthz reports liveness and cache statistics.
+// handleHealthz reports liveness, build identity and cache statistics. The
+// flat cache_hits/cache_misses fields predate the per-layer split and stay
+// for compatibility; "cache" carries the full breakdown.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, "healthz is GET-only")
 		return
 	}
-	hits, misses := s.engine.Cache().Stats()
+	stats := s.engine.Cache().DetailedStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":       "ok",
-		"api_version":  APIVersion,
-		"cache_hits":   hits,
-		"cache_misses": misses,
+		"status":         "ok",
+		"api_version":    APIVersion,
+		"git_revision":   perf.GitRevision(),
+		"schema_version": perf.SchemaVersion,
+		"cache_hits":     stats.MemoryHits + stats.DiskHits + stats.InflightJoins,
+		"cache_misses":   stats.Misses,
+		"cache":          stats,
 	})
+}
+
+// handleMetrics exposes the Engine's registry in the Prometheus text format
+// (version 0.0.4). A scrape is a cheap read of atomic counters, so like
+// healthz it bypasses the concurrency limit — a saturated worker pool must
+// not blind the monitoring that would detect the saturation.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "metrics is GET-only")
+		return
+	}
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	_ = s.engine.MetricsRegistry().WritePrometheus(w)
 }
 
 // statusClientClosedRequest is nginx's conventional status for a client that
@@ -663,6 +834,7 @@ func handleJSON[Req any, Resp any](s *Server, call func(context.Context, *Req) (
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
+			s.metrics.shed.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "concurrent-request limit reached")
 			return
@@ -673,6 +845,7 @@ func handleJSON[Req any, Resp any](s *Server, call func(context.Context, *Req) (
 			writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
 			return
 		}
+		annotateSpecKey(r.Context(), req)
 		resp, err := call(r.Context(), req)
 		switch {
 		case err == nil:
@@ -681,6 +854,7 @@ func handleJSON[Req any, Resp any](s *Server, call func(context.Context, *Req) (
 			// The client went away (or timed out) mid-simulation; the run was
 			// aborted at an interval boundary. Nobody is listening for the
 			// body, so only a status for the access log.
+			s.metrics.clientGone.Inc()
 			w.WriteHeader(statusClientClosedRequest)
 		default:
 			var reqErr *RequestError
