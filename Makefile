@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke vet fmt-check bench bench-smoke bench-go bench-sweep serve-smoke clean
+.PHONY: all build test race fuzz-smoke vet fmt-check bench bench-smoke bench-go bench-sweep serve-smoke dispatch-smoke clean
 
 all: build test vet fmt-check
 
@@ -54,6 +54,12 @@ bench-smoke:
 # the telemetry exposition end to end (see scripts/serve_smoke.sh).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# dispatch-smoke boots two real workers, shards a sweep across them with
+# `gdpsim sweep -workers`, byte-compares the rows against a single-machine
+# run and checks the dispatch telemetry (see scripts/dispatch_smoke.sh).
+dispatch-smoke:
+	sh scripts/dispatch_smoke.sh
 
 # bench-go runs the go-test figure/regeneration benchmarks.
 bench-go:

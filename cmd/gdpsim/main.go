@@ -77,6 +77,9 @@ func run(ctx context.Context, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *jobs < 0 {
+		return fmt.Errorf("-jobs %d out of range (0 = all CPUs, or a positive width)", *jobs)
+	}
 	logger, err := newLogger(*logLevel)
 	if err != nil {
 		return err
@@ -337,6 +340,7 @@ func cmdSweep(ctx context.Context, engine *gdp.Engine, args []string) error {
 	warmupIntervals := fs.Int("warmup-intervals", 0, "warmup prefix length in accounting intervals shared per checkpoint group (0 with -checkpoint = a conservative instructions/interval default; set explicitly — most of the run, but under the shortest cell — for memory-bound grids)")
 	csvPath := fs.String("csv", "", "also export the rows as CSV to this file")
 	jsonPath := fs.String("json", "", "also export the result as JSON to this file")
+	workers := fs.String("workers", "", "comma-separated base URLs of gdpsim serve workers; shards the grid across the fleet (rows stay byte-identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -394,7 +398,12 @@ func cmdSweep(ctx context.Context, engine *gdp.Engine, args []string) error {
 		opts.WarmupIntervals = w
 	}
 
-	res, err := engine.Sweep(ctx, opts)
+	var res *gdp.SweepResult
+	if *workers != "" {
+		res, err = engine.SweepWorkers(ctx, opts, experiments.ParseStringList(*workers))
+	} else {
+		res, err = engine.Sweep(ctx, opts)
+	}
 	if err != nil {
 		return err
 	}

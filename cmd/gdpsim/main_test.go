@@ -53,6 +53,24 @@ func TestRunRejectsUnknownBenchmark(t *testing.T) {
 	}
 }
 
+func TestRunRejectsNegativeJobs(t *testing.T) {
+	err := run(context.Background(), []string{"-jobs", "-2", "table1"})
+	if err == nil || !strings.Contains(err.Error(), "-jobs") {
+		t.Errorf("negative -jobs accepted (err = %v)", err)
+	}
+}
+
+func TestSweepRejectsBadWorkers(t *testing.T) {
+	err := run(context.Background(), []string{"sweep", "-cores", "2", "-workers", "ftp://nope"})
+	if err == nil || !strings.Contains(err.Error(), "worker") {
+		t.Errorf("bad -workers accepted (err = %v)", err)
+	}
+	err = run(context.Background(), []string{"sweep", "-cores", "2", "-workers", "http://h:1/path"})
+	if err == nil {
+		t.Error("worker URL with a path accepted")
+	}
+}
+
 // captureStdout runs fn with os.Stdout redirected and returns what it wrote.
 func captureStdout(t *testing.T, fn func() error) string {
 	t.Helper()

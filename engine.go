@@ -7,6 +7,7 @@ import (
 	"iter"
 	"sync"
 
+	"repro/internal/dispatch"
 	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -43,6 +44,14 @@ type Engine struct {
 	// instrumentation bundle threaded into studies and simulations.
 	registry *telemetry.Registry
 	instr    *experiments.Instrumentation
+
+	// workers is the Engine's default worker fleet (WithWorkers); pool is the
+	// long-lived dispatcher over it, sharing breaker state across sweeps.
+	// dispatchMetrics instruments every dispatcher the Engine builds,
+	// including the per-request pools of SweepWorkers.
+	workers         []string
+	pool            *dispatch.Pool
+	dispatchMetrics *dispatch.Metrics
 }
 
 // EngineOption configures an Engine at construction time.
@@ -112,6 +121,22 @@ func WithCheckpoints(warmupIntervals int) EngineOption {
 	}
 }
 
+// WithWorkers installs a default worker fleet: every Sweep the Engine runs is
+// sharded across the named `gdpsim serve` workers (base URLs or host[:port]
+// forms), with graceful degradation to local execution when the fleet is
+// unreachable. Rows are byte-identical to a local sweep. Malformed worker
+// URLs are rejected here, at construction, with a *dispatch.WorkerURLError.
+func WithWorkers(workers ...string) EngineOption {
+	return func(e *Engine) error {
+		parsed, err := dispatch.ParseWorkers(workers)
+		if err != nil {
+			return err
+		}
+		e.workers = parsed
+		return nil
+	}
+}
+
 // NewEngine constructs an Engine from functional options.
 func NewEngine(opts ...EngineOption) (*Engine, error) {
 	e := &Engine{scale: experiments.DefaultScale()}
@@ -124,6 +149,17 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 		e.cache = runner.NewCache()
 	}
 	e.initTelemetry()
+	if len(e.workers) > 0 {
+		pool, err := dispatch.NewPool(dispatch.Options{
+			Workers:   e.workers,
+			LocalJobs: e.jobs,
+			Metrics:   e.dispatchMetrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.pool = pool
+	}
 	return e, nil
 }
 
@@ -133,6 +169,7 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 func (e *Engine) initTelemetry() {
 	e.registry = telemetry.NewRegistry()
 	e.instr = experiments.NewInstrumentation(e.registry)
+	e.dispatchMetrics = dispatch.NewMetrics(e.registry)
 	runner.RegisterCacheMetrics(e.registry, func() runner.CacheStats {
 		return e.Cache().DetailedStats()
 	})
@@ -323,15 +360,95 @@ func (e *Engine) PartitioningStudy(ctx context.Context, opts PartitioningOptions
 	return experiments.PartitioningStudyContext(ctx, opts)
 }
 
-// Sweep runs a user-defined experiment grid through the Engine's worker pool.
-// Unset Jobs/Cache/Progress options inherit the Engine's, as does the
-// checkpointed warmup-sharing default (WithCheckpoints).
+// Sweep runs a user-defined experiment grid through the Engine's worker pool,
+// or — when the Engine was built WithWorkers — through the distributed
+// dispatcher, with byte-identical rows either way. Unset Jobs/Cache/Progress
+// options inherit the Engine's, as does the checkpointed warmup-sharing
+// default (WithCheckpoints).
 func (e *Engine) Sweep(ctx context.Context, opts SweepOptions) (*SweepResult, error) {
 	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress, &opts.Instr)
 	if opts.WarmupIntervals == 0 {
 		opts.WarmupIntervals = e.warmupIntervals
 	}
+	if e.pool != nil {
+		return e.sweepDistributed(ctx, opts, e.pool)
+	}
 	return experiments.SweepContext(ctx, opts)
+}
+
+// SweepWorkers is Sweep sharded across an explicit worker fleet for this call
+// only (the `workers` field of POST /v1/sweep and the CLI's `-workers` flag).
+// An empty fleet falls back to the Engine's default behavior. The per-call
+// pool shares the Engine's dispatch telemetry but not its breaker state.
+func (e *Engine) SweepWorkers(ctx context.Context, opts SweepOptions, workers []string) (*SweepResult, error) {
+	if len(workers) == 0 {
+		return e.Sweep(ctx, opts)
+	}
+	e.fillStudy(&opts.Jobs, &opts.Cache, &opts.Progress, &opts.Instr)
+	if opts.WarmupIntervals == 0 {
+		opts.WarmupIntervals = e.warmupIntervals
+	}
+	pool, err := dispatch.NewPool(dispatch.Options{
+		Workers:   workers,
+		LocalJobs: e.jobs,
+		Metrics:   e.dispatchMetrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.sweepDistributed(ctx, opts, pool)
+}
+
+// sweepDistributed runs a sweep grid through a dispatcher pool: the grid is
+// enumerated into self-contained cells (the exact cells and order
+// SweepContext executes), sharded across the fleet, and merged by index, so
+// the rows are byte-identical to a local sweep. The Engine's cache fronts the
+// fleet — cells it already holds are answered without dispatch, and every
+// completion (remote or local) is written back under the cell's spec key.
+func (e *Engine) sweepDistributed(ctx context.Context, opts SweepOptions, pool *dispatch.Pool) (*SweepResult, error) {
+	if opts.Cache == nil {
+		opts.Cache = e.Cache()
+	}
+	cells := experiments.EnumerateSweepCells(opts)
+	cfg := experiments.CellConfig{Cache: opts.Cache, Instr: opts.Instr}
+	groups, err := pool.Run(ctx, cells, dispatch.RunConfig{
+		Local: func(ctx context.Context, c experiments.Cell) ([]SweepRow, error) {
+			return c.Run(ctx, cfg)
+		},
+		Cache:    cellCacheAdapter{opts.Cache},
+		Progress: opts.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{Cells: len(cells)}
+	for _, rows := range groups {
+		out.Rows = append(out.Rows, rows...)
+	}
+	return out, nil
+}
+
+// cellCacheAdapter exposes a runner.Cache as the dispatcher's cell cache. The
+// entries are the same []SweepRow values SweepContext memoizes, under the
+// same spec keys, so local sweeps, front-end dispatchers and remote workers
+// all share one cache population.
+type cellCacheAdapter struct{ c *runner.Cache }
+
+func (a cellCacheAdapter) Get(key string) ([]SweepRow, bool) {
+	return runner.Lookup[[]SweepRow](a.c, key)
+}
+
+func (a cellCacheAdapter) Put(key string, rows []SweepRow) {
+	a.c.Put(key, rows)
+}
+
+// FleetHealth snapshots the Engine's default worker fleet for /healthz (nil
+// when the Engine has no fleet).
+func (e *Engine) FleetHealth() []dispatch.WorkerHealth {
+	if e.pool == nil {
+		return nil
+	}
+	return e.pool.FleetHealth()
 }
 
 // Figure3 regenerates Figures 3a/3b. A zero scale selects the Engine's.

@@ -1,0 +1,90 @@
+package dispatch
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Metrics instruments the dispatcher's client side. A nil *Metrics disables
+// instrumentation (every method is nil-safe), matching the convention of the
+// other metric bundles.
+type Metrics struct {
+	// Cells counts grid cells by scheduling outcome: "dispatched" (sent to a
+	// worker), "completed" (answered by a worker), "cached" (answered from
+	// the front-end cache without dispatch), "local" (executed in-process),
+	// "stolen" (reclaimed from a straggling worker past the steal deadline),
+	// "retried" (returned to the queue after a worker transport failure) and
+	// "failed" (a domain error from the cell itself).
+	Cells *telemetry.CounterVec
+	// Batches counts batches POSTed to workers.
+	Batches *telemetry.Counter
+	// WorkerSeconds observes per-batch wall-clock by worker URL.
+	WorkerSeconds *telemetry.HistogramVec
+	// WorkerFailures counts transport-level worker failures by worker URL.
+	WorkerFailures *telemetry.CounterVec
+	// BreakerOpen is 1 while a worker's circuit breaker is open.
+	BreakerOpen *telemetry.GaugeVec
+}
+
+// NewMetrics registers the dispatcher's metric families on r.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Cells: r.CounterVec("gdpsim_dispatch_cells_total",
+			"Sweep cells by dispatch outcome.", "outcome"),
+		Batches: r.Counter("gdpsim_dispatch_batches_total",
+			"Cell batches POSTed to workers."),
+		WorkerSeconds: r.HistogramVec("gdpsim_dispatch_worker_seconds",
+			"Per-batch wall-clock by worker.", nil, "worker"),
+		WorkerFailures: r.CounterVec("gdpsim_dispatch_worker_failures_total",
+			"Transport-level worker failures by worker.", "worker"),
+		BreakerOpen: r.GaugeVec("gdpsim_dispatch_breaker_open",
+			"1 while the worker's circuit breaker is open.", "worker"),
+	}
+}
+
+func (m *Metrics) cell(outcome string) {
+	if m == nil {
+		return
+	}
+	m.Cells.With(outcome).Inc()
+}
+
+func (m *Metrics) cells(outcome string, n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.Cells.With(outcome).Add(uint64(n))
+}
+
+func (m *Metrics) batch() {
+	if m == nil {
+		return
+	}
+	m.Batches.Inc()
+}
+
+func (m *Metrics) workerBatch(worker string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.WorkerSeconds.With(worker).Observe(d.Seconds())
+}
+
+func (m *Metrics) workerFailure(worker string) {
+	if m == nil {
+		return
+	}
+	m.WorkerFailures.With(worker).Inc()
+}
+
+func (m *Metrics) breaker(worker string, open bool) {
+	if m == nil {
+		return
+	}
+	v := int64(0)
+	if open {
+		v = 1
+	}
+	m.BreakerOpen.With(worker).Set(v)
+}

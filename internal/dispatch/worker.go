@@ -1,0 +1,172 @@
+package dispatch
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// workerClient is the dispatcher's view of one remote `gdpsim serve` worker:
+// the wire calls plus the worker's failure state (consecutive-failure count
+// and circuit breaker).
+type workerClient struct {
+	url    string
+	client *http.Client
+
+	mu        sync.Mutex
+	fails     int       // consecutive transport failures
+	openUntil time.Time // breaker open until this instant (zero = closed)
+	lastErr   string
+}
+
+// WorkerHealth is one worker's health snapshot, JSON-ready for /healthz.
+type WorkerHealth struct {
+	URL string `json:"url"`
+	// State is "healthy" or "open" (circuit breaker tripped).
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+// healthy reports whether the worker is eligible for new batches now.
+func (w *workerClient) healthy(now time.Time) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return now.After(w.openUntil)
+}
+
+// health snapshots the worker for /healthz.
+func (w *workerClient) health(now time.Time) WorkerHealth {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	state := "healthy"
+	if !now.After(w.openUntil) {
+		state = "open"
+	}
+	return WorkerHealth{
+		URL:                 w.url,
+		State:               state,
+		ConsecutiveFailures: w.fails,
+		LastError:           w.lastErr,
+	}
+}
+
+// success resets the failure streak and closes the breaker.
+func (w *workerClient) success() {
+	w.mu.Lock()
+	w.fails = 0
+	w.openUntil = time.Time{}
+	w.lastErr = ""
+	w.mu.Unlock()
+}
+
+// failure records one transport failure and returns the backoff to sleep plus
+// whether this failure tripped the breaker open.
+func (w *workerClient) failure(err error, o Options) (backoff time.Duration, tripped bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fails++
+	w.lastErr = err.Error()
+	// Jittered exponential backoff on the failure streak.
+	d := o.BackoffBase << (w.fails - 1)
+	if d > o.BackoffMax || d <= 0 {
+		d = o.BackoffMax
+	}
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1)) // up to +50% jitter
+	if w.fails >= o.BreakerThreshold {
+		w.openUntil = time.Now().Add(o.BreakerCooldown)
+		tripped = true
+	}
+	return d, tripped
+}
+
+// runBatch executes one batch on the worker: POST the cells, then stream the
+// NDJSON results, invoking onResult for every per-cell line. It returns nil
+// only after the terminal done line; any transport or protocol problem —
+// connection failure, non-2xx status, stream cut before done — is an error
+// and the caller rescheduls the batch's unfinished cells.
+func (w *workerClient) runBatch(ctx context.Context, cells []CellEnvelope, onResult func(CellResult)) error {
+	body, err := json.Marshal(CellsRequest{APIVersion: ProtocolVersion, Cells: cells})
+	if err != nil {
+		return fmt.Errorf("dispatch: marshal batch: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/cells", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	ack, err := decodeAck(resp)
+	if err != nil {
+		return err
+	}
+
+	streamReq, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/v1/cells/"+ack.BatchID, nil)
+	if err != nil {
+		return err
+	}
+	streamResp, err := w.client.Do(streamReq)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(streamResp.Body, 1<<16))
+		streamResp.Body.Close()
+	}()
+	if streamResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dispatch: worker %s stream: %s", w.url, streamResp.Status)
+	}
+	sc := bufio.NewScanner(streamResp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var res CellResult
+		if err := json.Unmarshal(line, &res); err != nil {
+			return fmt.Errorf("dispatch: worker %s sent bad result line: %w", w.url, err)
+		}
+		if res.Done {
+			return nil
+		}
+		onResult(res)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("dispatch: worker %s stream cut: %w", w.url, err)
+	}
+	return fmt.Errorf("dispatch: worker %s stream ended before done line", w.url)
+}
+
+// decodeAck reads and validates the batch acknowledgement.
+func decodeAck(resp *http.Response) (CellsResponse, error) {
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	var ack CellsResponse
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return ack, fmt.Errorf("dispatch: worker rejected batch: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return ack, fmt.Errorf("dispatch: bad batch ack: %w", err)
+	}
+	if ack.APIVersion != ProtocolVersion {
+		return ack, fmt.Errorf("dispatch: worker speaks protocol %q, want %q", ack.APIVersion, ProtocolVersion)
+	}
+	if ack.BatchID == "" {
+		return ack, fmt.Errorf("dispatch: worker ack missing batch id")
+	}
+	return ack, nil
+}

@@ -111,15 +111,6 @@ type SweepResult struct {
 	Cells int        `json:"cells"`
 }
 
-// sweepCell is one grid cell prior to execution.
-type sweepCell struct {
-	kind     string // "accuracy", "partitioning" or "scenario"
-	cores    int
-	mix      workload.MixKind
-	prb      int
-	scenario string
-}
-
 // Sweep runs a user-defined experiment grid through the runner.
 func Sweep(opts SweepOptions) (*SweepResult, error) {
 	return SweepContext(context.Background(), opts)
@@ -131,67 +122,28 @@ func Sweep(opts SweepOptions) (*SweepResult, error) {
 // sizes, then partitioning cells over cores × mixes) and each cell derives
 // its seed from the base seed and its (cores, mix) values, so the result is
 // independent of both the worker count and the rest of the grid.
+//
+// Cells that differ only in the PRB size (or in kind) share a seed so they
+// evaluate the same workload population and the comparison isolates the swept
+// parameter, as in the paper's Figure 7e. Seeds derive from the (cores, mix)
+// values themselves — not from the pair's position in the grid — so the same
+// logical cell produces the same numbers (and reuses the same cached
+// reference runs) no matter what else the grid contains. The enumeration and
+// per-cell execution live in Cell/EnumerateSweepCells, shared with the
+// distributed dispatcher so a cell behaves identically wherever it runs.
 func SweepContext(ctx context.Context, opts SweepOptions) (*SweepResult, error) {
 	opts = opts.withDefaults()
-
-	// Cells that differ only in the PRB size (or in kind) share a seed so
-	// they evaluate the same workload population and the comparison isolates
-	// the swept parameter, as in the paper's Figure 7e. Seeds derive from
-	// the (cores, mix) values themselves — not from the pair's position in
-	// the grid — so the same logical cell produces the same numbers (and
-	// reuses the same cached reference runs) no matter what else the grid
-	// contains.
-	var cells []sweepCell
-	pairSeed := func(cores int, mix workload.MixKind) int64 {
-		return opts.Seed + int64(cores)*8 + int64(mix)
-	}
-	for _, cores := range opts.CoreCounts {
-		for _, mix := range opts.Mixes {
-			for _, prb := range opts.PRBSizes {
-				cells = append(cells, sweepCell{kind: "accuracy", cores: cores, mix: mix, prb: prb})
-			}
-		}
-	}
-	if len(opts.Policies) > 0 {
-		for _, cores := range opts.CoreCounts {
-			for _, mix := range opts.Mixes {
-				cells = append(cells, sweepCell{kind: "partitioning", cores: cores, mix: mix})
-			}
-		}
-	}
-	for _, cores := range opts.CoreCounts {
-		for _, name := range opts.Scenarios {
-			for _, prb := range opts.PRBSizes {
-				cells = append(cells, sweepCell{kind: "scenario", cores: cores, scenario: name, prb: prb})
-			}
-		}
-	}
+	cells := enumerateCells(opts)
+	cfg := CellConfig{Cache: opts.Cache, Instr: opts.Instr}
 
 	jobs := make([]runner.Job[[]SweepRow], len(cells))
 	for i, cell := range cells {
 		cell := cell
-		var cellSeed int64
-		var label string
-		if cell.kind == "scenario" {
-			// Scenario seeds derive from the name itself (not the grid
-			// position), so the same logical cell produces the same numbers
-			// no matter what else the grid contains.
-			// PRB size is excluded from the seed (like accuracy cells) so
-			// PRB variants evaluate the same workload streams.
-			cellSeed = ScenarioSweepSeed(opts.Seed, cell.cores, cell.scenario)
-			label = fmt.Sprintf("scenario/%dc-%s/prb%d", cell.cores, cell.scenario, cell.prb)
-		} else {
-			cellSeed = pairSeed(cell.cores, cell.mix)
-			label = fmt.Sprintf("%s/%dc-%s", cell.kind, cell.cores, cell.mix)
-			if cell.kind == "accuracy" {
-				label += fmt.Sprintf("/prb%d", cell.prb)
-			}
-		}
 		jobs[i] = runner.Job[[]SweepRow]{
-			Label: label,
-			Spec:  cellSpec(cell, cellSeed, opts),
+			Label: cell.Label(),
+			Spec:  cell.Spec(),
 			Fn: func(ctx context.Context) ([]SweepRow, error) {
-				return runSweepCell(ctx, cell, cellSeed, opts)
+				return cell.Run(ctx, cfg)
 			},
 		}
 	}
@@ -232,144 +184,6 @@ type sweepCellSpec struct {
 	IntervalCycles      uint64   `json:"interval_cycles"`
 	Techniques          []string `json:"techniques,omitempty"`
 	Policies            []string `json:"policies,omitempty"`
-}
-
-// cellSpec builds the cache spec of one grid cell, so repeated sweeps (and
-// overlapping grids) recall finished cells from the two-layer cache instead
-// of re-simulating them.
-func cellSpec(cell sweepCell, seed int64, opts SweepOptions) sweepCellSpec {
-	spec := sweepCellSpec{
-		Op:                  "SweepCell/v1",
-		Kind:                cell.kind,
-		Cores:               cell.cores,
-		Scenario:            cell.scenario,
-		Seed:                seed,
-		Workloads:           opts.Workloads,
-		InstructionsPerCore: opts.InstructionsPerCore,
-		IntervalCycles:      opts.IntervalCycles,
-	}
-	switch cell.kind {
-	case "partitioning":
-		spec.Mix = cell.mix.String()
-		spec.Policies = opts.Policies
-	case "scenario":
-		spec.PRB = cell.prb
-		spec.Techniques = opts.Techniques
-	default:
-		spec.Mix = cell.mix.String()
-		spec.PRB = cell.prb
-		spec.Techniques = opts.Techniques
-	}
-	return spec
-}
-
-// sweepCheckpoint builds the warmup-sharing options of one accuracy or
-// scenario cell: the prefix co-simulates GDP units for every PRB size of the
-// grid, so all PRB variants of a (cores, mix) or (cores, scenario) pair fork
-// from one checkpoint.
-func sweepCheckpoint(opts SweepOptions) CheckpointOptions {
-	return CheckpointOptions{
-		WarmupIntervals: opts.WarmupIntervals,
-		CoPRBSizes:      opts.PRBSizes,
-	}
-}
-
-// runSweepCell executes one grid cell. Cell-level fan-out already saturates
-// the pool, so the inner study runs serially (Jobs: 1) to avoid nesting
-// worker pools.
-func runSweepCell(ctx context.Context, cell sweepCell, seed int64, opts SweepOptions) ([]SweepRow, error) {
-	switch cell.kind {
-	case "accuracy":
-		res, err := AccuracyStudyContext(ctx, AccuracyOptions{
-			Cores:               cell.cores,
-			Mix:                 cell.mix,
-			Workloads:           opts.Workloads,
-			InstructionsPerCore: opts.InstructionsPerCore,
-			IntervalCycles:      opts.IntervalCycles,
-			Seed:                seed,
-			PRBEntries:          cell.prb,
-			Techniques:          opts.Techniques,
-			Jobs:                1,
-			Cache:               opts.Cache,
-			Checkpoint:          sweepCheckpoint(opts),
-			Instr:               opts.Instr,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows := make([]SweepRow, 0, len(res.Techniques))
-		for _, t := range res.Techniques {
-			rows = append(rows, SweepRow{
-				Cores: cell.cores, Mix: cell.mix.String(), PRB: cell.prb,
-				Kind: "accuracy", Name: t.Technique,
-				MeanIPCAbsRMS:   t.MeanIPCAbsRMS,
-				MeanIPCRelRMS:   t.MeanIPCRelRMS,
-				MeanStallAbsRMS: t.MeanStallAbsRMS,
-			})
-		}
-		return rows, nil
-	case "partitioning":
-		res, err := PartitioningStudyContext(ctx, PartitioningOptions{
-			Cores:               cell.cores,
-			Mix:                 cell.mix,
-			Workloads:           opts.Workloads,
-			InstructionsPerCore: opts.InstructionsPerCore,
-			IntervalCycles:      opts.IntervalCycles,
-			Seed:                seed,
-			Policies:            opts.Policies,
-			Jobs:                1,
-			Cache:               opts.Cache,
-			Instr:               opts.Instr,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows := make([]SweepRow, 0, len(opts.Policies))
-		for _, pol := range opts.Policies {
-			rows = append(rows, SweepRow{
-				Cores: cell.cores, Mix: cell.mix.String(),
-				Kind: "partitioning", Name: pol,
-				AverageSTP: res.AverageSTP[pol],
-			})
-		}
-		return rows, nil
-	case "scenario":
-		sc, err := workload.ScenarioByName(cell.scenario)
-		if err != nil {
-			return nil, err
-		}
-		wl, err := sc.Workload(cell.cores)
-		if err != nil {
-			return nil, err
-		}
-		res, err := AccuracyStudyForWorkloadContext(ctx, wl, AccuracyOptions{
-			InstructionsPerCore: opts.InstructionsPerCore,
-			IntervalCycles:      opts.IntervalCycles,
-			Seed:                seed,
-			PRBEntries:          cell.prb,
-			Techniques:          opts.Techniques,
-			Jobs:                1,
-			Cache:               opts.Cache,
-			Checkpoint:          sweepCheckpoint(opts),
-			Instr:               opts.Instr,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows := make([]SweepRow, 0, len(res.Techniques))
-		for _, t := range res.Techniques {
-			rows = append(rows, SweepRow{
-				Cores: cell.cores, Mix: cell.scenario, PRB: cell.prb,
-				Kind: "scenario", Name: t.Technique,
-				MeanIPCAbsRMS:   t.MeanIPCAbsRMS,
-				MeanIPCRelRMS:   t.MeanIPCRelRMS,
-				MeanStallAbsRMS: t.MeanStallAbsRMS,
-			})
-		}
-		return rows, nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown sweep cell kind %q", cell.kind)
-	}
 }
 
 // ScenarioSweepSeed returns the seed a sweep derives for a scenario cell, so

@@ -39,6 +39,7 @@ type Cache struct {
 	misses        atomic.Int64
 	inflightJoins atomic.Int64
 	diskBytes     atomic.Int64
+	diskCorrupt   atomic.Int64
 }
 
 type inflightCall struct {
@@ -86,6 +87,9 @@ type CacheStats struct {
 	InflightJoins int64 `json:"inflight_joins"`
 	// DiskBytesWritten counts JSON bytes persisted to the disk layer.
 	DiskBytesWritten int64 `json:"disk_bytes_written"`
+	// DiskCorruptions counts on-disk entries that failed to decode (bit rot,
+	// truncation, torn writes): each was deleted and its cell recomputed.
+	DiskCorruptions int64 `json:"disk_corruptions"`
 }
 
 // DetailedStats reports the cache's counters split by layer.
@@ -96,6 +100,7 @@ func (c *Cache) DetailedStats() CacheStats {
 		Misses:           c.misses.Load(),
 		InflightJoins:    c.inflightJoins.Load(),
 		DiskBytesWritten: c.diskBytes.Load(),
+		DiskCorruptions:  c.diskCorrupt.Load(),
 	}
 }
 
@@ -228,7 +233,11 @@ func computeCached[T any](c *Cache, key string, fn func() (T, error)) (T, bool, 
 			if err := json.Unmarshal(raw, &v); err == nil {
 				return v, true, nil
 			}
-			// A corrupt entry is recomputed, not fatal.
+			// A corrupt or truncated entry is deleted and recomputed, never
+			// surfaced as a decode error: the disk layer is an optimization
+			// and a bad file must not poison lookups until someone removes it
+			// by hand. The recompute below rewrites a healthy entry.
+			c.removeCorrupt(key)
 		}
 	}
 	v, err := fn()
@@ -241,6 +250,71 @@ func computeCached[T any](c *Cache, key string, fn func() (T, error)) (T, bool, 
 		}
 	}
 	return v, false, nil
+}
+
+// Lookup returns the cached entry for key without computing anything: the
+// in-memory layer first, then the disk layer (promoting a disk hit into
+// memory). A corrupt disk entry is deleted and reported as a miss. The
+// distributed dispatcher uses this to answer cells from the local cache
+// before shipping them to a worker fleet.
+func Lookup[T any](c *Cache, key string) (T, bool) {
+	var zero T
+	if c == nil || key == "" {
+		return zero, false
+	}
+	c.mu.Lock()
+	v, ok := c.mem[key]
+	c.mu.Unlock()
+	if ok {
+		typed, ok := v.(T)
+		if !ok {
+			return zero, false
+		}
+		c.memHits.Add(1)
+		return typed, true
+	}
+	if c.dir == "" {
+		return zero, false
+	}
+	raw, ok := c.readDisk(key)
+	if !ok {
+		return zero, false
+	}
+	var out T
+	if err := json.Unmarshal(raw, &out); err != nil {
+		c.removeCorrupt(key)
+		return zero, false
+	}
+	c.mu.Lock()
+	c.mem[key] = out
+	c.mu.Unlock()
+	c.diskHits.Add(1)
+	return out, true
+}
+
+// Put stores an externally computed value (for example a cell result fetched
+// from a remote worker) under key, in memory and — when configured — on disk,
+// so later lookups of the same spec are local.
+func (c *Cache) Put(key string, v any) {
+	if c == nil || key == "" {
+		return
+	}
+	c.mu.Lock()
+	c.mem[key] = v
+	c.mu.Unlock()
+	if c.dir != "" {
+		if raw, err := json.Marshal(v); err == nil {
+			c.writeDisk(key, raw)
+		}
+	}
+}
+
+// removeCorrupt deletes a key's on-disk entry (both layouts) after a decode
+// failure and counts the corruption.
+func (c *Cache) removeCorrupt(key string) {
+	c.diskCorrupt.Add(1)
+	_ = os.Remove(c.path(key))
+	_ = os.Remove(c.legacyPath(key))
 }
 
 // path returns the sharded on-disk location of a key: a two-hex-character

@@ -96,4 +96,7 @@ func RegisterCacheMetrics(r *telemetry.Registry, stats func() CacheStats) {
 	r.CounterFunc("gdpsim_cache_disk_bytes_written_total",
 		"Bytes persisted to the on-disk cache layer.",
 		func() uint64 { return uint64(stats().DiskBytesWritten) })
+	r.CounterFunc("gdpsim_cache_disk_corruptions_total",
+		"Corrupt or truncated on-disk entries deleted and recomputed.",
+		func() uint64 { return uint64(stats().DiskCorruptions) })
 }

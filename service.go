@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/dispatch"
 	"repro/internal/experiments"
 	"repro/internal/perf"
 	"repro/internal/runner"
@@ -408,7 +409,14 @@ type SweepRequest struct {
 	// freely should run with a disk-backed cache and periodic restarts, or
 	// leave the knob to trusted callers (eviction is a ROADMAP item).
 	Checkpoint *SweepCheckpointRequest `json:"checkpoint,omitempty"`
+	// Workers, when non-empty, shards the grid across the listed remote
+	// `gdpsim serve` workers (base URLs; bare host:port implies http://)
+	// instead of the local pool. Rows are byte-identical either way.
+	Workers []string `json:"workers,omitempty"`
 }
+
+// maxServiceWorkers bounds the fleet size one sweep request may name.
+const maxServiceWorkers = 64
 
 // SweepCheckpointRequest is the warmup-sharing knob of a sweep request.
 type SweepCheckpointRequest struct {
@@ -487,6 +495,12 @@ func (req *SweepRequest) validate() (SweepOptions, error) {
 		}
 		opts.WarmupIntervals = w
 	}
+	if len(req.Workers) > maxServiceWorkers {
+		return SweepOptions{}, badRequestf("%d workers exceeds the %d-worker limit", len(req.Workers), maxServiceWorkers)
+	}
+	if _, err := dispatch.ParseWorkers(req.Workers); err != nil {
+		return SweepOptions{}, badRequestErr(err)
+	}
 	if len(req.Mixes) > 0 {
 		mixes, err := experiments.ParseMixList(strings.Join(req.Mixes, ","))
 		if err != nil {
@@ -531,7 +545,12 @@ func (e *Engine) EvaluateSweep(ctx context.Context, req *SweepRequest) (*SweepRe
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.Sweep(ctx, opts)
+	var res *SweepResult
+	if len(req.Workers) > 0 {
+		res, err = e.SweepWorkers(ctx, opts, req.Workers)
+	} else {
+		res, err = e.Sweep(ctx, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -583,6 +602,11 @@ type Server struct {
 	// pprofEnabled mounts net/http/pprof under /debug/pprof/.
 	pprofEnabled bool
 	metrics      *httpServerMetrics
+	// batches, cellSem and dispatchSrv form the worker side of the
+	// distributed dispatch protocol (see service_cells.go).
+	batches     *batchRegistry
+	cellSem     chan struct{}
+	dispatchSrv *dispatchServerMetrics
 }
 
 // httpServerMetrics holds the HTTP-layer metric handles, resolved once at
@@ -668,6 +692,8 @@ func NewServer(engine *Engine, opts ...ServerOption) (*Server, error) {
 		maxBodyBytes: 1 << 20,
 		logger:       slog.New(slog.DiscardHandler),
 		metrics:      newHTTPServerMetrics(engine.registry),
+		batches:      newBatchRegistry(),
+		dispatchSrv:  newDispatchServerMetrics(engine.registry),
 	}
 	for _, opt := range opts {
 		if err := opt(s); err != nil {
@@ -677,12 +703,22 @@ func NewServer(engine *Engine, opts ...ServerOption) (*Server, error) {
 	if s.sem == nil {
 		s.sem = make(chan struct{}, 2*defaultConcurrency())
 	}
+	// Dispatched cells fan out on their own semaphore sized like the engine's
+	// worker pool: a batch occupies one request slot while its cells use the
+	// machine's cores.
+	cellJobs := engine.jobs
+	if cellJobs <= 0 {
+		cellJobs = defaultConcurrency()
+	}
+	s.cellSem = make(chan struct{}, cellJobs)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux.HandleFunc("/v1/estimate", s.instrument("/v1/estimate", handleJSON(s, s.engine.Estimate)))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", handleJSON(s, s.engine.EvaluateSweep)))
 	s.mux.HandleFunc("/v1/scenarios", s.instrument("/v1/scenarios", s.handleScenarios))
+	s.mux.HandleFunc("/v1/cells", s.instrument("/v1/cells", s.handleCellsPost))
+	s.mux.HandleFunc("/v1/cells/", s.instrument("/v1/cells/{id}", s.handleCellStream))
 	if s.pprofEnabled {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -791,7 +827,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	stats := s.engine.Cache().DetailedStats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"api_version":    APIVersion,
 		"git_revision":   perf.GitRevision(),
@@ -799,7 +835,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"cache_hits":     stats.MemoryHits + stats.DiskHits + stats.InflightJoins,
 		"cache_misses":   stats.Misses,
 		"cache":          stats,
-	})
+	}
+	if fleet := s.engine.FleetHealth(); fleet != nil {
+		body["fleet"] = fleet
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics exposes the Engine's registry in the Prometheus text format

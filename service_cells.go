@@ -1,0 +1,339 @@
+package gdp
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/telemetry"
+)
+
+// Worker wire protocol (the server side of internal/dispatch):
+//
+//	POST /v1/cells       dispatch.CellsRequest -> dispatch.CellsResponse
+//	GET  /v1/cells/{id}  NDJSON stream of dispatch.CellResult lines
+//
+// A batch executes asynchronously on the worker's cell pool; the result
+// stream replays every line already produced and then follows live, so a
+// dispatcher that reconnects after a network blip loses nothing. Each cell
+// runs through the engine's two-layer cache under its spec key — a repeated
+// cell (from any dispatcher, or from this worker's own local sweeps) is
+// answered without re-simulation.
+
+const (
+	// maxActiveCellBatches bounds concurrently executing batches; excess
+	// POSTs shed with 503 like the JSON endpoints.
+	maxActiveCellBatches = 8
+	// cellBatchRetention keeps a finished batch's lines available for replay.
+	cellBatchRetention = 5 * time.Minute
+	// cellBatchMaxAge hard-caps a batch's lifetime, execution included.
+	cellBatchMaxAge = 30 * time.Minute
+)
+
+// cellBatch is one accepted batch: its result lines (already JSON-encoded,
+// newline-free) and the completion state. Lines are retained until the batch
+// expires so result streams can replay from the start.
+type cellBatch struct {
+	id      string
+	created time.Time
+
+	mu      sync.Mutex
+	lines   []json.RawMessage
+	done    bool
+	doneAt  time.Time
+	changed chan struct{} // replaced on every append; closed to wake streams
+}
+
+// append encodes one result line and wakes every follower.
+func (b *cellBatch) append(res dispatch.CellResult) {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		raw, _ = json.Marshal(dispatch.CellResult{Index: res.Index, Error: err.Error()})
+	}
+	b.mu.Lock()
+	b.lines = append(b.lines, raw)
+	if res.Done {
+		b.done = true
+		b.doneAt = time.Now()
+	}
+	close(b.changed)
+	b.changed = make(chan struct{})
+	b.mu.Unlock()
+}
+
+// batchRegistry tracks the server's batches.
+type batchRegistry struct {
+	mu      sync.Mutex
+	batches map[string]*cellBatch
+}
+
+func newBatchRegistry() *batchRegistry {
+	return &batchRegistry{batches: map[string]*cellBatch{}}
+}
+
+// prune drops finished batches past the replay retention and any batch past
+// the hard age cap. Called on every POST; the registry stays O(active).
+func (r *batchRegistry) prune(now time.Time) {
+	for id, b := range r.batches {
+		b.mu.Lock()
+		expired := (b.done && now.Sub(b.doneAt) > cellBatchRetention) ||
+			now.Sub(b.created) > cellBatchMaxAge
+		b.mu.Unlock()
+		if expired {
+			delete(r.batches, id)
+		}
+	}
+}
+
+// admit registers a new batch if the active count allows it.
+func (r *batchRegistry) admit(now time.Time) (*cellBatch, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.prune(now)
+	active := 0
+	for _, b := range r.batches {
+		b.mu.Lock()
+		if !b.done {
+			active++
+		}
+		b.mu.Unlock()
+	}
+	if active >= maxActiveCellBatches {
+		return nil, false
+	}
+	buf := make([]byte, 8)
+	if _, err := rand.Read(buf); err != nil {
+		return nil, false
+	}
+	b := &cellBatch{
+		id:      hex.EncodeToString(buf),
+		created: now,
+		changed: make(chan struct{}),
+	}
+	r.batches[b.id] = b
+	return b, true
+}
+
+func (r *batchRegistry) get(id string) (*cellBatch, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.batches[id]
+	return b, ok
+}
+
+// dispatchServerMetrics instruments the worker side of the protocol.
+type dispatchServerMetrics struct {
+	servedCells   *telemetry.CounterVec
+	servedBatches *telemetry.Counter
+	activeBatches *telemetry.Gauge
+}
+
+func newDispatchServerMetrics(r *telemetry.Registry) *dispatchServerMetrics {
+	return &dispatchServerMetrics{
+		servedCells: r.CounterVec("gdpsim_dispatch_served_cells_total",
+			"Cells executed for remote dispatchers, by outcome.", "outcome"),
+		servedBatches: r.Counter("gdpsim_dispatch_served_batches_total",
+			"Cell batches completed for remote dispatchers."),
+		activeBatches: r.Gauge("gdpsim_dispatch_active_batches",
+			"Cell batches currently executing."),
+	}
+}
+
+// validateCell applies the service work-size limits on top of the cell's own
+// structural validation: a worker bounds how much simulation one dispatched
+// cell may demand exactly like a direct request.
+func validateCell(c experiments.Cell) error {
+	if err := c.Validate(); err != nil {
+		return badRequestErr(err)
+	}
+	if c.Cores > maxServiceCores {
+		return badRequestf("cell core count %d out of range (1..%d)", c.Cores, maxServiceCores)
+	}
+	if err := checkWorkSize(c.InstructionsPerCore, c.IntervalCycles, c.Workloads); err != nil {
+		return err
+	}
+	if c.PRB > maxServicePRBEntries {
+		return badRequestf("cell prb size %d out of range (1..%d)", c.PRB, maxServicePRBEntries)
+	}
+	if c.WarmupIntervals < 0 || c.WarmupIntervals > maxServiceWarmupIntervals {
+		return badRequestf("cell warmup_intervals = %d out of range (0..%d)", c.WarmupIntervals, maxServiceWarmupIntervals)
+	}
+	for _, prb := range c.CoPRBSizes {
+		if prb <= 0 || prb > maxServicePRBEntries {
+			return badRequestf("cell co_prb_sizes entry %d out of range (1..%d)", prb, maxServicePRBEntries)
+		}
+	}
+	return nil
+}
+
+// handleCellsPost accepts one batch of cells and starts executing it.
+func (s *Server) handleCellsPost(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req dispatch.CellsRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if req.APIVersion != dispatch.ProtocolVersion {
+		writeError(w, http.StatusBadRequest,
+			"unsupported api_version \""+req.APIVersion+"\" (this worker speaks \""+dispatch.ProtocolVersion+"\")")
+		return
+	}
+	if len(req.Cells) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Cells) > maxSweepCells {
+		writeError(w, http.StatusBadRequest, "batch exceeds the cell limit")
+		return
+	}
+	for _, env := range req.Cells {
+		if env.Index < 0 {
+			writeError(w, http.StatusBadRequest, "negative cell index")
+			return
+		}
+		if err := validateCell(env.Cell); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	b, ok := s.batches.admit(time.Now())
+	if !ok {
+		s.metrics.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "batch limit reached")
+		return
+	}
+	s.dispatchSrv.activeBatches.Inc()
+	go s.runCellBatch(b, req.Cells)
+	writeJSON(w, http.StatusOK, dispatch.CellsResponse{
+		APIVersion: dispatch.ProtocolVersion,
+		BatchID:    b.id,
+		Cells:      len(req.Cells),
+	})
+}
+
+// runCellBatch executes a batch on the server's cell pool, appending each
+// result line the moment its cell finishes (completion order — the dispatcher
+// merges by index). Cells flow through the engine cache under their spec
+// keys, so repeats are answered without simulation and local sweeps on this
+// worker reuse dispatched results.
+func (s *Server) runCellBatch(b *cellBatch, cells []dispatch.CellEnvelope) {
+	ctx, cancel := context.WithTimeout(context.Background(), cellBatchMaxAge)
+	defer cancel()
+	cache := s.engine.Cache()
+	cfg := experiments.CellConfig{Cache: cache, Instr: s.engine.instr}
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		completed int
+		failed    int
+	)
+	for _, env := range cells {
+		wg.Add(1)
+		go func(env dispatch.CellEnvelope) {
+			defer wg.Done()
+			s.cellSem <- struct{}{}
+			defer func() { <-s.cellSem }()
+			res := dispatch.CellResult{Index: env.Index}
+			key, err := runner.SpecKey(env.Cell.Spec())
+			if err == nil {
+				res.SpecKey = key
+				var rows []SweepRow
+				rows, _, err = runner.MemoKeyedContext(ctx, cache, key, func() ([]SweepRow, error) {
+					return env.Cell.Run(ctx, cfg)
+				})
+				res.Rows = rows
+			}
+			mu.Lock()
+			switch {
+			case err == nil:
+				completed++
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				// The worker is giving up (shutdown, batch age cap), not the
+				// cell itself: tell the dispatcher to reschedule elsewhere
+				// instead of failing the whole sweep.
+				res.Rows, res.Error, res.Retryable = nil, err.Error(), true
+				failed++
+			default:
+				res.Rows, res.Error = nil, err.Error()
+				failed++
+			}
+			mu.Unlock()
+			outcome := "completed"
+			if res.Error != "" {
+				outcome = "failed"
+			}
+			s.dispatchSrv.servedCells.With(outcome).Inc()
+			b.append(res)
+		}(env)
+	}
+	wg.Wait()
+	mu.Lock()
+	done := dispatch.CellResult{Done: true, Completed: completed, Failed: failed}
+	mu.Unlock()
+	b.append(done)
+	s.dispatchSrv.activeBatches.Dec()
+	s.dispatchSrv.servedBatches.Inc()
+}
+
+// handleCellStream streams a batch's results as NDJSON: every line produced
+// so far (replay), then live lines until the terminal done line.
+func (s *Server) handleCellStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/cells/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "unknown batch")
+		return
+	}
+	b, ok := s.batches.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown batch")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		b.mu.Lock()
+		lines := b.lines[sent:]
+		done := b.done
+		ch := b.changed
+		b.mu.Unlock()
+		for _, line := range lines {
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return
+			}
+		}
+		sent += len(lines)
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

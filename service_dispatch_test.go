@@ -1,0 +1,447 @@
+package gdp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dispatch"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// dispatchTestScale is the tiny scale every fleet test runs at: small enough
+// that a full grid is seconds, deterministic across engines.
+func dispatchTestScale() StudyScale {
+	return StudyScale{
+		WorkloadsPerCell:    1,
+		InstructionsPerCore: 3000,
+		IntervalCycles:      2000,
+		Seed:                1,
+		CoreCounts:          []int{2},
+	}
+}
+
+// newWorker boots one real worker: a fresh Engine (own cache) behind a real
+// HTTP listener, exactly what `gdpsim serve` runs.
+func newWorker(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	engine, err := NewEngine(WithScale(dispatchTestScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// dispatchTestSweep is the shared grid: 6 accuracy cells (3 mixes × 2 PRB
+// sizes) on 2 cores, one technique to keep the wall-clock down.
+func dispatchTestSweep() SweepOptions {
+	return SweepOptions{
+		CoreCounts:          []int{2},
+		Mixes:               []workload.MixKind{workload.MixH, workload.MixM, workload.MixL},
+		PRBSizes:            []int{16, 32},
+		Techniques:          []string{"GDP"},
+		Workloads:           1,
+		InstructionsPerCore: 3000,
+		IntervalCycles:      2000,
+		Seed:                1,
+	}
+}
+
+// rowsJSON canonicalizes rows for byte-identity comparison.
+func rowsJSON(t *testing.T, rows []SweepRow) string {
+	t.Helper()
+	b, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// localSweepRows runs the reference single-machine sweep on a fresh engine.
+func localSweepRows(t *testing.T) string {
+	t.Helper()
+	engine, err := NewEngine(WithScale(dispatchTestScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Sweep(t.Context(), dispatchTestSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("local sweep produced no rows")
+	}
+	return rowsJSON(t, res.Rows)
+}
+
+// TestSweepWorkersMatchesLocal is the tentpole acceptance check: the same grid
+// sharded across two real workers produces byte-identical rows to a
+// single-machine sweep.
+func TestSweepWorkersMatchesLocal(t *testing.T) {
+	want := localSweepRows(t)
+
+	w1, _ := newWorker(t)
+	w2, _ := newWorker(t)
+	engine, err := NewEngine(WithScale(dispatchTestScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.SweepWorkers(t.Context(), dispatchTestSweep(), []string{w1.URL, w2.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowsJSON(t, res.Rows); got != want {
+		t.Errorf("distributed rows differ from local:\n got %s\nwant %s", got, want)
+	}
+	if res.Cells != 6 {
+		t.Errorf("cells = %d, want 6", res.Cells)
+	}
+}
+
+// TestEngineWithWorkersRoutesSweep checks the WithWorkers construction path:
+// Engine.Sweep itself dispatches, and FleetHealth reports the fleet.
+func TestEngineWithWorkersRoutesSweep(t *testing.T) {
+	want := localSweepRows(t)
+
+	w1, _ := newWorker(t)
+	engine, err := NewEngine(WithScale(dispatchTestScale()), WithWorkers(w1.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := engine.FleetHealth()
+	if len(fleet) != 1 || fleet[0].State != "healthy" {
+		t.Fatalf("fleet = %+v, want one healthy worker", fleet)
+	}
+	res, err := engine.Sweep(t.Context(), dispatchTestSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowsJSON(t, res.Rows); got != want {
+		t.Errorf("WithWorkers rows differ from local:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestWithWorkersRejectsBadURL(t *testing.T) {
+	_, err := NewEngine(WithWorkers("http://host/path"))
+	if err == nil {
+		t.Fatal("WithWorkers accepted a URL with a path")
+	}
+}
+
+// killableWorker proxies a real worker and then "dies" mid-grid: the first
+// result stream is cut after one line and every later request is refused, so
+// the dispatcher must finish the grid via retry/steal on the survivors.
+type killableWorker struct {
+	srv      *Server
+	killed   atomic.Bool
+	streams  atomic.Int64
+	rejected atomic.Int64
+}
+
+func (k *killableWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.killed.Load() {
+		k.rejected.Add(1)
+		http.Error(w, "worker down", http.StatusServiceUnavailable)
+		return
+	}
+	if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/cells/") && k.streams.Add(1) == 1 {
+		k.srv.ServeHTTP(&cutWriter{ResponseWriter: w, allow: 1, onCut: func() { k.killed.Store(true) }}, r)
+		return
+	}
+	k.srv.ServeHTTP(w, r)
+}
+
+// cutWriter lets `allow` NDJSON lines through, then aborts the connection.
+type cutWriter struct {
+	http.ResponseWriter
+	allow int
+	seen  int
+	onCut func()
+}
+
+func (c *cutWriter) Write(p []byte) (int, error) {
+	if c.seen >= c.allow {
+		c.onCut()
+		panic(http.ErrAbortHandler)
+	}
+	c.seen += bytes.Count(p, []byte("\n"))
+	return c.ResponseWriter.Write(p)
+}
+
+func (c *cutWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestSweepWorkersSurvivesWorkerDeath kills one of two workers mid-grid and
+// requires the sweep to complete with rows byte-identical to local.
+func TestSweepWorkersSurvivesWorkerDeath(t *testing.T) {
+	want := localSweepRows(t)
+
+	_, victim := newWorker(t)
+	kw := &killableWorker{srv: victim}
+	dying := httptest.NewServer(kw)
+	t.Cleanup(dying.Close)
+	healthy, _ := newWorker(t)
+
+	engine, err := NewEngine(WithScale(dispatchTestScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.SweepWorkers(t.Context(), dispatchTestSweep(), []string{dying.URL, healthy.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowsJSON(t, res.Rows); got != want {
+		t.Errorf("rows after worker death differ from local:\n got %s\nwant %s", got, want)
+	}
+	if !kw.killed.Load() {
+		t.Error("victim worker was never exercised (fault not injected)")
+	}
+}
+
+// TestSweepWorkersFleetAllDead degrades to local execution when every worker
+// refuses batches, still byte-identical.
+func TestSweepWorkersFleetAllDead(t *testing.T) {
+	want := localSweepRows(t)
+
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(dead.Close)
+
+	engine, err := NewEngine(WithScale(dispatchTestScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.SweepWorkers(t.Context(), dispatchTestSweep(), []string{dead.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowsJSON(t, res.Rows); got != want {
+		t.Errorf("all-dead-fleet rows differ from local:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestSweepEndpointWorkersField drives the whole stack over HTTP: a dispatcher
+// server whose /v1/sweep request names two worker servers.
+func TestSweepEndpointWorkersField(t *testing.T) {
+	w1, _ := newWorker(t)
+	w2, _ := newWorker(t)
+	front := testServer(t)
+
+	body := fmt.Sprintf(`{"core_counts": [2], "mixes": ["H"], "prb_sizes": [16],
+		"techniques": ["GDP"], "workloads": 1, "instructions_per_core": 3000,
+		"interval_cycles": 2000, "seed": 1, "workers": [%q, %q]}`, w1.URL, w2.URL)
+	rec := postJSON(t, front, "/v1/sweep", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", rec.Code, rec.Body.String())
+	}
+	var distributed SweepResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &distributed); err != nil {
+		t.Fatal(err)
+	}
+
+	local := postJSON(t, testServer(t), "/v1/sweep", strings.Replace(body, "workers", "ignored_workers", 1))
+	if local.Code != http.StatusOK {
+		t.Fatalf("local status = %d, body = %s", local.Code, local.Body.String())
+	}
+	var want SweepResponse
+	if err := json.Unmarshal(local.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(distributed.Rows) == 0 || rowsJSON(t, distributed.Rows) != rowsJSON(t, want.Rows) {
+		t.Errorf("workers-field rows differ from local:\n got %+v\nwant %+v", distributed.Rows, want.Rows)
+	}
+}
+
+// TestSweepEndpointWorkersValidation: malformed fleet specifications are
+// client errors, reported before any simulation starts.
+func TestSweepEndpointWorkersValidation(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"bad scheme", `{"workers": ["ftp://host:1"]}`},
+		{"has path", `{"workers": ["http://host:1/api"]}`},
+		{"duplicate", `{"workers": ["http://h:1", "http://h:1"]}`},
+		{"credentials", `{"workers": ["http://user:pw@h:1"]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := postJSON(t, srv, "/v1/sweep", tc.body)
+			if rec.Code != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400 (body %s)", rec.Code, rec.Body.String())
+			}
+		})
+	}
+	long := `{"workers": [` + strings.Repeat(`"http://h:1",`, 64) + `"http://h:2"]}`
+	rec := postJSON(t, srv, "/v1/sweep", long)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized fleet: status = %d, want 400", rec.Code)
+	}
+}
+
+// TestCellsEndpointProtocol exercises the worker wire endpoints directly:
+// a valid batch streams per-cell lines ending in a done line; malformed
+// batches are 400s; unknown batch ids are 404s.
+func TestCellsEndpointProtocol(t *testing.T) {
+	srv := testServer(t)
+	cell := experiments.Cell{
+		Kind: experiments.CellKindAccuracy, Cores: 2, Mix: "H", PRB: 16,
+		Seed: 1, Workloads: 1, InstructionsPerCore: 3000, IntervalCycles: 2000,
+		Techniques: []string{"GDP"},
+	}
+	reqBody, _ := json.Marshal(dispatch.CellsRequest{
+		APIVersion: dispatch.ProtocolVersion,
+		Cells:      []dispatch.CellEnvelope{{Index: 0, Cell: cell}},
+	})
+	rec := postJSON(t, srv, "/v1/cells", string(reqBody))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status = %d, body = %s", rec.Code, rec.Body.String())
+	}
+	var ack dispatch.CellsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.APIVersion != dispatch.ProtocolVersion || ack.BatchID == "" || ack.Cells != 1 {
+		t.Fatalf("bad ack: %+v", ack)
+	}
+
+	// The stream handler blocks until the done line; a recorder collects it.
+	streamReq := httptest.NewRequest(http.MethodGet, "/v1/cells/"+ack.BatchID, nil)
+	streamRec := httptest.NewRecorder()
+	srv.ServeHTTP(streamRec, streamReq)
+	if streamRec.Code != http.StatusOK {
+		t.Fatalf("stream status = %d", streamRec.Code)
+	}
+	lines := strings.Split(strings.TrimSpace(streamRec.Body.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("stream lines = %d, want 2 (result + done):\n%s", len(lines), streamRec.Body.String())
+	}
+	var res, done dispatch.CellResult
+	if err := json.Unmarshal([]byte(lines[0]), &res); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &done); err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != "" || len(res.Rows) == 0 || res.SpecKey == "" {
+		t.Errorf("cell result: %+v", res)
+	}
+	if !done.Done || done.Completed != 1 || done.Failed != 0 {
+		t.Errorf("done line: %+v", done)
+	}
+
+	// Replay: a second stream of the same batch returns the same lines.
+	replayRec := httptest.NewRecorder()
+	srv.ServeHTTP(replayRec, httptest.NewRequest(http.MethodGet, "/v1/cells/"+ack.BatchID, nil))
+	if replayRec.Body.String() != streamRec.Body.String() {
+		t.Error("replayed stream differs from the first stream")
+	}
+
+	for name, body := range map[string]string{
+		"wrong version": `{"api_version": "v0", "cells": [{"index": 0}]}`,
+		"empty batch":   `{"api_version": "v1"}`,
+		"bad cell":      `{"api_version": "v1", "cells": [{"index": 0, "cell": {"kind": "nope", "cores": 2}}]}`,
+		"neg index":     `{"api_version": "v1", "cells": [{"index": -1, "cell": {"kind": "accuracy", "cores": 2, "mix": "H", "prb": 16}}]}`,
+	} {
+		if rec := postJSON(t, srv, "/v1/cells", body); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %s)", name, rec.Code, rec.Body.String())
+		}
+	}
+
+	notFound := httptest.NewRecorder()
+	srv.ServeHTTP(notFound, httptest.NewRequest(http.MethodGet, "/v1/cells/doesnotexist", nil))
+	if notFound.Code != http.StatusNotFound {
+		t.Errorf("unknown batch: status = %d, want 404", notFound.Code)
+	}
+}
+
+// TestHealthzFleetSection: a dispatcher engine built WithWorkers reports fleet
+// health on /healthz; a plain engine omits the section.
+func TestHealthzFleetSection(t *testing.T) {
+	w1, _ := newWorker(t)
+	engine, err := NewEngine(WithScale(dispatchTestScale()), WithWorkers(w1.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var body struct {
+		Fleet []dispatch.WorkerHealth `json:"fleet"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Fleet) != 1 || body.Fleet[0].URL != w1.URL {
+		t.Errorf("fleet = %+v, want the one worker", body.Fleet)
+	}
+
+	plain := testServer(t)
+	rec = httptest.NewRecorder()
+	plain.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if strings.Contains(rec.Body.String(), `"fleet"`) {
+		t.Error("fleet section present on a worker-less engine")
+	}
+}
+
+// TestDispatchMetricsExposed: after a distributed sweep, the dispatcher
+// exposes gdpsim_dispatch_* series and the worker exposes served-cell series.
+func TestDispatchMetricsExposed(t *testing.T) {
+	w1, worker := newWorker(t)
+	engine, err := NewEngine(WithScale(dispatchTestScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := NewServer(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.SweepWorkers(t.Context(), dispatchTestSweep(), []string{w1.URL}); err != nil {
+		t.Fatal(err)
+	}
+
+	scrape := func(s *Server) string {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+		return rec.Body.String()
+	}
+	frontMetrics := scrape(front)
+	for _, want := range []string{
+		`gdpsim_dispatch_cells_total{outcome="completed"} 6`,
+		"gdpsim_dispatch_batches_total",
+		"gdpsim_dispatch_worker_seconds",
+	} {
+		if !strings.Contains(frontMetrics, want) {
+			t.Errorf("dispatcher /metrics missing %q", want)
+		}
+	}
+	workerMetrics := scrape(worker)
+	for _, want := range []string{
+		`gdpsim_dispatch_served_cells_total{outcome="completed"} 6`,
+		"gdpsim_dispatch_served_batches_total",
+	} {
+		if !strings.Contains(workerMetrics, want) {
+			t.Errorf("worker /metrics missing %q", want)
+		}
+	}
+}
