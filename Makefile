@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke vet fmt-check bench bench-smoke bench-go bench-sweep serve-smoke dispatch-smoke clean
+.PHONY: all build test race fuzz-smoke vet fmt-check bench bench-smoke bench-go bench-sweep serve-smoke dispatch-smoke cache-smoke clean
 
 all: build test vet fmt-check
 
@@ -60,6 +60,12 @@ serve-smoke:
 # run and checks the dispatch telemetry (see scripts/dispatch_smoke.sh).
 dispatch-smoke:
 	sh scripts/dispatch_smoke.sh
+
+# cache-smoke byte-compares a sweep run unbounded against the same sweep
+# under a starved -cache-mem-mb budget with disk spill, twice (cold and warm
+# disk tier); see scripts/cache_smoke.sh.
+cache-smoke:
+	sh scripts/cache_smoke.sh
 
 # bench-go runs the go-test figure/regeneration benchmarks.
 bench-go:

@@ -72,6 +72,7 @@ func run(ctx context.Context, args []string) error {
 	benchNames := fs.String("benchmarks", "", "comma-separated benchmark names for the run command")
 	jobs := fs.Int("jobs", 0, "worker-pool width for simulation cells (0 = all CPUs, 1 = serial)")
 	cacheDir := fs.String("cache-dir", "", "persist private-mode reference simulations in this directory")
+	cacheMemMB := fs.Float64("cache-mem-mb", 0, "bound the result cache's memory layer to this many MB, evicting cold entries (to -cache-dir when set, so they stay one disk read away; 0 = unbounded; may be fractional)")
 	progress := fs.Bool("progress", false, "report per-cell progress and ETA on stderr")
 	logLevel := fs.String("log-level", "info", "minimum structured log level on stderr (debug, info, warn, error)")
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +80,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *jobs < 0 {
 		return fmt.Errorf("-jobs %d out of range (0 = all CPUs, or a positive width)", *jobs)
+	}
+	if *cacheMemMB < 0 {
+		return fmt.Errorf("-cache-mem-mb %v out of range (0 = unbounded, or a positive budget in MB)", *cacheMemMB)
 	}
 	logger, err := newLogger(*logLevel)
 	if err != nil {
@@ -115,6 +119,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *progress {
 		engineOpts = append(engineOpts, gdp.WithProgress(gdp.ConsoleProgress(os.Stderr)))
+	}
+	if *cacheMemMB > 0 {
+		engineOpts = append(engineOpts, gdp.WithCacheBudget(int64(*cacheMemMB*float64(1<<20))))
 	}
 	engine, err := gdp.NewEngine(engineOpts...)
 	if err != nil {
@@ -347,6 +354,9 @@ func cmdSweep(ctx context.Context, engine *gdp.Engine, args []string) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("sweep: unexpected argument %q", fs.Arg(0))
 	}
+	if *warmupIntervals < 0 {
+		return fmt.Errorf("sweep: -warmup-intervals %d out of range (0 = derive a default with -checkpoint, or a positive prefix length)", *warmupIntervals)
+	}
 
 	coreCounts, err := experiments.ParseIntList(*coresList)
 	if err != nil {
@@ -433,6 +443,8 @@ func cmdServe(ctx context.Context, engine *gdp.Engine, logger *slog.Logger, args
 	maxConcurrent := fs.Int("max-concurrent", 0, "concurrent estimation/sweep requests (0 = 2x CPUs)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "how long to drain in-flight requests on shutdown")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes process internals; keep off in shared deployments)")
+	coalesceWindow := fs.Duration("coalesce-window", 0, "hold an estimate for this long so identical concurrent requests share one simulation (0 = coalesce only while one is already running)")
+	coalesceMax := fs.Int("coalesce-max", 0, "release a coalesced estimate batch early once this many requests joined (0 = no size flush)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -442,6 +454,9 @@ func cmdServe(ctx context.Context, engine *gdp.Engine, logger *slog.Logger, args
 	srvOpts := []gdp.ServerOption{gdp.WithLogger(logger)}
 	if *maxConcurrent > 0 {
 		srvOpts = append(srvOpts, gdp.WithMaxConcurrent(*maxConcurrent))
+	}
+	if *coalesceWindow != 0 || *coalesceMax != 0 {
+		srvOpts = append(srvOpts, gdp.WithCoalesce(*coalesceWindow, *coalesceMax))
 	}
 	if *pprofFlag {
 		srvOpts = append(srvOpts, gdp.WithPprof())

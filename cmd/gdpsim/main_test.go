@@ -160,6 +160,51 @@ func TestSweepRejectsBadGrid(t *testing.T) {
 	}
 }
 
+func TestSweepRejectsNegativeWarmupIntervals(t *testing.T) {
+	err := run(context.Background(), []string{"sweep", "-cores", "2", "-warmup-intervals", "-3"})
+	if err == nil || !strings.Contains(err.Error(), "-warmup-intervals") {
+		t.Errorf("negative -warmup-intervals accepted (err = %v)", err)
+	}
+}
+
+func TestRunRejectsNegativeCacheBudget(t *testing.T) {
+	err := run(context.Background(), []string{"-cache-mem-mb", "-1", "table1"})
+	if err == nil || !strings.Contains(err.Error(), "-cache-mem-mb") {
+		t.Errorf("negative -cache-mem-mb accepted (err = %v)", err)
+	}
+}
+
+// TestCacheBudgetFlagSweep runs the same tiny grid unbounded and under a
+// deliberately starved memory budget (with a disk spill tier) and compares
+// the exported rows byte for byte.
+func TestCacheBudgetFlagSweep(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	bounded := filepath.Join(dir, "bounded.json")
+	grid := []string{
+		"-workloads", "1", "-instructions", "2000", "-interval", "2000",
+	}
+	sweep := []string{"sweep", "-cores", "2", "-mixes", "H", "-prb", "16,32", "-techniques", "GDP-O"}
+	if err := run(context.Background(), append(append(append([]string{}, grid...), sweep...), "-json", base)); err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"-cache-dir", filepath.Join(dir, "cache"), "-cache-mem-mb", "0.001"}, grid...)
+	if err := run(context.Background(), append(append(args, sweep...), "-json", bounded)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("rows differ under -cache-mem-mb:\n%s\nvs\n%s", got, want)
+	}
+}
+
 func TestCacheDirFlag(t *testing.T) {
 	dir := t.TempDir()
 	if err := run(context.Background(), []string{

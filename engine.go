@@ -34,6 +34,11 @@ type Engine struct {
 	// (in accounting intervals) applied to studies and sweeps that do not
 	// carry their own checkpoint configuration. Zero disables sharing.
 	warmupIntervals int
+	// cacheBudget bounds the result cache's memory layer in approximate
+	// bytes (WithCacheBudget); zero leaves it unbounded. Applied to the
+	// resolved cache once all options have run, so it composes with
+	// WithCache in either order.
+	cacheBudget int64
 	// processCache marks the engine behind the deprecated package-level
 	// functions: it resolves its cache through the process-wide default at
 	// every call, so SetDefaultResultCache keeps affecting legacy callers.
@@ -103,6 +108,25 @@ func WithScale(s StudyScale) EngineOption {
 	}
 }
 
+// WithCacheBudget bounds the memory layer of the Engine's result cache to
+// approximately maxBytes. Past the budget, the least-recently-used entries
+// are evicted; with a disk-backed cache (WithCache over NewDiskResultCache)
+// they spill to the sharded disk layer and stay one read away, so rows remain
+// byte-identical — only recompute-vs-reread wall-clock changes. Zero leaves
+// the memory layer unbounded (the historical behavior). Long-lived servers
+// whose sweeps memoize checkpoint blobs should always set a budget: the
+// blobs are orders of magnitude larger than the result rows the cache was
+// designed for.
+func WithCacheBudget(maxBytes int64) EngineOption {
+	return func(e *Engine) error {
+		if maxBytes < 0 {
+			return fmt.Errorf("gdp: WithCacheBudget(%d): budget must be >= 0", maxBytes)
+		}
+		e.cacheBudget = maxBytes
+		return nil
+	}
+}
+
 // WithCheckpoints turns on checkpointed warmup sharing by default: every
 // accuracy study and sweep the Engine runs simulates its first
 // warmupIntervals accounting intervals once per unique warmup prefix
@@ -147,6 +171,9 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 	}
 	if e.cache == nil {
 		e.cache = runner.NewCache()
+	}
+	if e.cacheBudget > 0 {
+		e.cache.SetMaxBytes(e.cacheBudget)
 	}
 	e.initTelemetry()
 	if len(e.workers) > 0 {

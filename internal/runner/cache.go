@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"container/list"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -14,9 +15,19 @@ import (
 )
 
 // Cache is a content-addressed result cache. Entries are keyed by a hash of
-// the job spec (SpecKey), held in memory for the lifetime of the process and,
+// the job spec (SpecKey), held in a capacity-bounded in-memory LRU layer and,
 // when a directory is configured, mirrored to disk as JSON so repeated CLI
 // invocations can reuse earlier simulations.
+//
+// The memory layer tracks an approximate byte size per entry (the length of
+// its JSON encoding, which the disk-write path computes anyway, plus a small
+// fixed bookkeeping overhead). SetMaxBytes installs a budget: inserting past
+// it evicts the least-recently-used entries first. An evicted entry is not
+// lost when the cache is disk-backed — eviction guarantees it is persisted
+// (spilling it if the write-through failed or never happened), so a later
+// lookup re-serves it with one readDisk instead of a recompute. A
+// memory-only cache over budget simply drops cold entries. Without a budget
+// (the default) the memory layer is unbounded, as it always was.
 //
 // The on-disk layer shards entries into 256 two-hex-character subdirectories
 // of the cache directory (dir/ab/<key>.json): checkpoint blobs and large
@@ -30,9 +41,16 @@ import (
 // exactly once.
 type Cache struct {
 	mu       sync.Mutex
-	mem      map[string]any
+	mem      map[string]*list.Element // of *cacheEntry
+	lru      *list.List               // front = most recently used
 	inflight map[string]*inflightCall
 	dir      string // empty = memory only
+
+	// memBytes and maxBytes are mutated under mu but read lock-free by the
+	// stats path (the /metrics gauge scrapes them outside any critical
+	// section). maxBytes <= 0 disables eviction.
+	memBytes atomic.Int64
+	maxBytes atomic.Int64
 
 	memHits       atomic.Int64
 	diskHits      atomic.Int64
@@ -40,7 +58,26 @@ type Cache struct {
 	inflightJoins atomic.Int64
 	diskBytes     atomic.Int64
 	diskCorrupt   atomic.Int64
+	evictions     atomic.Int64
 }
+
+// cacheEntry is one memory-layer entry: the value, its approximate footprint
+// and whether the disk layer already holds it (so eviction knows whether a
+// spill write is needed to keep the entry reachable).
+type cacheEntry struct {
+	key       string
+	val       any
+	size      int64
+	persisted bool
+}
+
+// entryOverhead approximates the per-entry bookkeeping the JSON length does
+// not see: the map slot, the list element and the interface header.
+const entryOverhead = 96
+
+// fallbackEntrySize charges entries whose value cannot be JSON-encoded (a
+// bounded cache still has to account for them somehow).
+const fallbackEntrySize = 512
 
 type inflightCall struct {
 	done chan struct{}
@@ -50,7 +87,11 @@ type inflightCall struct {
 
 // NewCache returns an in-memory cache.
 func NewCache() *Cache {
-	return &Cache{mem: map[string]any{}, inflight: map[string]*inflightCall{}}
+	return &Cache{
+		mem:      map[string]*list.Element{},
+		lru:      list.New(),
+		inflight: map[string]*inflightCall{},
+	}
 }
 
 // NewDiskCache returns a cache that additionally persists every entry under
@@ -64,6 +105,29 @@ func NewDiskCache(dir string) (*Cache, error) {
 	return c, nil
 }
 
+// SetMaxBytes bounds the memory layer to approximately maxBytes (0 disables
+// the bound). If the cache is already over the new budget, cold entries are
+// evicted immediately. Entries stored while the cache was both unbounded and
+// memory-only were never sized (sizing costs a JSON encode) and are carried
+// at a nominal footprint; set the budget before populating the cache — the
+// engine does this at construction — for accurate accounting.
+func (c *Cache) SetMaxBytes(maxBytes int64) {
+	if c == nil {
+		return
+	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	c.maxBytes.Store(maxBytes)
+	c.mu.Lock()
+	spill := c.evictLocked(0)
+	c.mu.Unlock()
+	c.spill(spill)
+}
+
+// MaxBytes reports the memory layer's byte budget (0 = unbounded).
+func (c *Cache) MaxBytes() int64 { return c.maxBytes.Load() }
+
 // Stats reports the cache's aggregate hit and miss counters. Hits sum every
 // layer that avoided a recomputation: memory lookups, disk loads, and joins
 // onto another caller's in-flight computation. Use DetailedStats for the
@@ -76,7 +140,7 @@ func (c *Cache) Stats() (hits, misses int64) {
 // CacheStats is the per-layer breakdown of cache activity, JSON-ready for
 // healthz payloads and metrics snapshots.
 type CacheStats struct {
-	// MemoryHits counts lookups satisfied by the in-process map.
+	// MemoryHits counts lookups satisfied by the in-process LRU layer.
 	MemoryHits int64 `json:"memory_hits"`
 	// DiskHits counts lookups satisfied by the sharded on-disk layer.
 	DiskHits int64 `json:"disk_hits"`
@@ -90,17 +154,27 @@ type CacheStats struct {
 	// DiskCorruptions counts on-disk entries that failed to decode (bit rot,
 	// truncation, torn writes): each was deleted and its cell recomputed.
 	DiskCorruptions int64 `json:"disk_corruptions"`
+	// Evictions counts entries the size budget pushed out of the memory
+	// layer (disk-backed caches keep them one readDisk away).
+	Evictions int64 `json:"evictions"`
+	// MemoryBytes is the approximate byte footprint of the memory layer.
+	MemoryBytes int64 `json:"memory_bytes"`
+	// MemoryBudgetBytes is the configured memory budget (0 = unbounded).
+	MemoryBudgetBytes int64 `json:"memory_budget_bytes"`
 }
 
 // DetailedStats reports the cache's counters split by layer.
 func (c *Cache) DetailedStats() CacheStats {
 	return CacheStats{
-		MemoryHits:       c.memHits.Load(),
-		DiskHits:         c.diskHits.Load(),
-		Misses:           c.misses.Load(),
-		InflightJoins:    c.inflightJoins.Load(),
-		DiskBytesWritten: c.diskBytes.Load(),
-		DiskCorruptions:  c.diskCorrupt.Load(),
+		MemoryHits:        c.memHits.Load(),
+		DiskHits:          c.diskHits.Load(),
+		Misses:            c.misses.Load(),
+		InflightJoins:     c.inflightJoins.Load(),
+		DiskBytesWritten:  c.diskBytes.Load(),
+		DiskCorruptions:   c.diskCorrupt.Load(),
+		Evictions:         c.evictions.Load(),
+		MemoryBytes:       c.memBytes.Load(),
+		MemoryBudgetBytes: c.maxBytes.Load(),
 	}
 }
 
@@ -114,6 +188,15 @@ func SpecKey(spec any) (string, error) {
 	}
 	sum := sha256.Sum256(raw)
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// shortKey truncates a key for error messages. Exported entry points accept
+// arbitrary keys, so a key shorter than the display width must not panic.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // Memo returns the cached result for spec, computing it with fn on a miss.
@@ -164,11 +247,13 @@ func memoKeyed[T any](ctx context.Context, c *Cache, key string, fn func() (T, e
 	var call *inflightCall
 	for {
 		c.mu.Lock()
-		if v, ok := c.mem[key]; ok {
+		if el, ok := c.mem[key]; ok {
+			v := el.Value.(*cacheEntry).val
+			c.lru.MoveToFront(el)
 			c.mu.Unlock()
 			typed, ok := v.(T)
 			if !ok {
-				return zero, false, fmt.Errorf("runner: cache entry %s holds %T, want %T", key[:12], v, zero)
+				return zero, false, fmt.Errorf("runner: cache entry %s holds %T, want %T", shortKey(key), v, zero)
 			}
 			c.memHits.Add(1)
 			return typed, true, nil
@@ -195,7 +280,7 @@ func memoKeyed[T any](ctx context.Context, c *Cache, key string, fn func() (T, e
 		}
 		typed, ok := waiting.val.(T)
 		if !ok {
-			return zero, false, fmt.Errorf("runner: cache entry %s holds %T, want %T", key[:12], waiting.val, zero)
+			return zero, false, fmt.Errorf("runner: cache entry %s holds %T, want %T", shortKey(key), waiting.val, zero)
 		}
 		c.inflightJoins.Add(1)
 		return typed, true, nil
@@ -204,15 +289,43 @@ func memoKeyed[T any](ctx context.Context, c *Cache, key string, fn func() (T, e
 	c.inflight[key] = call
 	c.mu.Unlock()
 
-	val, fromDisk, err := computeCached(c, key, fn)
+	// If fn panics (or kills the goroutine via runtime.Goexit), the in-flight
+	// entry must still be released: otherwise every later caller for this key
+	// blocks on call.done forever. The panic is recorded as the call's error
+	// for current waiters, the registration is deleted so future callers
+	// recompute, and the panic continues unwinding in the owner.
+	finished := false
+	defer func() {
+		if finished {
+			return
+		}
+		r := recover()
+		if r != nil {
+			call.err = fmt.Errorf("runner: computing cache entry %s panicked: %v", shortKey(key), r)
+		} else {
+			call.err = fmt.Errorf("runner: computing cache entry %s aborted before returning", shortKey(key))
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(call.done)
+		if r != nil {
+			panic(r)
+		}
+	}()
+	val, size, persisted, fromDisk, err := computeCached(c, key, fn)
+	finished = true
+
 	call.val, call.err = val, err
+	var spill []*cacheEntry
 	c.mu.Lock()
 	if err == nil {
-		c.mem[key] = val
+		spill = c.storeLocked(key, val, size, persisted)
 	}
 	delete(c.inflight, key)
 	c.mu.Unlock()
 	close(call.done)
+	c.spill(spill)
 	if err != nil {
 		return zero, false, err
 	}
@@ -225,13 +338,15 @@ func memoKeyed[T any](ctx context.Context, c *Cache, key string, fn func() (T, e
 }
 
 // computeCached loads the value from disk or runs fn and persists the result.
-func computeCached[T any](c *Cache, key string, fn func() (T, error)) (T, bool, error) {
+// It reports the entry's approximate memory footprint and whether the disk
+// layer holds it, so the caller can insert it into the LRU accounting.
+func computeCached[T any](c *Cache, key string, fn func() (T, error)) (v T, size int64, persisted, fromDisk bool, err error) {
 	var zero T
 	if c.dir != "" {
 		if raw, ok := c.readDisk(key); ok {
-			var v T
-			if err := json.Unmarshal(raw, &v); err == nil {
-				return v, true, nil
+			var out T
+			if err := json.Unmarshal(raw, &out); err == nil {
+				return out, int64(len(raw)) + entryOverhead, true, true, nil
 			}
 			// A corrupt or truncated entry is deleted and recomputed, never
 			// surfaced as a decode error: the disk layer is an optimization
@@ -240,16 +355,97 @@ func computeCached[T any](c *Cache, key string, fn func() (T, error)) (T, bool, 
 			c.removeCorrupt(key)
 		}
 	}
-	v, err := fn()
+	v, err = fn()
 	if err != nil {
-		return zero, false, err
+		return zero, 0, false, false, err
 	}
-	if c.dir != "" {
-		if raw, err := json.Marshal(v); err == nil {
-			c.writeDisk(key, raw)
+	size = fallbackEntrySize
+	// The JSON encoding doubles as the disk payload and the size estimate.
+	// An unbounded memory-only cache needs neither, so it skips the encode —
+	// the hot configuration before budgets existed stays allocation-free.
+	if c.dir != "" || c.maxBytes.Load() > 0 {
+		if raw, jerr := json.Marshal(v); jerr == nil {
+			size = int64(len(raw)) + entryOverhead
+			if c.dir != "" {
+				persisted = c.writeDisk(key, raw)
+			}
 		}
 	}
-	return v, false, nil
+	return v, size, persisted, false, nil
+}
+
+// storeLocked inserts (or refreshes) a memory-layer entry and evicts past the
+// budget, least-recently-used first. It returns the evicted entries that must
+// be spilled to disk to stay reachable; the caller performs those writes
+// outside the lock (spilling encodes JSON, which must not serialize every
+// concurrent cache touch). Callers must hold c.mu.
+func (c *Cache) storeLocked(key string, val any, size int64, persisted bool) []*cacheEntry {
+	if size <= 0 {
+		size = fallbackEntrySize
+	}
+	if el, ok := c.mem[key]; ok {
+		old := el.Value.(*cacheEntry)
+		c.lru.Remove(el)
+		delete(c.mem, key)
+		c.memBytes.Add(-old.size)
+		persisted = persisted || old.persisted
+	}
+	spill := c.evictLocked(size)
+	if max := c.maxBytes.Load(); max > 0 && c.memBytes.Load()+size > max {
+		// The entry alone exceeds the budget: it never enters the memory
+		// layer. With a disk tier it stays one readDisk away; without one the
+		// next lookup recomputes it.
+		c.evictions.Add(1)
+		if !persisted && c.dir != "" {
+			spill = append(spill, &cacheEntry{key: key, val: val, size: size})
+		}
+		return spill
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, val: val, size: size, persisted: persisted})
+	c.mem[key] = el
+	c.memBytes.Add(size)
+	return spill
+}
+
+// evictLocked evicts least-recently-used entries until the memory layer has
+// room for incoming more bytes within the budget, returning the victims that
+// need a disk spill. Callers must hold c.mu.
+func (c *Cache) evictLocked(incoming int64) []*cacheEntry {
+	max := c.maxBytes.Load()
+	if max <= 0 {
+		return nil
+	}
+	var spill []*cacheEntry
+	for c.memBytes.Load()+incoming > max {
+		el := c.lru.Back()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*cacheEntry)
+		c.lru.Remove(el)
+		delete(c.mem, e.key)
+		c.memBytes.Add(-e.size)
+		c.evictions.Add(1)
+		if !e.persisted && c.dir != "" {
+			spill = append(spill, e)
+		}
+	}
+	return spill
+}
+
+// spill persists evicted entries whose write-through never happened (or
+// failed), so eviction demotes them to the disk tier instead of deleting
+// them. Runs outside the cache lock; failures are silent like every other
+// disk-layer write.
+func (c *Cache) spill(entries []*cacheEntry) {
+	if c.dir == "" {
+		return
+	}
+	for _, e := range entries {
+		if raw, err := json.Marshal(e.val); err == nil {
+			c.writeDisk(e.key, raw)
+		}
+	}
 }
 
 // Lookup returns the cached entry for key without computing anything: the
@@ -263,9 +459,10 @@ func Lookup[T any](c *Cache, key string) (T, bool) {
 		return zero, false
 	}
 	c.mu.Lock()
-	v, ok := c.mem[key]
-	c.mu.Unlock()
-	if ok {
+	if el, ok := c.mem[key]; ok {
+		v := el.Value.(*cacheEntry).val
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
 		typed, ok := v.(T)
 		if !ok {
 			return zero, false
@@ -273,6 +470,7 @@ func Lookup[T any](c *Cache, key string) (T, bool) {
 		c.memHits.Add(1)
 		return typed, true
 	}
+	c.mu.Unlock()
 	if c.dir == "" {
 		return zero, false
 	}
@@ -286,8 +484,9 @@ func Lookup[T any](c *Cache, key string) (T, bool) {
 		return zero, false
 	}
 	c.mu.Lock()
-	c.mem[key] = out
+	spill := c.storeLocked(key, out, int64(len(raw))+entryOverhead, true)
 	c.mu.Unlock()
+	c.spill(spill)
 	c.diskHits.Add(1)
 	return out, true
 }
@@ -299,14 +498,20 @@ func (c *Cache) Put(key string, v any) {
 	if c == nil || key == "" {
 		return
 	}
-	c.mu.Lock()
-	c.mem[key] = v
-	c.mu.Unlock()
-	if c.dir != "" {
+	size := int64(fallbackEntrySize)
+	persisted := false
+	if c.dir != "" || c.maxBytes.Load() > 0 {
 		if raw, err := json.Marshal(v); err == nil {
-			c.writeDisk(key, raw)
+			size = int64(len(raw)) + entryOverhead
+			if c.dir != "" {
+				persisted = c.writeDisk(key, raw)
+			}
 		}
 	}
+	c.mu.Lock()
+	spill := c.storeLocked(key, v, size, persisted)
+	c.mu.Unlock()
+	c.spill(spill)
 }
 
 // removeCorrupt deletes a key's on-disk entry (both layouts) after a decode
@@ -360,16 +565,20 @@ func (c *Cache) readDisk(key string) ([]byte, bool) {
 }
 
 // writeDisk persists a key's bytes into the sharded layout via an atomic
-// rename. Failures are silent: the disk layer is an optimization.
-func (c *Cache) writeDisk(key string, raw []byte) {
+// rename, reporting success so eviction knows whether the entry is safe to
+// drop from memory. Failures are silent: the disk layer is an optimization.
+func (c *Cache) writeDisk(key string, raw []byte) bool {
 	p := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return
+		return false
 	}
 	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err == nil {
-		if os.Rename(tmp, p) == nil {
-			c.diskBytes.Add(int64(len(raw)))
-		}
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return false
 	}
+	if err := os.Rename(tmp, p); err != nil {
+		return false
+	}
+	c.diskBytes.Add(int64(len(raw)))
+	return true
 }

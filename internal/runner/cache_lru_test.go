@@ -1,0 +1,312 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// payload builds a cachePayload whose JSON encoding is a few hundred bytes,
+// so a handful of entries overflow a kilobyte-scale budget.
+func payload(i int) cachePayload {
+	return cachePayload{Label: strings.Repeat(fmt.Sprintf("entry-%03d-", i), 20), Value: i}
+}
+
+// TestMemoPanicCleanup is the regression test for the in-flight dedup leak:
+// when fn panics, every waiter blocked on the same key must be released with
+// an error (not blocked forever), the panic must keep unwinding in the owner,
+// and the key must be computable again afterwards.
+func TestMemoPanicCleanup(t *testing.T) {
+	c := NewCache()
+	spec := map[string]any{"op": "panic-test"}
+
+	const waiters = 4
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+
+	// The owner: computes first (gate makes the ordering deterministic) and
+	// panics mid-computation.
+	wg.Add(1)
+	ownerPanicked := make(chan any, 1)
+	go func() {
+		defer wg.Done()
+		defer func() { ownerPanicked <- recover() }()
+		_, _, _ = Memo(c, spec, func() (cachePayload, error) {
+			close(gate) // waiters may pile in now
+			panic("compute exploded")
+		})
+	}()
+
+	<-gate
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := Memo(c, spec, func() (cachePayload, error) {
+				// A waiter that retries after the panic recomputes cleanly.
+				return cachePayload{Label: "recovered", Value: 1}, nil
+			})
+			errs <- err
+		}()
+	}
+	wg.Wait() // the bug made this deadlock: inflight entry never released
+
+	if r := <-ownerPanicked; r == nil {
+		t.Fatal("panic did not propagate to the computing caller")
+	}
+	close(errs)
+	for err := range errs {
+		// A waiter either observed the panic as an error or recomputed
+		// successfully (it raced in after the cleanup); both are fine, a
+		// hang or a zero-value success from the panicked call is not.
+		if err != nil && !strings.Contains(err.Error(), "panicked") {
+			t.Errorf("waiter error = %v, want nil or a panic report", err)
+		}
+	}
+
+	// The key is usable again: no stale in-flight registration.
+	got, _, err := Memo(c, spec, func() (cachePayload, error) {
+		return cachePayload{Label: "fresh", Value: 2}, nil
+	})
+	if err != nil {
+		t.Fatalf("Memo after panic: %v", err)
+	}
+	if got.Value != 1 && got.Value != 2 {
+		t.Fatalf("Memo after panic returned %+v", got)
+	}
+}
+
+// TestShortKeyErrorPaths pins that exported keyed entry points tolerate keys
+// shorter than the 12-byte display prefix: the type-mismatch error paths used
+// to slice key[:12] and panic.
+func TestShortKeyErrorPaths(t *testing.T) {
+	c := NewCache()
+	c.Put("ab", cachePayload{Label: "short", Value: 1})
+
+	// Memory-hit type mismatch via memoKeyed.
+	_, _, err := MemoKeyedContext(t.Context(), c, "ab", func() (int, error) { return 0, nil })
+	if err == nil || !strings.Contains(err.Error(), "ab") {
+		t.Errorf("type mismatch on short key: err = %v, want an error naming the key", err)
+	}
+
+	// In-flight join type mismatch: a waiter with the wrong type joins the
+	// owner's computation.
+	gate := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = MemoKeyedContext(t.Context(), c, "xy", func() (cachePayload, error) {
+			close(gate)
+			<-release
+			return cachePayload{}, nil
+		})
+	}()
+	<-gate
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := MemoKeyedContext(t.Context(), c, "xy", func() (int, error) { return 0, nil })
+		if err == nil {
+			t.Error("in-flight join with mismatched type succeeded")
+		}
+	}()
+	close(release)
+	wg.Wait()
+
+	// Lookup and Put with short and empty keys must not panic either.
+	if got, ok := Lookup[cachePayload](c, "ab"); !ok || got.Value != 1 {
+		t.Errorf("Lookup short key = %+v, %v", got, ok)
+	}
+	if _, ok := Lookup[int](c, "ab"); ok {
+		t.Error("mismatched Lookup reported a hit")
+	}
+	c.Put("", cachePayload{})
+}
+
+// TestCacheEvictionStress drives a bounded disk-backed cache well past its
+// budget from many goroutines and asserts the memory layer never exceeds the
+// budget, evictions happened, and every evicted entry is still served from
+// the disk layer — one readDisk away, never recomputed.
+func TestCacheEvictionStress(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 4096
+	c.SetMaxBytes(budget)
+
+	const entries = 64
+	var wg sync.WaitGroup
+	for i := 0; i < entries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := map[string]any{"op": "evict-stress", "i": i}
+			if _, _, err := Memo(c, spec, func() (cachePayload, error) {
+				return payload(i), nil
+			}); err != nil {
+				t.Errorf("Memo(%d): %v", i, err)
+			}
+			if got := c.DetailedStats().MemoryBytes; got > budget {
+				t.Errorf("memory layer at %d bytes exceeds the %d budget", got, budget)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	s := c.DetailedStats()
+	if s.MemoryBytes > budget {
+		t.Fatalf("MemoryBytes = %d, want <= %d", s.MemoryBytes, budget)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("no evictions despite 64 entries against a 4 KB budget")
+	}
+	if s.MemoryBudgetBytes != budget {
+		t.Fatalf("MemoryBudgetBytes = %d, want %d", s.MemoryBudgetBytes, budget)
+	}
+
+	// Every entry — including the evicted majority — must come back without
+	// recomputation: fn failing the test proves a spilled entry was lost.
+	diskBefore := s.DiskHits
+	for i := 0; i < entries; i++ {
+		spec := map[string]any{"op": "evict-stress", "i": i}
+		got, hit, err := Memo(c, spec, func() (cachePayload, error) {
+			t.Errorf("entry %d recomputed: evicted entry lost from the disk layer", i)
+			return cachePayload{}, nil
+		})
+		if err != nil {
+			t.Fatalf("re-lookup %d: %v", i, err)
+		}
+		if !hit || got != payload(i) {
+			t.Fatalf("re-lookup %d: hit=%v got=%+v", i, hit, got)
+		}
+	}
+	if after := c.DetailedStats(); after.DiskHits <= diskBefore {
+		t.Errorf("disk hits did not move re-serving evicted entries: %d -> %d", diskBefore, after.DiskHits)
+	}
+}
+
+// TestCacheLRUOrder pins the eviction order: touching an old entry protects
+// it, the coldest key goes first.
+func TestCacheLRUOrder(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(i int) {
+		if _, _, err := Memo(c, map[string]any{"op": "lru-order", "i": i}, func() (cachePayload, error) {
+			return payload(i), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lookup := func(i int) bool {
+		key, err := SpecKey(map[string]any{"op": "lru-order", "i": i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.mu.Lock()
+		_, ok := c.mem[key]
+		c.mu.Unlock()
+		return ok
+	}
+
+	put(0)
+	put(1)
+	put(2)
+	// Three entries fit; size the budget to hold exactly the three, then
+	// touch 0 so 1 becomes the coldest.
+	used := c.DetailedStats().MemoryBytes
+	c.SetMaxBytes(used)
+	if _, _, err := Memo(c, map[string]any{"op": "lru-order", "i": 0}, func() (cachePayload, error) {
+		t.Error("touch of resident entry recomputed")
+		return cachePayload{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	put(3) // must push out 1, not 0
+	if !lookup(0) {
+		t.Error("recently touched entry 0 was evicted")
+	}
+	if lookup(1) {
+		t.Error("coldest entry 1 survived past the budget")
+	}
+	if !lookup(3) {
+		t.Error("fresh entry 3 not resident")
+	}
+}
+
+// TestCacheMemoryOnlyBudget covers the no-disk configuration: eviction drops
+// entries entirely and the next lookup recomputes, but the budget still
+// holds.
+func TestCacheMemoryOnlyBudget(t *testing.T) {
+	c := NewCache()
+	c.SetMaxBytes(2048)
+	for i := 0; i < 32; i++ {
+		if _, _, err := Memo(c, map[string]any{"op": "mem-only", "i": i}, func() (cachePayload, error) {
+			return payload(i), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.DetailedStats()
+	if s.MemoryBytes > 2048 {
+		t.Fatalf("MemoryBytes = %d, want <= 2048", s.MemoryBytes)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("no evictions in bounded memory-only cache")
+	}
+	// An evicted entry recomputes (no disk tier to spill to).
+	recomputed := false
+	if _, _, err := Memo(c, map[string]any{"op": "mem-only", "i": 0}, func() (cachePayload, error) {
+		recomputed = true
+		return payload(0), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Error("coldest entry still resident in a cache 16x over budget")
+	}
+}
+
+// TestSetMaxBytesEvictsExisting shrinks the budget under a populated cache
+// and checks the immediate eviction spills to disk.
+func TestSetMaxBytesEvictsExisting(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, _, err := Memo(c, map[string]any{"op": "shrink", "i": i}, func() (cachePayload, error) {
+			return payload(i), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.DetailedStats()
+	c.SetMaxBytes(before.MemoryBytes / 4)
+	after := c.DetailedStats()
+	if after.MemoryBytes > before.MemoryBytes/4 {
+		t.Fatalf("MemoryBytes = %d after shrink to %d", after.MemoryBytes, before.MemoryBytes/4)
+	}
+	if after.Evictions == 0 {
+		t.Fatal("shrinking the budget evicted nothing")
+	}
+	// Everything still served without recompute (disk tier).
+	for i := 0; i < 8; i++ {
+		got, _, err := Memo(c, map[string]any{"op": "shrink", "i": i}, func() (cachePayload, error) {
+			t.Errorf("entry %d recomputed after budget shrink", i)
+			return cachePayload{}, nil
+		})
+		if err != nil || got != payload(i) {
+			t.Fatalf("re-lookup %d: %+v, %v", i, got, err)
+		}
+	}
+}

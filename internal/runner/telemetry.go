@@ -99,4 +99,13 @@ func RegisterCacheMetrics(r *telemetry.Registry, stats func() CacheStats) {
 	r.CounterFunc("gdpsim_cache_disk_corruptions_total",
 		"Corrupt or truncated on-disk entries deleted and recomputed.",
 		func() uint64 { return uint64(stats().DiskCorruptions) })
+	r.CounterFunc("gdpsim_cache_evictions_total",
+		"Entries evicted from the memory layer by the size budget (disk-backed caches keep them one read away).",
+		func() uint64 { return uint64(stats().Evictions) })
+	r.GaugeFunc("gdpsim_cache_mem_bytes",
+		"Approximate bytes held by the cache's memory layer.",
+		func() float64 { return float64(stats().MemoryBytes) })
+	r.GaugeFunc("gdpsim_cache_mem_budget_bytes",
+		"Configured memory-layer byte budget (0 = unbounded).",
+		func() float64 { return float64(stats().MemoryBudgetBytes) })
 }

@@ -18,7 +18,7 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 $GO build -o "$workdir/gdpsim" ./cmd/gdpsim
-"$workdir/gdpsim" serve -addr 127.0.0.1:0 2>"$log" &
+"$workdir/gdpsim" -cache-mem-mb 64 serve -addr 127.0.0.1:0 -coalesce-window 5ms 2>"$log" &
 server_pid=$!
 
 # The startup log line carries the resolved ephemeral address:
@@ -37,11 +37,28 @@ health=$(curl -fsS "http://$addr/healthz")
 echo "$health" | grep -q '"status": "ok"' || { echo "bad healthz payload: $health"; exit 1; }
 echo "$health" | grep -q '"schema_version"' || { echo "healthz missing schema_version: $health"; exit 1; }
 
+# One real estimate exercises the coalescer path (a single request is still
+# one batch) before the metrics scrape.
+curl -fsS -X POST "http://$addr/v1/estimate" \
+    -d '{"cores": 2, "mix": "H", "instructions_per_core": 2000, "interval_cycles": 2000}' \
+    | grep -q '"cores"' || { echo "estimate request failed"; exit 1; }
+
 metrics=$(curl -fsS "http://$addr/metrics")
 echo "$metrics" | grep -q '^gdpsim_http_requests_total{' || {
     echo "metrics exposition missing gdpsim_http_requests_total:"; echo "$metrics" | head -n 20; exit 1; }
 echo "$metrics" | grep -q '^# TYPE gdpsim_http_request_seconds histogram' || {
     echo "metrics exposition missing the latency histogram family"; exit 1; }
+for series in gdpsim_cache_evictions_total gdpsim_cache_mem_bytes \
+              gdpsim_cache_mem_budget_bytes gdpsim_coalesce_joined_total; do
+    echo "$metrics" | grep -q "^$series " || {
+        echo "metrics exposition missing $series"; exit 1; }
+done
+echo "$metrics" | grep -q '^gdpsim_coalesce_batches_total{reason=' || {
+    echo "metrics exposition missing gdpsim_coalesce_batches_total series"; exit 1; }
+# -cache-mem-mb 64 = 67108864 bytes must be reported as the budget gauge.
+echo "$metrics" | grep -q '^gdpsim_cache_mem_budget_bytes 6.7108864e+07' || {
+    echo "cache budget gauge does not reflect -cache-mem-mb 64:"
+    echo "$metrics" | grep '^gdpsim_cache_mem_budget_bytes'; exit 1; }
 
 kill "$server_pid"
 wait "$server_pid" 2>/dev/null || true

@@ -607,6 +607,12 @@ type Server struct {
 	batches     *batchRegistry
 	cellSem     chan struct{}
 	dispatchSrv *dispatchServerMetrics
+	// coalesce merges concurrent identical estimate requests into one
+	// simulation (see service_coalesce.go); coalesceWindow/coalesceMax are
+	// its WithCoalesce configuration, applied at construction.
+	coalesce       *coalescer
+	coalesceWindow time.Duration
+	coalesceMax    int
 }
 
 // httpServerMetrics holds the HTTP-layer metric handles, resolved once at
@@ -711,10 +717,11 @@ func NewServer(engine *Engine, opts ...ServerOption) (*Server, error) {
 		cellJobs = defaultConcurrency()
 	}
 	s.cellSem = make(chan struct{}, cellJobs)
+	s.coalesce = newCoalescer(s.coalesceWindow, s.coalesceMax, newCoalesceMetrics(engine.registry))
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
-	s.mux.HandleFunc("/v1/estimate", s.instrument("/v1/estimate", handleJSON(s, s.engine.Estimate)))
+	s.mux.HandleFunc("/v1/estimate", s.instrument("/v1/estimate", s.handleEstimate))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", handleJSON(s, s.engine.EvaluateSweep)))
 	s.mux.HandleFunc("/v1/scenarios", s.instrument("/v1/scenarios", s.handleScenarios))
 	s.mux.HandleFunc("/v1/cells", s.instrument("/v1/cells", s.handleCellsPost))
@@ -861,6 +868,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // a real client.
 const statusClientClosedRequest = 499
 
+// errServerBusy reports that the concurrent-request limit was reached; the
+// HTTP layer maps it to 503 and counts the shed.
+var errServerBusy = errors.New("gdp: concurrent-request limit reached")
+
+// writeCallResult maps an Engine call's outcome to the HTTP response: 200,
+// 503 (shed), 499 (client gone), 400 (request errors) or 500.
+func (s *Server) writeCallResult(w http.ResponseWriter, resp any, err error) {
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, errServerBusy):
+		s.metrics.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "concurrent-request limit reached")
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away (or timed out) mid-simulation; the run was
+		// aborted at an interval boundary. Nobody is listening for the
+		// body, so only a status for the access log.
+		s.metrics.clientGone.Inc()
+		w.WriteHeader(statusClientClosedRequest)
+	default:
+		var reqErr *RequestError
+		if errors.As(err, &reqErr) {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
 // handleJSON adapts an Engine method to a POST JSON endpoint with the
 // server's concurrency limit and error mapping.
 func handleJSON[Req any, Resp any](s *Server, call func(context.Context, *Req) (*Resp, error)) http.HandlerFunc {
@@ -874,9 +911,7 @@ func handleJSON[Req any, Resp any](s *Server, call func(context.Context, *Req) (
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
-			s.metrics.shed.Inc()
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "concurrent-request limit reached")
+			s.writeCallResult(w, nil, errServerBusy)
 			return
 		}
 		req := new(Req)
@@ -887,24 +922,30 @@ func handleJSON[Req any, Resp any](s *Server, call func(context.Context, *Req) (
 		}
 		annotateSpecKey(r.Context(), req)
 		resp, err := call(r.Context(), req)
-		switch {
-		case err == nil:
-			writeJSON(w, http.StatusOK, resp)
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			// The client went away (or timed out) mid-simulation; the run was
-			// aborted at an interval boundary. Nobody is listening for the
-			// body, so only a status for the access log.
-			s.metrics.clientGone.Inc()
-			w.WriteHeader(statusClientClosedRequest)
-		default:
-			var reqErr *RequestError
-			if errors.As(err, &reqErr) {
-				writeError(w, http.StatusBadRequest, err.Error())
-				return
-			}
-			writeError(w, http.StatusInternalServerError, err.Error())
-		}
+		s.writeCallResult(w, resp, err)
 	}
+}
+
+// handleEstimate is the coalescing POST /v1/estimate endpoint. Unlike
+// handleJSON it does not hold a concurrency slot for the whole request:
+// the coalescer charges one slot per *simulation* (the group leader), so a
+// burst of identical requests costs one slot instead of shedding at the
+// limiter before it can coalesce. Joining an in-flight group is free.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	req := new(EstimateRequest)
+	body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	annotateSpecKey(r.Context(), req)
+	resp, err := s.coalescedEstimate(r.Context(), req)
+	s.writeCallResult(w, resp, err)
 }
 
 // defaultConcurrency is the machine-derived concurrent-request default.

@@ -1,0 +1,240 @@
+package gdp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/telemetry"
+)
+
+// coalescer merges concurrent identical POST /v1/estimate requests into one
+// simulation. Requests are grouped by the spec key of their decoded body; the
+// first arrival becomes the group's leader and runs the engine once, every
+// request that arrives before the leader finishes joins the group and shares
+// the response. It is a size-or-deadline micro-batcher: with a positive
+// window the leader holds its simulation back for up to that long, letting a
+// burst of identical requests accumulate (maxBatch waiters flush early); with
+// a zero window the leader starts immediately and the coalescer degenerates
+// to pure in-flight deduplication — late arrivals still share the running
+// simulation, and no request ever waits longer than the simulation itself.
+//
+// Estimate responses are not memoized in the result cache (an estimate is
+// cheap enough to re-run when traffic is not concurrent), so under sustained
+// multi-tenant load the coalescer is what turns N identical bursts into one
+// simulation instead of N.
+type coalescer struct {
+	mu     sync.Mutex
+	groups map[string]*coalesceGroup
+	// window is how long a leader waits for joiners before simulating
+	// (0 = start immediately).
+	window time.Duration
+	// maxBatch flushes a window early once this many requests have grouped
+	// (0 = no size flush).
+	maxBatch int
+	metrics  *coalesceMetrics
+}
+
+// coalesceGroup is one in-flight set of identical requests sharing a
+// simulation. waiters/total/fired/abandoned are guarded by the coalescer's
+// mutex; resp and err are written once before done closes.
+type coalesceGroup struct {
+	key  string
+	fire chan struct{} // closed to flush the batching window early
+	done chan struct{} // closed when resp/err are ready
+	resp *EstimateResponse
+	err  error
+	// cancel aborts the group's simulation; called when every waiter has
+	// disconnected, and after completion to release the context.
+	cancel  context.CancelFunc
+	waiters int // requests currently blocked on done
+	total   int // requests that ever joined (the batch size)
+	// fired marks that the window has been flushed (or expired): guards the
+	// one close(fire).
+	fired bool
+	// abandoned marks a group whose every waiter left before completion: its
+	// simulation is being cancelled, so new arrivals must start fresh
+	// instead of inheriting the foreign cancellation error.
+	abandoned bool
+}
+
+// coalesceMetrics are the /metrics counters of the request coalescer.
+type coalesceMetrics struct {
+	// batches counts executed groups by what released them: "immediate"
+	// (zero window), "deadline" (window expired), "size" (maxBatch reached)
+	// or "abandoned" (every waiter disconnected first).
+	batches *telemetry.CounterVec
+	// joined counts requests that shared another request's simulation.
+	joined *telemetry.Counter
+}
+
+func newCoalesceMetrics(r *telemetry.Registry) *coalesceMetrics {
+	return &coalesceMetrics{
+		batches: r.CounterVec("gdpsim_coalesce_batches_total",
+			"Coalesced estimate groups executed, by what released the batch.", "reason"),
+		joined: r.Counter("gdpsim_coalesce_joined_total",
+			"Estimate requests that shared another identical request's simulation."),
+	}
+}
+
+// newCoalescer builds a coalescer; window and maxBatch of zero give pure
+// in-flight deduplication.
+func newCoalescer(window time.Duration, maxBatch int, m *coalesceMetrics) *coalescer {
+	return &coalescer{
+		groups:   map[string]*coalesceGroup{},
+		window:   window,
+		maxBatch: maxBatch,
+		metrics:  m,
+	}
+}
+
+// WithCoalesce tunes the estimate coalescer's batching: a leader request
+// holds its simulation for up to window so identical concurrent requests can
+// join its batch, and maxBatch waiters release the batch early (0 = no size
+// flush). The default is a zero window — identical requests coalesce only
+// while one is already simulating, adding no latency. A window of a few
+// milliseconds trades that much added latency for coalescing short bursts
+// whose requests do not overlap exactly; keep it well under a simulation's
+// wall-clock or it is pure loss.
+func WithCoalesce(window time.Duration, maxBatch int) ServerOption {
+	return func(s *Server) error {
+		if window < 0 {
+			return fmt.Errorf("gdp: WithCoalesce: window %v must be >= 0", window)
+		}
+		if maxBatch < 0 {
+			return fmt.Errorf("gdp: WithCoalesce: maxBatch %d must be >= 0", maxBatch)
+		}
+		s.coalesceWindow = window
+		s.coalesceMax = maxBatch
+		return nil
+	}
+}
+
+// coalescedEstimate is the /v1/estimate entry point: identical concurrent
+// requests run one simulation. A request whose body cannot even be spec-keyed
+// falls through to the engine, which produces the proper validation error.
+func (s *Server) coalescedEstimate(ctx context.Context, req *EstimateRequest) (*EstimateResponse, error) {
+	key, err := runner.SpecKey(req)
+	if err != nil {
+		// Cannot group: fall through to the engine (which produces the
+		// proper validation error) under a concurrency slot of its own.
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			return nil, errServerBusy
+		}
+		return s.engine.Estimate(ctx, req)
+	}
+	co := s.coalesce
+	co.mu.Lock()
+	g := co.groups[key]
+	if g != nil && g.abandoned {
+		g = nil // dying group: its simulation is being cancelled
+	}
+	if g == nil {
+		// The leader charges the concurrency limiter one slot, held for the
+		// group's whole simulation; joiners ride along for free. Shedding
+		// therefore bounds concurrent *simulations*, not concurrent requests —
+		// a burst of identical requests costs one slot total.
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			co.mu.Unlock()
+			return nil, errServerBusy
+		}
+		runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		g = &coalesceGroup{
+			key:     key,
+			fire:    make(chan struct{}),
+			done:    make(chan struct{}),
+			cancel:  cancel,
+			waiters: 1,
+			total:   1,
+		}
+		co.groups[key] = g
+		co.mu.Unlock()
+		go func() {
+			defer func() { <-s.sem }()
+			co.run(runCtx, g, req, s.engine)
+		}()
+	} else {
+		g.waiters++
+		g.total++
+		flush := co.maxBatch > 0 && g.total >= co.maxBatch && !g.fired
+		if flush {
+			g.fired = true
+		}
+		co.mu.Unlock()
+		co.metrics.joined.Inc()
+		if flush {
+			close(g.fire)
+		}
+	}
+	defer co.release(g)
+	select {
+	case <-g.done:
+		return g.resp, g.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// run executes one group: it waits out the batching window (unless flushed by
+// size, cancelled, or zero), simulates once, publishes the result and retires
+// the group so later requests start fresh.
+func (co *coalescer) run(ctx context.Context, g *coalesceGroup, req *EstimateRequest, engine *Engine) {
+	reason := "immediate"
+	if co.window > 0 {
+		timer := time.NewTimer(co.window)
+		select {
+		case <-timer.C:
+			reason = "deadline"
+		case <-g.fire:
+			timer.Stop()
+			reason = "size"
+		case <-ctx.Done():
+			timer.Stop()
+			reason = "abandoned"
+		}
+		co.mu.Lock()
+		g.fired = true // the window is over; no joiner may close fire now
+		co.mu.Unlock()
+	}
+	resp, err := engine.Estimate(ctx, req)
+	co.mu.Lock()
+	g.resp, g.err = resp, err
+	if co.groups[g.key] == g {
+		delete(co.groups, g.key)
+	}
+	close(g.done)
+	co.mu.Unlock()
+	co.metrics.batches.With(reason).Inc()
+}
+
+// release drops one waiter from a group. When the last live waiter leaves,
+// the group's simulation context is cancelled: either nobody is listening for
+// the result (abort the run at its next interval boundary) or the group
+// already completed (release the context's resources).
+func (co *coalescer) release(g *coalesceGroup) {
+	co.mu.Lock()
+	g.waiters--
+	last := g.waiters == 0
+	if last {
+		select {
+		case <-g.done:
+			// Completed: the cancel below only frees the context.
+		default:
+			g.abandoned = true
+			if co.groups[g.key] == g {
+				delete(co.groups, g.key)
+			}
+		}
+	}
+	co.mu.Unlock()
+	if last {
+		g.cancel()
+	}
+}

@@ -1,0 +1,132 @@
+package gdp
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// coalesceBody is a small identical estimate request used by every coalescer
+// test.
+const coalesceBody = `{"cores": 2, "mix": "H", "instructions_per_core": 2000, "interval_cycles": 2000}`
+
+// postConcurrent fires n identical POSTs at once and returns the recorded
+// bodies (failing the test on any non-200).
+func postConcurrent(t *testing.T, srv *Server, body string, n int) []string {
+	t.Helper()
+	var wg sync.WaitGroup
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := postJSON(t, srv, "/v1/estimate", body)
+			if rec.Code != http.StatusOK {
+				t.Errorf("request %d: status = %d, body = %s", i, rec.Code, rec.Body.String())
+				return
+			}
+			out[i] = rec.Body.String()
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// TestCoalesceIdenticalRequestsOneSimulation is the coalescer acceptance
+// check: N identical concurrent estimates inside one batching window run
+// exactly one simulation, and every caller receives the same response.
+func TestCoalesceIdenticalRequestsOneSimulation(t *testing.T) {
+	// A generous window: all four requests are in flight within microseconds,
+	// the leader holds the simulation for up to a second.
+	srv := testServer(t, WithCoalesce(time.Second, 0))
+	const n = 4
+	bodies := postConcurrent(t, srv, coalesceBody, n)
+	for i := 1; i < n; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("response %d differs from leader's:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	m := scrape(t, srv)
+	if got := metricValue(t, m, "gdpsim_sim_runs_total"); got != 1 {
+		t.Errorf("sim runs = %v, want 1 (coalesced)", got)
+	}
+	if got := metricValue(t, m, "gdpsim_coalesce_joined_total"); got != n-1 {
+		t.Errorf("coalesce joined = %v, want %d", got, n-1)
+	}
+	if got := metricValue(t, m, "gdpsim_coalesce_batches_total", `reason="deadline"`); got != 1 {
+		t.Errorf("deadline batches = %v, want 1", got)
+	}
+}
+
+// TestCoalesceSizeFlush pins the size-or-deadline contract: with a window far
+// longer than the test, maxBatch waiters must release the batch immediately.
+func TestCoalesceSizeFlush(t *testing.T) {
+	srv := testServer(t, WithCoalesce(time.Minute, 3))
+	start := time.Now()
+	postConcurrent(t, srv, coalesceBody, 3)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("batch took %v: size flush did not fire before the minute window", elapsed)
+	}
+	m := scrape(t, srv)
+	if got := metricValue(t, m, "gdpsim_coalesce_batches_total", `reason="size"`); got != 1 {
+		t.Errorf("size-flushed batches = %v, want 1", got)
+	}
+	if got := metricValue(t, m, "gdpsim_sim_runs_total"); got != 1 {
+		t.Errorf("sim runs = %v, want 1", got)
+	}
+}
+
+// TestCoalesceDistinctRequestsDoNotShare checks the grouping key: requests
+// that differ (here by seed) in the same window must each run their own
+// simulation.
+func TestCoalesceDistinctRequestsDoNotShare(t *testing.T) {
+	srv := testServer(t, WithCoalesce(100*time.Millisecond, 0))
+	var wg sync.WaitGroup
+	for _, body := range []string{
+		`{"cores": 2, "mix": "H", "seed": 1, "instructions_per_core": 2000, "interval_cycles": 2000}`,
+		`{"cores": 2, "mix": "H", "seed": 2, "instructions_per_core": 2000, "interval_cycles": 2000}`,
+	} {
+		wg.Add(1)
+		go func(body string) {
+			defer wg.Done()
+			if rec := postJSON(t, srv, "/v1/estimate", body); rec.Code != http.StatusOK {
+				t.Errorf("status = %d, body = %s", rec.Code, rec.Body.String())
+			}
+		}(body)
+	}
+	wg.Wait()
+	m := scrape(t, srv)
+	if got := metricValue(t, m, "gdpsim_sim_runs_total"); got != 2 {
+		t.Errorf("sim runs = %v, want 2 (distinct requests must not share)", got)
+	}
+	if got := metricValue(t, m, "gdpsim_coalesce_joined_total"); got != 0 {
+		t.Errorf("coalesce joined = %v, want 0", got)
+	}
+}
+
+// TestCoalesceSequentialRequestsRunSeparately checks group retirement: a
+// second identical request arriving after the first completed gets a fresh
+// simulation, not a stale shared group.
+func TestCoalesceSequentialRequestsRunSeparately(t *testing.T) {
+	srv := testServer(t) // default: zero window, pure in-flight coalescing
+	for i := 0; i < 2; i++ {
+		if rec := postJSON(t, srv, "/v1/estimate", coalesceBody); rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status = %d, body = %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	m := scrape(t, srv)
+	if got := metricValue(t, m, "gdpsim_sim_runs_total"); got != 2 {
+		t.Errorf("sim runs = %v, want 2 (sequential requests)", got)
+	}
+}
+
+// TestWithCoalesceRejectsNegatives pins the option's validation.
+func TestWithCoalesceRejectsNegatives(t *testing.T) {
+	if _, err := NewServer(nil, WithCoalesce(-time.Second, 0)); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := NewServer(nil, WithCoalesce(0, -1)); err == nil {
+		t.Error("negative maxBatch accepted")
+	}
+}
