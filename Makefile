@@ -40,15 +40,18 @@ fmt-check:
 # driver, plus the sweep-level warmup-sharing benchmark (cold vs checkpointed
 # accuracy-sweep fixture), writing the BENCH_<n>.json trajectory artifact.
 # Takes a few minutes.
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_9.json
 bench:
 	$(GO) run ./cmd/gdpsim bench -out $(BENCH_OUT)
 
 # bench-smoke is the CI regression gate: a small fixed-seed scenario on the
-# fast driver only, failing if the steady-state interval loop allocates or if
-# checkpointed warmup sharing yields less than 1.5x on the tiny sweep fixture.
+# fast driver only, failing if the steady-state interval loop allocates, if
+# checkpointed warmup sharing yields less than 1.5x on the tiny sweep fixture,
+# or if the parallel driver (-sim-workers) is slower than 1.5x serial on the
+# 16-core point / diverges from serial byte for byte. The parallel speedup
+# half self-waives on machines with fewer than 4 CPUs; identity always gates.
 bench-smoke:
-	$(GO) run ./cmd/gdpsim bench -quick -out /dev/null -max-allocs 0.5 -min-sweep-speedup 1.5
+	$(GO) run ./cmd/gdpsim bench -quick -out /dev/null -max-allocs 0.5 -min-sweep-speedup 1.5 -min-parallel-speedup 1.5
 
 # serve-smoke boots the real binary, curls /healthz and /metrics and checks
 # the telemetry exposition end to end (see scripts/serve_smoke.sh).

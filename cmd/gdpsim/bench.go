@@ -34,11 +34,15 @@ func cmdBench(args []string) error {
 	sweepPRB := fs.String("sweep-prb", "", "comma-separated PRB sizes of the sweep fixture (default: 10 sizes)")
 	sweepInstructions := fs.Uint64("sweep-instructions", 0, "per-core instruction sample of the sweep fixture (default 20000)")
 	sweepInterval := fs.Uint64("sweep-interval", 0, "accounting interval of the sweep fixture (default 1000)")
+	parallel := fs.Bool("parallel", true, "run the intra-simulation parallel-driver scaling benchmark (serial vs -sim-workers)")
+	parallelCores := fs.String("parallel-cores", "", "comma-separated core-count axis of the scaling benchmark (default 4,16,64,256)")
+	parallelWorkers := fs.Int("parallel-workers", 0, "sim-worker width timed against serial (default GOMAXPROCS)")
 	out := fs.String("out", "", "write the JSON report to this file (default: stdout)")
 	metricsOut := fs.String("metrics-out", "", "also write a JSON snapshot of the harness's metric registry to this file")
 	maxAllocs := fs.Float64("max-allocs", -1, "fail if any scenario allocates more than this per interval (-1 disables)")
 	minSpeedup := fs.Float64("min-speedup", 0, "fail if any scenario's fast/reference speedup is below this (0 disables)")
 	minSweepSpeedup := fs.Float64("min-sweep-speedup", 0, "fail if warmup sharing speeds the sweep fixture up by less than this (0 disables)")
+	minParallelSpeedup := fs.Float64("min-parallel-speedup", 0, "fail if the best parallel scaling point is below this (0 disables; the speedup half self-waives under 4 CPUs, result identity is always enforced)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +61,15 @@ func cmdBench(args []string) error {
 		Sweep:               *sweep,
 		SweepInstructions:   *sweepInstructions,
 		SweepIntervalCycles: *sweepInterval,
+		Parallel:            *parallel,
+		ParallelWorkers:     *parallelWorkers,
+	}
+	if *parallelCores != "" {
+		axis, err := experiments.ParseIntList(*parallelCores)
+		if err != nil {
+			return err
+		}
+		opts.ParallelCores = axis
 	}
 	if *sweepPRB != "" {
 		sizes, err := experiments.ParseIntList(*sweepPRB)
@@ -95,6 +108,11 @@ func cmdBench(args []string) error {
 		if opts.SweepIntervalCycles == 0 {
 			opts.SweepIntervalCycles = 500
 		}
+		// Small scaling fixture: one 16-core point is enough to gate on
+		// "parallel beats serial and matches it byte for byte" in CI.
+		if len(opts.ParallelCores) == 0 {
+			opts.ParallelCores = []int{16}
+		}
 	}
 
 	rep, err := perf.Run(opts)
@@ -124,6 +142,15 @@ func cmdBench(args []string) error {
 			(time.Duration(sw.ColdNanos) * time.Nanosecond).Round(time.Millisecond),
 			(time.Duration(sw.CheckpointNanos) * time.Nanosecond).Round(time.Millisecond),
 			sw.Speedup, sw.RowsIdentical)
+	}
+	if par := rep.Parallel; par != nil {
+		for _, p := range par.Points {
+			fmt.Fprintf(os.Stderr, "parallel: %3d cores x %d workers, serial %s vs parallel %s: %.2fx (identical: %v)\n",
+				p.Cores, p.Workers,
+				(time.Duration(p.SerialNanos) * time.Nanosecond).Round(time.Millisecond),
+				(time.Duration(p.ParallelNanos) * time.Nanosecond).Round(time.Millisecond),
+				p.Speedup, p.SerialIdentical)
+		}
 	}
 
 	var w *os.File
@@ -161,6 +188,15 @@ func cmdBench(args []string) error {
 	}
 	if *minSweepSpeedup > 0 {
 		if err := rep.CheckSweepSpeedup(*minSweepSpeedup); err != nil {
+			return err
+		}
+	}
+	if *minParallelSpeedup > 0 {
+		if rep.Parallel != nil && !rep.ParallelGateEnforced() {
+			fmt.Fprintf(os.Stderr, "parallel speedup gate waived: %d CPUs is too few to scale (result identity still enforced)\n",
+				rep.NumCPU)
+		}
+		if err := rep.CheckParallelSpeedup(*minParallelSpeedup); err != nil {
 			return err
 		}
 	}

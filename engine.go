@@ -57,6 +57,11 @@ type Engine struct {
 	workers         []string
 	pool            *dispatch.Pool
 	dispatchMetrics *dispatch.Metrics
+
+	// simWorkers is the Engine's default intra-simulation parallel width
+	// (WithSimWorkers); SimOptions carrying their own Workers field override
+	// it per run.
+	simWorkers int
 }
 
 // EngineOption configures an Engine at construction time.
@@ -71,6 +76,22 @@ func WithJobs(n int) EngineOption {
 			return fmt.Errorf("gdp: WithJobs(%d): width must be >= 0", n)
 		}
 		e.jobs = n
+		return nil
+	}
+}
+
+// WithSimWorkers sets the default intra-simulation parallel width: runs the
+// Engine starts with n > 1 tick their cores on the worker/coordinator driver
+// across n OS threads (clamped to the core count), with results byte-identical
+// to the serial driver. 0 and 1 select the serial event driver. SimOptions
+// that carry their own Workers field override it per run; reference runs
+// always stay serial.
+func WithSimWorkers(n int) EngineOption {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("gdp: WithSimWorkers(%d): width must be >= 0", n)
+		}
+		e.simWorkers = n
 		return nil
 	}
 }
@@ -271,10 +292,19 @@ func (e *Engine) fillScale(s StudyScale) StudyScale {
 // interval boundary: an already-expired context returns its error without
 // completing a single interval.
 func (e *Engine) Run(ctx context.Context, opts SimOptions) (*SimResult, error) {
+	e.fillSim(&opts)
+	return sim.RunContext(ctx, opts)
+}
+
+// fillSim applies the Engine's simulation defaults to one run's options: the
+// telemetry sink and the intra-simulation parallel width (WithSimWorkers).
+func (e *Engine) fillSim(opts *SimOptions) {
 	if opts.Metrics == nil {
 		opts.Metrics = e.simMetrics()
 	}
-	return sim.RunContext(ctx, opts)
+	if opts.Workers == 0 {
+		opts.Workers = e.simWorkers
+	}
 }
 
 // RunPrivate executes a benchmark alone on the CMP, aligned on the supplied
@@ -318,9 +348,7 @@ func (e *Engine) Stream(ctx context.Context, opts SimOptions) (iter.Seq2[Interva
 		consumed = true
 		simOpts := opts
 		simOpts.DiscardIntervals = true
-		if simOpts.Metrics == nil {
-			simOpts.Metrics = e.simMetrics()
-		}
+		e.fillSim(&simOpts)
 		stopped := false
 		simOpts.OnInterval = func(rec sim.IntervalRecord) error {
 			if !yield(rec, nil) {
@@ -345,9 +373,7 @@ func (e *Engine) Stream(ctx context.Context, opts SimOptions) (iter.Seq2[Interva
 // snapshot. The checkpoint is serializable and content-addressable: it can
 // be stored in the Engine's result cache and seed any number of forks.
 func (e *Engine) Checkpoint(ctx context.Context, opts SimOptions, warmupCycles uint64) (*Checkpoint, error) {
-	if opts.Metrics == nil {
-		opts.Metrics = e.simMetrics()
-	}
+	e.fillSim(&opts)
 	return sim.RunToCheckpoint(ctx, opts, warmupCycles)
 }
 
@@ -356,9 +382,7 @@ func (e *Engine) Checkpoint(ctx context.Context, opts SimOptions, warmupCycles u
 // Engine.Run of the same options; a checkpoint that cannot seed these
 // options fails with an error wrapping ErrCheckpointMismatch.
 func (e *Engine) RunFromCheckpoint(ctx context.Context, opts SimOptions, cp *Checkpoint) (*SimResult, error) {
-	if opts.Metrics == nil {
-		opts.Metrics = e.simMetrics()
-	}
+	e.fillSim(&opts)
 	return sim.RunFromCheckpoint(ctx, opts, cp)
 }
 

@@ -43,6 +43,13 @@ type loadWaiters struct {
 	primary *robEntry
 	merged  []*robEntry
 	req     *mem.Request
+	// issueCount is commitCycleCount at the cycle the request was issued;
+	// per-request overlap (GDP-O) is the counter's increase over the request's
+	// lifetime. Keeping it on the waiter (rather than in a map keyed by the
+	// request ID) means the core never reads the ID, so a staged submission
+	// whose ID is assigned later — the parallel driver's injection protocol —
+	// is indistinguishable from an immediate one.
+	issueCount uint64
 }
 
 // Core is one simulated processor core.
@@ -83,11 +90,9 @@ type Core struct {
 	stalledOn *robEntry
 
 	// Committing-cycle counter used to compute per-request overlap in O(1):
-	// a request's overlap is the increase of this counter over its lifetime.
+	// a request's overlap is the increase of this counter over its lifetime
+	// (each in-flight request's issue-time value lives on its loadWaiters).
 	commitCycleCount uint64
-	// issueCommitCount maps an in-flight SMS request ID to the value of
-	// commitCycleCount when it was issued.
-	issueCommitCount map[uint64]uint64
 
 	// memOps tracks the number of loads and stores currently in the ROB
 	// (load/store queue occupancy).
@@ -139,18 +144,17 @@ func New(id int, cfg *config.CMPConfig, src trace.Source, sharedMem MemorySystem
 		return nil, err
 	}
 	return &Core{
-		id:               id,
-		cfg:              cfg.Core,
-		l1Lat:            cfg.L1D.LatencyCyc,
-		l2Lat:            cfg.L2.LatencyCyc,
-		l1MSHRs:          cfg.L1D.MSHRs,
-		src:              src,
-		l1d:              l1d,
-		l2:               l2,
-		shared:           sharedMem,
-		rob:              make([]robEntry, cfg.Core.ROBEntries),
-		pending:          make(map[uint64]*loadWaiters),
-		issueCommitCount: make(map[uint64]uint64),
+		id:      id,
+		cfg:     cfg.Core,
+		l1Lat:   cfg.L1D.LatencyCyc,
+		l2Lat:   cfg.L2.LatencyCyc,
+		l1MSHRs: cfg.L1D.MSHRs,
+		src:     src,
+		l1d:     l1d,
+		l2:      l2,
+		shared:  sharedMem,
+		rob:     make([]robEntry, cfg.Core.ROBEntries),
+		pending: make(map[uint64]*loadWaiters),
 	}, nil
 }
 
@@ -239,6 +243,7 @@ func (c *Core) getWaiter() *loadWaiters {
 func (c *Core) putWaiter(w *loadWaiters) {
 	w.primary = nil
 	w.req = nil
+	w.issueCount = 0
 	for i := range w.merged {
 		w.merged[i] = nil
 	}
@@ -286,10 +291,7 @@ func (c *Core) CompleteRequest(req *mem.Request, now uint64) {
 		c.stats.PreLLCLatSum += latency
 	}
 	// Overlap (GDP-O): commit cycles observed while the request was in flight.
-	if issued, ok2 := c.issueCommitCount[req.ID]; ok2 {
-		c.stats.SMSOverlapSum += c.commitCycleCount - issued
-		delete(c.issueCommitCount, req.ID)
-	}
+	c.stats.SMSOverlapSum += c.commitCycleCount - w.issueCount
 
 	for _, p := range c.probes {
 		p.OnLoadCompleted(req.Addr, true, now, latency, interference)
@@ -591,9 +593,9 @@ func (c *Core) issueLoad(e *robEntry, now uint64) bool {
 	w := c.getWaiter()
 	w.primary = e
 	w.req = req
+	w.issueCount = c.commitCycleCount
 	c.pending[key] = w
 	c.outstandingMisses++
-	c.issueCommitCount[req.ID] = c.commitCycleCount
 	return true
 }
 

@@ -24,12 +24,14 @@ type ROBEntryState struct {
 }
 
 // WaiterState is one serialized outstanding-L1-miss tracker. Primary and
-// Merged are queue-order ROB positions.
+// Merged are queue-order ROB positions. IssueCount is the core's committing-
+// cycle counter at issue time (the GDP-O overlap baseline).
 type WaiterState struct {
-	Line    uint64 `json:"line"`
-	Primary int    `json:"primary"`
-	Merged  []int  `json:"merged,omitempty"`
-	Req     int32  `json:"req"`
+	Line       uint64 `json:"line"`
+	Primary    int    `json:"primary"`
+	Merged     []int  `json:"merged,omitempty"`
+	Req        int32  `json:"req"`
+	IssueCount uint64 `json:"issue_count,omitempty"`
 }
 
 // CoreState is the complete serializable state of one core: the ROB and issue
@@ -50,9 +52,8 @@ type CoreState struct {
 	FetchStallUntil uint64 `json:"fetch_stall_until"`
 	StalledOn       int    `json:"stalled_on"` // queue position, -1 = none
 
-	CommitCycleCount uint64            `json:"commit_cycle_count"`
-	IssueCommitCount map[uint64]uint64 `json:"issue_commit_count,omitempty"`
-	MemOps           int               `json:"mem_ops"`
+	CommitCycleCount uint64 `json:"commit_cycle_count"`
+	MemOps           int    `json:"mem_ops"`
 
 	Staged    trace.Instruction `json:"staged"`
 	HasStaged bool              `json:"has_staged,omitempty"`
@@ -113,7 +114,7 @@ func (c *Core) Snapshot(t *mem.SnapshotTable) CoreState {
 	}
 	st.Pending = make([]WaiterState, 0, len(c.pending))
 	for line, w := range c.pending {
-		ws := WaiterState{Line: line, Primary: queuePos[w.primary], Req: t.Ref(w.req)}
+		ws := WaiterState{Line: line, Primary: queuePos[w.primary], Req: t.Ref(w.req), IssueCount: w.issueCount}
 		for _, m := range w.merged {
 			ws.Merged = append(ws.Merged, queuePos[m])
 		}
@@ -121,12 +122,6 @@ func (c *Core) Snapshot(t *mem.SnapshotTable) CoreState {
 	}
 	// Map iteration order is random; sort for a canonical serialized form.
 	sort.Slice(st.Pending, func(i, j int) bool { return st.Pending[i].Line < st.Pending[j].Line })
-	if len(c.issueCommitCount) > 0 {
-		st.IssueCommitCount = make(map[uint64]uint64, len(c.issueCommitCount))
-		for id, v := range c.issueCommitCount {
-			st.IssueCommitCount[id] = v
-		}
-	}
 	return st
 }
 
@@ -202,6 +197,7 @@ func (c *Core) Restore(st CoreState, t *mem.RestoreTable) error {
 		}
 		w.primary = primary
 		w.req = t.Get(ws.Req)
+		w.issueCount = ws.IssueCount
 		for _, mi := range ws.Merged {
 			m, err := entryAt(mi, "merged waiter")
 			if err != nil {
@@ -215,10 +211,6 @@ func (c *Core) Restore(st CoreState, t *mem.RestoreTable) error {
 	c.storeBuffer = append(c.storeBuffer[:0], st.StoreBuffer...)
 	c.fetchStallUntil = st.FetchStallUntil
 	c.commitCycleCount = st.CommitCycleCount
-	clear(c.issueCommitCount)
-	for id, v := range st.IssueCommitCount {
-		c.issueCommitCount[id] = v
-	}
 	c.memOps = st.MemOps
 	c.staged = st.Staged
 	c.hasStaged = st.HasStaged

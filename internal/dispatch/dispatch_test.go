@@ -177,6 +177,13 @@ func TestParseWorkers(t *testing.T) {
 		{in: []string{"http://host/api"}, wantErr: "unexpected path"},
 		{in: []string{"http://host?x=1"}, wantErr: "query"},
 		{in: []string{"host", "http://host"}, wantErr: "duplicate"},
+		// Same target under different spellings: hostnames are
+		// case-insensitive and :80/:443 are the scheme defaults.
+		{in: []string{"http://HOST", "host"}, wantErr: "duplicate"},
+		{in: []string{"host:80", "http://host"}, wantErr: "duplicate"},
+		{in: []string{"https://host:443", "https://host"}, wantErr: "duplicate"},
+		// Canonical form is what the fleet sees; :80 on https is a real port.
+		{in: []string{"http://Host:80", "https://host:80"}, want: []string{"http://host", "https://host:80"}},
 	}
 	for _, tc := range cases {
 		got, err := ParseWorkers(tc.in)

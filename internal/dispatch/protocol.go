@@ -114,7 +114,18 @@ func ParseWorkers(raw []string) ([]string, error) {
 		if u.RawQuery != "" || u.Fragment != "" {
 			return nil, &WorkerURLError{URL: entry, Reason: "unexpected query or fragment"}
 		}
-		norm := u.Scheme + "://" + u.Host
+		// Dedup on the canonical target, not the spelling: DNS hostnames are
+		// case-insensitive and :80/:443 are the schemes' defaults, so
+		// "http://Host:80" and "host" are the same worker — admitting both
+		// would double-dispatch to one machine.
+		host := strings.ToLower(u.Host)
+		switch {
+		case u.Scheme == "http" && strings.HasSuffix(host, ":80"):
+			host = strings.TrimSuffix(host, ":80")
+		case u.Scheme == "https" && strings.HasSuffix(host, ":443"):
+			host = strings.TrimSuffix(host, ":443")
+		}
+		norm := u.Scheme + "://" + host
 		if seen[norm] {
 			return nil, &WorkerURLError{URL: entry, Reason: "duplicate worker"}
 		}

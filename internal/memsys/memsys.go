@@ -104,11 +104,15 @@ type System struct {
 	completed [][]*mem.Request
 
 	// Request pool. Completed requests age through two retirement
-	// generations before re-entering the free list, so a recycled object is
+	// generations before re-entering the free lists, so a recycled object is
 	// never reused while a core-side observer may still dereference it (the
-	// window is at most one cycle past completion delivery).
+	// window is at most one cycle past completion delivery). Free lists are
+	// per core — a request retires into the pool of the core that issued it —
+	// so the parallel driver's per-core workers allocate without contending:
+	// each worker only ever touches its own cores' pools, and a recycled
+	// object's last reader was that same core's completion path.
 	pooling     bool
-	pool        []*mem.Request
+	pools       [][]*mem.Request
 	retiredNow  []*mem.Request
 	retiredPrev []*mem.Request
 
@@ -176,6 +180,7 @@ func New(cfg *config.CMPConfig) (*System, error) {
 		bankQueue:     make([]reqQueue, cfg.LLC.Banks),
 		completed:     make([][]*mem.Request, cfg.Cores),
 		pooling:       true,
+		pools:         make([][]*mem.Request, cfg.Cores),
 	}
 	s.atds = make([]*cache.ATD, cfg.Cores)
 	for core := 0; core < cfg.Cores; core++ {
@@ -219,24 +224,33 @@ func (s *System) Submit(core int, addr uint64, isWrite bool, now uint64) *mem.Re
 	if core < 0 || core >= s.cfg.Cores {
 		panic(fmt.Sprintf("memsys: core %d out of range", core))
 	}
+	req := s.newRequest(core, addr, isWrite, now)
 	s.nextID++
+	req.ID = s.nextID
+	s.ingress[core].push(req)
+	s.stats.Submitted++
+	return req
+}
+
+// newRequest allocates (or recycles from core's pool) a request with every
+// field initialized except the ID, which the injection path assigns. It only
+// touches per-core state, so concurrent callers for distinct cores are safe.
+func (s *System) newRequest(core int, addr uint64, isWrite bool, now uint64) *mem.Request {
 	var req *mem.Request
-	if n := len(s.pool); s.pooling && n > 0 {
-		req = s.pool[n-1]
-		s.pool[n-1] = nil
-		s.pool = s.pool[:n-1]
+	if pool := s.pools[core]; s.pooling && len(pool) > 0 {
+		n := len(pool)
+		req = pool[n-1]
+		pool[n-1] = nil
+		s.pools[core] = pool[:n-1]
 		*req = mem.Request{}
 	} else {
 		req = &mem.Request{}
 	}
-	req.ID = s.nextID
 	req.Core = core
 	req.Addr = addr
 	req.IsWrite = isWrite
 	req.IssueCycle = now
 	req.CompleteCycle = mem.IncompleteCycle
-	s.ingress[core].push(req)
-	s.stats.Submitted++
 	return req
 }
 
@@ -269,13 +283,16 @@ func (s *System) Tick(now uint64) {
 	s.retryResponses(now)
 }
 
-// advanceGenerations moves requests retired two ticks ago into the free list
-// and ages the current generation.
+// advanceGenerations moves requests retired two ticks ago into the free lists
+// (each request returns to its issuing core's pool) and ages the current
+// generation.
 func (s *System) advanceGenerations() {
 	if !s.pooling {
 		return
 	}
-	s.pool = append(s.pool, s.retiredPrev...)
+	for _, req := range s.retiredPrev {
+		s.pools[req.Core] = append(s.pools[req.Core], req)
+	}
 	recycled := s.retiredPrev[:0]
 	s.retiredPrev = s.retiredNow
 	s.retiredNow = recycled

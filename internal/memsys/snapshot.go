@@ -149,7 +149,9 @@ func (s *System) Restore(st State, t *mem.RestoreTable) error {
 	for i := range s.completed {
 		s.completed[i] = restoreReqSlice(s.completed[i], st.Completed[i], t)
 	}
-	s.pool = nil
+	for i := range s.pools {
+		s.pools[i] = nil
+	}
 	s.retiredNow = nil
 	s.retiredPrev = nil
 	s.nextID = st.NextID

@@ -1,0 +1,67 @@
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Stager is a per-core staging façade over the shared memory system for the
+// parallel simulation driver. Each per-core worker submits through its own
+// Stager during the parallel phase of a cycle: the request object is allocated
+// (from that core's pool) and fully initialized worker-side, but it is neither
+// given an ID nor enqueued — it lands in a per-core staged list the
+// coordinator later injects with FlushStaged.
+//
+// Splitting submission this way makes the worker phase contention-free (a
+// Stager only touches per-core state) while keeping the serial drivers' exact
+// behaviour: request IDs are assigned at flush time in core order, which is
+// precisely the order the serial per-cycle loop would have assigned them, and
+// the ingress queues receive identical contents. Cores never observe the ID of
+// an in-flight request, so the deferred assignment is invisible to them.
+//
+// Stager implements cpu.MemorySystem.
+type Stager struct {
+	s      *System
+	core   int
+	staged []*mem.Request
+}
+
+// Stager returns the staging façade for one core.
+func (s *System) Stager(core int) *Stager {
+	if core < 0 || core >= s.cfg.Cores {
+		panic(fmt.Sprintf("memsys: core %d out of range", core))
+	}
+	return &Stager{s: s, core: core}
+}
+
+// Submit allocates and stages a request; the ID is assigned and the request
+// enqueued when the coordinator flushes. Only the owning core may call it.
+func (g *Stager) Submit(core int, addr uint64, isWrite bool, now uint64) *mem.Request {
+	if core != g.core {
+		panic(fmt.Sprintf("memsys: stager for core %d received a submission from core %d", g.core, core))
+	}
+	req := g.s.newRequest(core, addr, isWrite, now)
+	g.staged = append(g.staged, req)
+	return req
+}
+
+// FlushStaged injects every stager's staged requests into the system in core
+// order, assigning the IDs the serial Submit path would have assigned. Called
+// by the coordinator between parallel phases; the staged lists keep their
+// backing arrays so steady-state operation stays allocation-free.
+func (s *System) FlushStaged(stagers []*Stager) {
+	for _, g := range stagers {
+		if len(g.staged) == 0 {
+			continue
+		}
+		s.stats.Submitted += uint64(len(g.staged))
+		for i, req := range g.staged {
+			s.nextID++
+			req.ID = s.nextID
+			s.ingress[g.core].push(req)
+			g.staged[i] = nil
+		}
+		g.staged = g.staged[:0]
+	}
+}

@@ -1,0 +1,182 @@
+package perf
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"time"
+
+	"repro/internal/accounting"
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// minParallelCPUs is the machine size below which the parallel scaling gate
+// does not enforce a speedup: on one or two hardware threads the worker fleet
+// time-slices a single CPU and the barrier overhead is all that can be
+// measured. Determinism (SerialIdentical) is enforced on any machine.
+const minParallelCPUs = 4
+
+// ParallelPoint is one core count on the scaling curve: the same fixed-seed
+// run timed on the serial event-driven driver and on the worker/coordinator
+// driver.
+type ParallelPoint struct {
+	Cores int `json:"cores"`
+	// Workers is the effective fleet width (the requested width clamped to
+	// the core count).
+	Workers int    `json:"workers"`
+	Cycles  uint64 `json:"cycles"`
+
+	SerialNanos   int64 `json:"serial_wall_ns"`
+	ParallelNanos int64 `json:"parallel_wall_ns"`
+	// Speedup is serial wall clock over parallel wall clock.
+	Speedup float64 `json:"speedup"`
+	// SerialIdentical confirms the two drivers produced deeply identical
+	// results (cycles, per-core statistics, sample statistics and points) —
+	// the parallel driver is a pure wall-clock optimization.
+	SerialIdentical bool `json:"serial_identical"`
+}
+
+// ParallelBenchResult is the intra-simulation parallel-driver scaling
+// measurement across the core-count axis.
+type ParallelBenchResult struct {
+	Scenario       string          `json:"scenario"`
+	Instructions   uint64          `json:"instructions_per_core"`
+	IntervalCycles uint64          `json:"interval_cycles"`
+	Workers        int             `json:"workers"`
+	Points         []ParallelPoint `json:"points"`
+}
+
+// parallelSimOptions builds the fixed-seed scaling run for one point.
+func parallelSimOptions(o Options, cores, workers int) (sim.Options, error) {
+	sc, err := workload.ScenarioByName(o.ParallelScenario)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	wl, err := sc.Workload(cores)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	gdpo, err := accounting.NewGDP(cores, 32, true)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	opts := sim.Options{
+		Config:              config.ScaledConfig(cores),
+		Workload:            wl,
+		InstructionsPerCore: o.ParallelInstructions,
+		IntervalCycles:      o.ParallelIntervalCycles,
+		Seed:                o.Seed,
+		Accountants:         []accounting.Accountant{gdpo},
+		DiscardIntervals:    true,
+		Workers:             workers,
+	}
+	if o.Instr != nil {
+		opts.Metrics = o.Instr.Sim
+	}
+	return opts, nil
+}
+
+// medianParallelTime times the point Repeats times at the given width and
+// returns the median wall time plus the (deterministic) final result.
+func medianParallelTime(o Options, cores, workers int) (time.Duration, *sim.Result, error) {
+	times := make([]time.Duration, 0, o.Repeats)
+	var res *sim.Result
+	for i := 0; i < o.Repeats; i++ {
+		opts, err := parallelSimOptions(o, cores, workers)
+		if err != nil {
+			return 0, nil, err
+		}
+		start := time.Now()
+		r, err := sim.Run(opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		d := time.Since(start)
+		if res != nil && res.Cycles != r.Cycles {
+			return 0, nil, fmt.Errorf("perf: parallel point %d cores is not deterministic: %d vs %d cycles",
+				cores, res.Cycles, r.Cycles)
+		}
+		res = r
+		times = append(times, d)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2], res, nil
+}
+
+// runParallelBench times serial vs. parallel execution of the scaling
+// scenario at every core count and deep-compares the results.
+func runParallelBench(o Options) (*ParallelBenchResult, error) {
+	out := &ParallelBenchResult{
+		Scenario:       o.ParallelScenario,
+		Instructions:   o.ParallelInstructions,
+		IntervalCycles: o.ParallelIntervalCycles,
+		Workers:        o.ParallelWorkers,
+	}
+	for _, cores := range o.ParallelCores {
+		serialT, serialRes, err := medianParallelTime(o, cores, 1)
+		if err != nil {
+			return nil, err
+		}
+		workers := o.ParallelWorkers
+		if workers > cores {
+			workers = cores
+		}
+		parT, parRes, err := medianParallelTime(o, cores, o.ParallelWorkers)
+		if err != nil {
+			return nil, err
+		}
+		p := ParallelPoint{
+			Cores:         cores,
+			Workers:       workers,
+			Cycles:        serialRes.Cycles,
+			SerialNanos:   serialT.Nanoseconds(),
+			ParallelNanos: parT.Nanoseconds(),
+			SerialIdentical: serialRes.Cycles == parRes.Cycles &&
+				reflect.DeepEqual(serialRes.CoreStats, parRes.CoreStats) &&
+				reflect.DeepEqual(serialRes.SampleStats, parRes.SampleStats) &&
+				reflect.DeepEqual(serialRes.SamplePoints, parRes.SamplePoints),
+		}
+		if parT > 0 {
+			p.Speedup = float64(serialT) / float64(parT)
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// ParallelGateEnforced reports whether the report's machine is big enough for
+// the parallel speedup gate to be meaningful. Callers that skip the gate on a
+// false return should say so out loud; the determinism half of
+// CheckParallelSpeedup is enforced regardless.
+func (r *Report) ParallelGateEnforced() bool { return r.NumCPU >= minParallelCPUs }
+
+// CheckParallelSpeedup returns an error if any scaling point's parallel
+// results diverge from serial (a correctness bug on any machine), or — on
+// machines with at least minParallelCPUs hardware threads — if the best
+// point's speedup fell below min. The speedup half keys off the report's own
+// recorded NumCPU, so a report generated on a one-CPU builder passes a gate
+// evaluated anywhere. A report without a parallel section passes.
+func (r *Report) CheckParallelSpeedup(min float64) error {
+	if r.Parallel == nil {
+		return nil
+	}
+	best := 0.0
+	for _, p := range r.Parallel.Points {
+		if !p.SerialIdentical {
+			return fmt.Errorf("perf: parallel driver diverges from serial at %d cores", p.Cores)
+		}
+		if p.Workers > 1 && p.Speedup > best {
+			best = p.Speedup
+		}
+	}
+	if !r.ParallelGateEnforced() {
+		return nil
+	}
+	if best < min {
+		return fmt.Errorf("perf: best parallel scaling speedup %.2fx below the required %.2fx (on %d CPUs)",
+			best, min, r.NumCPU)
+	}
+	return nil
+}

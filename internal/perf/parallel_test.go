@@ -1,0 +1,81 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParallelBenchSmall runs the scaling benchmark at a reduced axis and
+// checks the structural invariants: every point's parallel results are deeply
+// identical to serial and both drivers were actually timed. The ≥1.5x CI gate
+// runs at the full fixture size through `gdpsim bench` (bench-smoke), not
+// here — speedup depends on the machine's CPU count.
+func TestParallelBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel benchmark runs full simulations")
+	}
+	o := Options{
+		Seed:                 42,
+		Repeats:              1,
+		ParallelCores:        []int{2, 4},
+		ParallelWorkers:      4,
+		ParallelInstructions: 2000,
+	}
+	o.setDefaults()
+	res, err := runParallelBench(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || res.Scenario != "compute-heavy" {
+		t.Fatalf("implausible fixture: %+v", res)
+	}
+	for _, p := range res.Points {
+		if !p.SerialIdentical {
+			t.Errorf("parallel driver diverges from serial at %d cores", p.Cores)
+		}
+		if p.Cycles == 0 || p.SerialNanos <= 0 || p.ParallelNanos <= 0 || p.Speedup <= 0 {
+			t.Errorf("implausible point: %+v", p)
+		}
+		if p.Workers > p.Cores {
+			t.Errorf("point at %d cores reports %d workers (want clamped)", p.Cores, p.Workers)
+		}
+		t.Logf("cores=%d workers=%d serial=%dms parallel=%dms speedup=%.2fx",
+			p.Cores, p.Workers, p.SerialNanos/1e6, p.ParallelNanos/1e6, p.Speedup)
+	}
+}
+
+// TestCheckParallelSpeedup pins the gate's semantics: determinism is enforced
+// on any machine, the speedup floor only on machines with enough CPUs.
+func TestCheckParallelSpeedup(t *testing.T) {
+	rep := &Report{NumCPU: 8}
+	if err := rep.CheckParallelSpeedup(1.5); err != nil {
+		t.Errorf("gate without a parallel section = %v, want pass", err)
+	}
+
+	rep.Parallel = &ParallelBenchResult{Points: []ParallelPoint{
+		{Cores: 4, Workers: 4, Speedup: 1.1, SerialIdentical: true},
+		{Cores: 16, Workers: 8, Speedup: 2.0, SerialIdentical: true},
+	}}
+	if err := rep.CheckParallelSpeedup(1.5); err != nil {
+		t.Errorf("gate on a 2.0x best point = %v, want pass", err)
+	}
+	if err := rep.CheckParallelSpeedup(3.0); err == nil {
+		t.Error("gate passed with every point below 3.0x")
+	}
+
+	// Too few CPUs: the speedup floor is waived ...
+	rep.NumCPU = 1
+	if rep.ParallelGateEnforced() {
+		t.Error("gate reported enforced on a 1-CPU report")
+	}
+	if err := rep.CheckParallelSpeedup(3.0); err != nil {
+		t.Errorf("gate enforced speedup on a 1-CPU report: %v", err)
+	}
+
+	// ... but divergence fails on any machine.
+	rep.Parallel.Points[1].SerialIdentical = false
+	err := rep.CheckParallelSpeedup(3.0)
+	if err == nil || !strings.Contains(err.Error(), "diverges") {
+		t.Errorf("divergence on a 1-CPU report = %v, want a divergence error", err)
+	}
+}

@@ -33,8 +33,10 @@ import (
 // SchemaVersion identifies the report layout. Version 2 adds the
 // GOMAXPROCS / jobs / git-revision provenance fields (so reports are
 // comparable across machines and source states) and the sweep-level
-// warmup-sharing benchmark section.
-const SchemaVersion = 2
+// warmup-sharing benchmark section. Version 3 adds the intra-simulation
+// parallel-driver scaling section (serial vs. -sim-workers wall clock over a
+// core-count axis).
+const SchemaVersion = 3
 
 // Options configure one harness run. The zero value selects every registered
 // scenario at the default fixed-seed sizing.
@@ -74,6 +76,26 @@ type Options struct {
 	// prefix exists to share).
 	SweepInstructions   uint64
 	SweepIntervalCycles uint64
+	// Parallel enables the intra-simulation parallel-driver scaling benchmark
+	// (opt-in: it times serial and parallel runs over a core-count axis).
+	Parallel bool
+	// ParallelCores is the scaling benchmark's CMP-size axis (default
+	// 4, 16, 64, 256: from "barrier overhead dominates" to "per-cycle core
+	// work dominates").
+	ParallelCores []int
+	// ParallelWorkers is the -sim-workers width timed against serial (default
+	// GOMAXPROCS with a floor of 2, so the points exercise the parallel
+	// driver even on one CPU; the driver clamps it to the core count per
+	// point).
+	ParallelWorkers int
+	// ParallelScenario is the workload the scaling points run (default
+	// "compute-heavy": dense per-core work, the parallel driver's best and the
+	// paper's CPI-stack sweet spot).
+	ParallelScenario string
+	// ParallelInstructions and ParallelIntervalCycles size the scaling runs
+	// (defaults 4000 / 2000, kept small because the axis reaches 256 cores).
+	ParallelInstructions   uint64
+	ParallelIntervalCycles uint64
 	// Registry, when non-nil, receives the harness's telemetry (the sweep
 	// fixture's cache statistics register here). `gdpsim bench -metrics-out`
 	// dumps its snapshot next to the report.
@@ -115,6 +137,28 @@ func (o *Options) setDefaults() {
 	}
 	if o.SweepIntervalCycles == 0 {
 		o.SweepIntervalCycles = 1000
+	}
+	if len(o.ParallelCores) == 0 {
+		o.ParallelCores = []int{4, 16, 64, 256}
+	}
+	if o.ParallelWorkers == 0 {
+		// Floor at 2: on a single-CPU machine GOMAXPROCS would select width
+		// 1, which is the serial driver — the scaling points must exercise
+		// the worker/coordinator driver to mean anything (the identity check
+		// in particular).
+		o.ParallelWorkers = runtime.GOMAXPROCS(0)
+		if o.ParallelWorkers < 2 {
+			o.ParallelWorkers = 2
+		}
+	}
+	if o.ParallelScenario == "" {
+		o.ParallelScenario = "compute-heavy"
+	}
+	if o.ParallelInstructions == 0 {
+		o.ParallelInstructions = 4000
+	}
+	if o.ParallelIntervalCycles == 0 {
+		o.ParallelIntervalCycles = 2000
 	}
 }
 
@@ -181,8 +225,9 @@ type Report struct {
 	GitRevision   string `json:"git_revision,omitempty"`
 	GeneratedAt   string `json:"generated_at,omitempty"`
 
-	Scenarios []ScenarioResult  `json:"scenarios"`
-	Sweep     *SweepBenchResult `json:"sweep,omitempty"`
+	Scenarios []ScenarioResult     `json:"scenarios"`
+	Sweep     *SweepBenchResult    `json:"sweep,omitempty"`
+	Parallel  *ParallelBenchResult `json:"parallel,omitempty"`
 }
 
 // simOptions builds the fixed-seed run options for one scenario.
@@ -402,6 +447,13 @@ func Run(o Options) (*Report, error) {
 			return nil, err
 		}
 		rep.Sweep = sweep
+	}
+	if o.Parallel {
+		par, err := runParallelBench(o)
+		if err != nil {
+			return nil, err
+		}
+		rep.Parallel = par
 	}
 	return rep, nil
 }

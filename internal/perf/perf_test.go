@@ -40,12 +40,15 @@ func TestRunProducesMeasurements(t *testing.T) {
 	if s.AllocsPerInterval != -1 {
 		t.Errorf("allocs measured despite SkipAllocs: %v", s.AllocsPerInterval)
 	}
-	if rep.SchemaVersion != 2 || rep.GOMAXPROCS < 1 || rep.Jobs != 1 {
-		t.Errorf("schema-2 provenance fields missing: version=%d gomaxprocs=%d jobs=%d",
+	if rep.SchemaVersion != 3 || rep.GOMAXPROCS < 1 || rep.Jobs != 1 {
+		t.Errorf("schema-3 provenance fields missing: version=%d gomaxprocs=%d jobs=%d",
 			rep.SchemaVersion, rep.GOMAXPROCS, rep.Jobs)
 	}
 	if rep.Sweep != nil {
 		t.Error("sweep benchmark ran without being requested")
+	}
+	if rep.Parallel != nil {
+		t.Error("parallel benchmark ran without being requested")
 	}
 }
 

@@ -34,8 +34,10 @@ import (
 )
 
 // CheckpointVersion identifies the checkpoint layout. Forking rejects
-// checkpoints of any other version.
-const CheckpointVersion = 1
+// checkpoints of any other version. Version 2 moved the per-request GDP-O
+// overlap baseline from a request-ID-keyed map onto the outstanding-miss
+// trackers (cpu.WaiterState.IssueCount).
+const CheckpointVersion = 2
 
 // ErrWarmupTooLong reports that the run completed (every core committed its
 // instruction sample, or the cycle budget ran out) before the requested
@@ -172,12 +174,7 @@ func RunToCheckpoint(ctx context.Context, opts Options, warmupCycles uint64) (*C
 		at:   warmupCycles,
 		ests: make([][][]accounting.Estimate, len(opts.Accountants)),
 	}
-	if opts.Reference {
-		err = st.runReference(ctx)
-	} else {
-		err = st.runFast(ctx)
-	}
-	if err != nil {
+	if err := st.run(ctx); err != nil {
 		return nil, err
 	}
 	if st.cpOut == nil {
@@ -376,12 +373,7 @@ func RunFromCheckpoint(ctx context.Context, opts Options, cp *Checkpoint) (*Resu
 
 	st.startCycle = cp.Cycle
 	st.flushedCycle = cp.Cycle
-	if opts.Reference {
-		err = st.runReference(ctx)
-	} else {
-		err = st.runFast(ctx)
-	}
-	if err != nil {
+	if err := st.run(ctx); err != nil {
 		return nil, err
 	}
 	return st.res, nil

@@ -1,0 +1,304 @@
+// The parallel driver: the per-cycle core loop spread across OS threads.
+//
+// One simulated cycle alternates between a serial coordinator phase and a
+// parallel worker phase, separated by barriers — the worker/coordinator split
+// of ddtxn applied to a cycle-accurate CMP:
+//
+//	coordinator: accountant Tick (ASM epochs, owner rotation), memsys Tick
+//	             (ring, LLC banks, DRAM — the cross-core stages)
+//	   barrier ->
+//	workers:     per owned core, drain Completed(i) (CompleteRequest +
+//	             accountant ObserveRequest), core.Tick, sample-completion
+//	             check, per-block next-event bound
+//	   barrier ->
+//	coordinator: flush staged submissions in core order (ID assignment),
+//	             interval boundary work (records, partitioning, checkpoint),
+//	             fast-forward decision
+//
+// Workers own disjoint contiguous core blocks, so everything they touch —
+// core state, per-core probes, per-core completion and ingress staging, the
+// per-core request pools, their sampleTaken/SampleStats slots — is private to
+// one worker within a phase; the barriers order cross-phase access. The only
+// cross-thread communication is the padded per-worker result slot and the two
+// barrier atomics.
+//
+// Determinism is structural, not best-effort: request IDs are assigned at the
+// flush in core order (the serial order), ingress queues receive identical
+// contents, and every floating-point accumulation stays per-core. The
+// differential tests pin the parallel driver byte-identical to both serial
+// drivers across scenarios, accountants, partitioning and checkpoint forks.
+package sim
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Worker opcodes, published in parallelRun.op before the epoch increment.
+const (
+	opTick uint32 = iota
+	opFastForward
+	opExit
+)
+
+// barrierSpinBudget bounds the hot-spin iterations a barrier waiter burns
+// before yielding its processor. Spinning wins when a peer is mid-phase on
+// another CPU (the common case at simulation granularity); yielding keeps the
+// driver live — just slower — when workers outnumber CPUs.
+const barrierSpinBudget = 256
+
+// barrierSampleMask samples the coordinator's barrier-wait time on every
+// (mask+1)-th cycle, keeping the timing syscalls off the per-cycle path.
+const barrierSampleMask = 511
+
+// workerSlot is one worker's per-phase result, padded so adjacent workers'
+// writes never share a cache line.
+type workerSlot struct {
+	done int    // cores in the block that completed their instruction sample
+	next uint64 // earliest next event across the block (math.MaxUint64 = idle)
+	_    [48]byte
+}
+
+// parallelRun is the coordinator's handle on the worker fleet for one run.
+type parallelRun struct {
+	st *runState
+
+	workers int
+	bounds  []int // worker w owns cores [bounds[w], bounds[w+1])
+	slots   []workerSlot
+
+	// Command state: plain fields published by the epoch increment (the
+	// atomic add is the release, the workers' load the acquire).
+	op   uint32
+	now  uint64
+	ffTo uint64
+
+	epoch   atomic.Uint64
+	arrived atomic.Int64
+
+	cycles      uint64 // dispatch counter, for barrier-wait sampling
+	sampleWaits bool
+	wg          sync.WaitGroup
+}
+
+// runParallel is the worker/coordinator driver. It follows runFast cycle for
+// cycle — same interval boundaries, same fast-forward decisions — with the
+// per-core loop executed by the fleet.
+func (st *runState) runParallel(ctx context.Context) error {
+	pr := &parallelRun{st: st, workers: st.workers}
+	n := len(st.cores)
+	pr.slots = make([]workerSlot, pr.workers)
+	pr.bounds = make([]int, pr.workers+1)
+	for w := 1; w <= pr.workers; w++ {
+		pr.bounds[w] = w * n / pr.workers
+	}
+	if m := st.opts.Metrics; m != nil {
+		m.parallelRuns.Add(1)
+		m.workersGauge.Store(uint64(pr.workers))
+		pr.sampleWaits = m.barrierWait != nil
+	}
+	pr.wg.Add(pr.workers)
+	for w := 0; w < pr.workers; w++ {
+		go pr.workerLoop(w)
+	}
+	defer func() {
+		pr.publish(opExit, 0, 0)
+		pr.wg.Wait()
+	}()
+
+	opts := st.opts
+	now := st.startCycle
+	for now < st.maxCycles {
+		// Serial: cross-core state advances while the fleet waits.
+		for _, acct := range opts.Accountants {
+			acct.Tick(now)
+		}
+		st.shared.Tick(now)
+
+		// Parallel: completions, core ticks, sampling, next-event bounds.
+		pr.publish(opTick, now, 0)
+		pr.await()
+
+		// Serial: inject the cycle's staged submissions in core order — the
+		// ID sequence and ingress contents the serial drivers produce.
+		st.shared.FlushStaged(st.stagers)
+		done := 0
+		for w := range pr.slots {
+			done += pr.slots[w].done
+		}
+
+		if (now+1)%opts.IntervalCycles == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := st.recordInterval(); err != nil {
+				return err
+			}
+			st.flushMetrics(now+1, 1)
+			if st.cpCapture != nil && now+1 == st.cpCapture.at {
+				return st.takeCheckpoint(now + 1)
+			}
+		}
+
+		if done == len(st.cores) {
+			now++
+			break
+		}
+
+		target := pr.nextEventCycle(now)
+		if target > now+1 {
+			// Never skip an interval boundary or the cycle budget.
+			if boundary := now + opts.IntervalCycles - (now+1)%opts.IntervalCycles; target > boundary {
+				target = boundary
+			}
+			if target > st.maxCycles {
+				target = st.maxCycles
+			}
+		}
+		if target > now+1 {
+			// The fleet fast-forwards the cores while the coordinator applies
+			// the span to the memory controller; neither touches the other's
+			// state, so the two halves overlap safely.
+			pr.publish(opFastForward, now+1, target)
+			st.shared.FastForward(now+1, target)
+			pr.await()
+			st.ffPending += target - (now + 1)
+			now = target
+		} else {
+			now++
+		}
+	}
+	st.finish(now)
+	return nil
+}
+
+// nextEventCycle combines the per-worker core bounds (computed in the tick
+// phase) with the shared system's and the accountants' bounds, mirroring
+// runState.nextEventCycle.
+func (pr *parallelRun) nextEventCycle(now uint64) uint64 {
+	st := pr.st
+	if !st.canSkip {
+		return now + 1
+	}
+	next := uint64(math.MaxUint64)
+	for w := range pr.slots {
+		if e := pr.slots[w].next; e < next {
+			next = e
+		}
+	}
+	if next <= now+1 {
+		return now + 1
+	}
+	if e := st.shared.NextEvent(now); e < next {
+		next = e
+	}
+	for _, src := range st.acctSources {
+		if src == nil {
+			continue
+		}
+		if e := src.NextEvent(now); e < next {
+			next = e
+		}
+	}
+	if next <= now+1 {
+		return now + 1
+	}
+	return next
+}
+
+// publish issues a command to the fleet: the plain command fields are written
+// first, then the epoch increment releases them to the workers' acquire load.
+func (pr *parallelRun) publish(op uint32, now, ffTo uint64) {
+	pr.op, pr.now, pr.ffTo = op, now, ffTo
+	pr.cycles++
+	pr.epoch.Add(1)
+}
+
+// await blocks until every worker has arrived at the barrier, then resets it.
+// The coordinator's wait time is sampled into the barrier-wait histogram.
+func (pr *parallelRun) await() {
+	var t0 time.Time
+	sampled := pr.sampleWaits && pr.cycles&barrierSampleMask == 0
+	if sampled {
+		t0 = time.Now()
+	}
+	for i := 0; pr.arrived.Load() != int64(pr.workers); i++ {
+		if i >= barrierSpinBudget {
+			runtime.Gosched()
+		}
+	}
+	pr.arrived.Store(0)
+	if sampled {
+		pr.st.opts.Metrics.barrierWait.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// awaitEpoch spins (then yields) until the coordinator publishes an epoch
+// beyond seen, and returns it. The atomic load pairs with publish's increment.
+func (pr *parallelRun) awaitEpoch(seen uint64) uint64 {
+	for i := 0; ; i++ {
+		if e := pr.epoch.Load(); e != seen {
+			return e
+		}
+		if i >= barrierSpinBudget {
+			runtime.Gosched()
+		}
+	}
+}
+
+// workerLoop is one member of the fleet: it owns cores [bounds[w], bounds[w+1])
+// for the lifetime of the run and executes the published command each epoch.
+func (pr *parallelRun) workerLoop(w int) {
+	defer pr.wg.Done()
+	st := pr.st
+	lo, hi := pr.bounds[w], pr.bounds[w+1]
+	slot := &pr.slots[w]
+	seen := uint64(0)
+	for {
+		seen = pr.awaitEpoch(seen)
+		switch pr.op {
+		case opExit:
+			return
+		case opTick:
+			now := pr.now
+			done := 0
+			next := uint64(math.MaxUint64)
+			for i := lo; i < hi; i++ {
+				core := st.cores[i]
+				for _, req := range st.shared.Completed(i) {
+					core.CompleteRequest(req, now)
+					for _, acct := range st.opts.Accountants {
+						acct.ObserveRequest(i, req)
+					}
+				}
+				core.Tick(now)
+				if !st.sampleTaken[i] {
+					if stats := core.Stats(); stats.Instructions >= st.opts.InstructionsPerCore {
+						st.res.SampleStats[i] = stats
+						st.sampleTaken[i] = true
+					}
+				}
+				if st.sampleTaken[i] {
+					done++
+				}
+				if st.canSkip {
+					if e := core.NextEvent(now); e < next {
+						next = e
+					}
+				}
+			}
+			slot.done = done
+			slot.next = next
+		case opFastForward:
+			from, to := pr.now, pr.ffTo
+			for i := lo; i < hi; i++ {
+				st.cores[i].FastForward(from, to)
+			}
+		}
+		pr.arrived.Add(1)
+	}
+}

@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/accounting"
+	"repro/internal/partition"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// requireSameResult fails the test when two results are not deeply identical
+// (cycles, per-core statistics, sample stats/points and every interval record
+// including every accountant's estimates).
+func requireSameResult(t *testing.T, want, got *Result) {
+	t.Helper()
+	if want.Cycles != got.Cycles {
+		t.Fatalf("cycles diverge: serial=%d parallel=%d", want.Cycles, got.Cycles)
+	}
+	if !reflect.DeepEqual(want.CoreStats, got.CoreStats) {
+		t.Fatalf("core stats diverge:\nserial:   %+v\nparallel: %+v", want.CoreStats, got.CoreStats)
+	}
+	if !reflect.DeepEqual(want.SampleStats, got.SampleStats) {
+		t.Fatal("sample stats diverge")
+	}
+	if !reflect.DeepEqual(want.SamplePoints, got.SamplePoints) {
+		t.Fatal("sample points diverge")
+	}
+	if !reflect.DeepEqual(want.Intervals, got.Intervals) {
+		t.Fatal("interval records diverge")
+	}
+}
+
+// TestParallelMatchesSerialAcrossScenarios is the parallel driver's
+// differential determinism test: for every named scenario, Workers=8 must
+// produce a Result deeply identical to Workers=1 (the serial event driver,
+// itself pinned byte-identical to the cycle-by-cycle reference). Run under
+// -race this also proves the worker/coordinator protocol data-race-free.
+func TestParallelMatchesSerialAcrossScenarios(t *testing.T) {
+	for _, name := range workload.ScenarioNames() {
+		t.Run(name, func(t *testing.T) {
+			serial, err := Run(scenarioOptions(t, name, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parOpts := scenarioOptions(t, name, 4)
+			parOpts.Workers = 8 // clamped to the core count
+			par, err := Run(parOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, serial, par)
+		})
+	}
+}
+
+// TestParallelMatchesReferenceEightWorkers pins the parallel driver at a full
+// eight-worker width (eight cores, no clamping) directly against the
+// cycle-by-cycle reference engine.
+func TestParallelMatchesReferenceEightWorkers(t *testing.T) {
+	refOpts := baseOptions(t, 8)
+	refOpts.Reference = true
+	ref, err := Run(refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOpts := baseOptions(t, 8)
+	parOpts.Workers = 8
+	par, err := Run(parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, ref, par)
+}
+
+// TestParallelMatchesSerialWithASM covers the invasive accountant under the
+// parallel driver: ASM's epoch rotation reprograms the memory controller in
+// the coordinator phase and its probes read the current owner from the
+// workers, so this exercises the cross-phase publication protocol.
+func TestParallelMatchesSerialWithASM(t *testing.T) {
+	run := func(workers int) *Result {
+		t.Helper()
+		opts := baseOptions(t, 4)
+		asm, err := accounting.NewASM(4, 900, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Accountants = []accounting.Accountant{asm}
+		opts.Workers = workers
+		res, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	requireSameResult(t, run(1), run(4))
+}
+
+// TestParallelMatchesSerialWithPartitioner exercises repartitioning: the LLC
+// allocation changes in the coordinator's interval-boundary phase and reshapes
+// what the workers' cores observe afterwards.
+func TestParallelMatchesSerialWithPartitioner(t *testing.T) {
+	run := func(workers int) *Result {
+		t.Helper()
+		opts := scenarioOptions(t, "cache-thrash", 4)
+		opts.Partitioner = partition.MCP{}
+		opts.PartitionSource = "GDP-O"
+		opts.Workers = workers
+		res, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	requireSameResult(t, run(1), run(4))
+}
+
+// TestParallelCheckpointForkMatchesCold covers checkpointing on the parallel
+// driver in both directions: a parallel warmup prefix forked by a parallel
+// run, and the same checkpoint forked by a serial run, must both reproduce a
+// cold serial run byte for byte.
+func TestParallelCheckpointForkMatchesCold(t *testing.T) {
+	cold, err := Run(scenarioOptions(t, "bandwidth-bound", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prefixOpts := scenarioOptions(t, "bandwidth-bound", 4)
+	prefixOpts.Workers = 4
+	cp, err := RunToCheckpoint(context.Background(), prefixOpts, 2*prefixOpts.IntervalCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		forkOpts := scenarioOptions(t, "bandwidth-bound", 4)
+		forkOpts.Workers = workers
+		forked, err := RunFromCheckpoint(context.Background(), forkOpts, cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, cold, forked)
+	}
+}
+
+// TestParallelMidRunCancellation aborts a parallel run from inside an interval
+// callback and from an already-expired context: both must surface the
+// context's error promptly and leave no worker behind (the race detector and
+// the test timeout police the fleet shutdown).
+func TestParallelMidRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := scenarioOptions(t, "bandwidth-bound", 4)
+	opts.Workers = 4
+	intervals := 0
+	opts.OnInterval = func(IntervalRecord) error {
+		if intervals++; intervals == 4 {
+			cancel()
+		}
+		return nil
+	}
+	if _, err := RunContext(ctx, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancellation returned %v, want context.Canceled", err)
+	}
+
+	expired, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	opts2 := scenarioOptions(t, "bandwidth-bound", 4)
+	opts2.Workers = 4
+	if _, err := RunContext(expired, opts2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired context returned %v, want context.Canceled", err)
+	}
+
+	// An OnInterval error must also dismantle the fleet cleanly.
+	opts3 := scenarioOptions(t, "bandwidth-bound", 4)
+	opts3.Workers = 4
+	boom := errors.New("sink failed")
+	opts3.OnInterval = func(IntervalRecord) error { return boom }
+	if _, err := RunContext(context.Background(), opts3); !errors.Is(err, boom) {
+		t.Fatalf("OnInterval error returned %v, want the sink's error", err)
+	}
+}
+
+// TestParallelStreamingMatchesSerial checks the streaming path (OnInterval +
+// DiscardIntervals) delivers the same records in the same order either way.
+func TestParallelStreamingMatchesSerial(t *testing.T) {
+	collect := func(workers int) []IntervalRecord {
+		t.Helper()
+		opts := scenarioOptions(t, "phased", 4)
+		opts.Workers = workers
+		opts.DiscardIntervals = true
+		var recs []IntervalRecord
+		opts.OnInterval = func(r IntervalRecord) error {
+			c := r
+			c.Estimates = make(map[string]accounting.Estimate, len(r.Estimates))
+			for k, v := range r.Estimates {
+				c.Estimates[k] = v
+			}
+			recs = append(recs, c)
+			return nil
+		}
+		if _, err := Run(opts); err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	serial, par := collect(1), collect(4)
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("streamed interval records diverge between serial and parallel drivers")
+	}
+}
+
+// TestParallelTelemetry checks the parallel-run counters and the workers
+// gauge, and that barrier waits were sampled into the histogram.
+func TestParallelTelemetry(t *testing.T) {
+	m := NewMetrics(telemetry.NewRegistry())
+	opts := scenarioOptions(t, "bandwidth-bound", 4)
+	opts.Workers = 4
+	opts.Metrics = m
+	if _, err := Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	if m.ParallelRuns() != 1 {
+		t.Fatalf("parallel runs = %d, want 1", m.ParallelRuns())
+	}
+	if m.Workers() != 4 {
+		t.Fatalf("workers gauge = %d, want 4", m.Workers())
+	}
+	if m.Runs() != 1 {
+		t.Fatalf("runs = %d, want 1", m.Runs())
+	}
+	if m.barrierWait.Count() == 0 {
+		t.Fatal("no barrier waits sampled")
+	}
+}
+
+// TestWorkersValidation pins the Workers option's edge cases: negative values
+// are rejected, 0/1 select the serial driver, and the reference driver stays
+// serial regardless.
+func TestWorkersValidation(t *testing.T) {
+	opts := scenarioOptions(t, "bandwidth-bound", 4)
+	opts.Workers = -1
+	if _, err := Run(opts); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+
+	st, err := newRunState(scenarioOptions(t, "bandwidth-bound", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.workers != 1 || st.stagers != nil {
+		t.Fatalf("Workers=0 resolved to %d workers (stagers=%v)", st.workers, st.stagers != nil)
+	}
+
+	refOpts := scenarioOptions(t, "bandwidth-bound", 4)
+	refOpts.Workers = 8
+	refOpts.Reference = true
+	st, err = newRunState(refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.workers != 1 {
+		t.Fatalf("reference run resolved to %d workers, want 1", st.workers)
+	}
+
+	clampOpts := scenarioOptions(t, "bandwidth-bound", 4)
+	clampOpts.Workers = 64
+	st, err = newRunState(clampOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.workers != 4 {
+		t.Fatalf("Workers=64 on 4 cores resolved to %d, want 4", st.workers)
+	}
+}
+
+// TestDefaultMaxCyclesSaturates pins the overflow fix: a huge instruction
+// sample must select an effectively unbounded default cycle budget instead of
+// silently wrapping to a tiny one (which produced empty results).
+func TestDefaultMaxCyclesSaturates(t *testing.T) {
+	if got := defaultMaxCycles(10); got != 5000 {
+		t.Fatalf("defaultMaxCycles(10) = %d, want 5000", got)
+	}
+	threshold := uint64(math.MaxUint64 / defaultMaxCyclesMultiplier)
+	if got := defaultMaxCycles(threshold); got == math.MaxUint64 || got < threshold {
+		t.Fatalf("defaultMaxCycles at the threshold wrapped: %d", got)
+	}
+	if got := defaultMaxCycles(threshold + 1); got != math.MaxUint64 {
+		t.Fatalf("defaultMaxCycles(threshold+1) = %d, want saturation", got)
+	}
+	opts := scenarioOptions(t, "bandwidth-bound", 4)
+	opts.InstructionsPerCore = math.MaxUint64 / 3
+	st, err := newRunState(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.maxCycles != math.MaxUint64 {
+		t.Fatalf("maxCycles = %d for a huge sample, want saturation at MaxUint64", st.maxCycles)
+	}
+}

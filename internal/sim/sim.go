@@ -92,6 +92,16 @@ type Options struct {
 	// for differential testing against the event-driven fast path and as the
 	// perf harness baseline. Results are byte-identical either way.
 	Reference bool
+	// Workers selects the parallel driver when > 1: the per-cycle core loop is
+	// split across that many OS threads (per-core workers own cpu.Core state
+	// and tick independently; a coordinator barriers at the shared-memory
+	// hand-off points and accountant epoch boundaries). Results are
+	// byte-identical to the serial drivers — the parallel driver replicates
+	// the serial submission order by staging requests per core and injecting
+	// them in core order at the barrier. 0 and 1 select the serial event
+	// driver; values above the core count are clamped to it; Reference runs
+	// always stay serial. Negative values fail validation.
+	Workers int
 	// Metrics, when non-nil, receives run/interval/cycle counters. Updates
 	// are batched at interval boundaries so the hot loop stays untouched.
 	Metrics *Metrics
@@ -140,6 +150,9 @@ func (o *Options) validate() error {
 	if o.IntervalCycles == 0 {
 		return fmt.Errorf("sim: IntervalCycles is required")
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("sim: Workers = %d, must be >= 0", o.Workers)
+	}
 	if len(o.Sources) > 0 {
 		if len(o.Sources) != o.Config.Cores {
 			return fmt.Errorf("sim: %d instruction sources for %d cores", len(o.Sources), o.Config.Cores)
@@ -184,6 +197,11 @@ type runState struct {
 	sources   []trace.Source
 	res       *Result
 	maxCycles uint64
+
+	// workers is the resolved parallel width (1 = serial); stagers are the
+	// per-core submission façades the parallel driver wires into the cores.
+	workers int
+	stagers []*memsys.Stager
 
 	// startCycle is the first cycle the drivers simulate: 0 for a cold run,
 	// the checkpoint boundary for a forked run.
@@ -234,22 +252,56 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opts.Reference {
-		err = st.runReference(ctx)
-	} else {
-		err = st.runFast(ctx)
-	}
-	if err != nil {
+	if err := st.run(ctx); err != nil {
 		return nil, err
 	}
 	return st.res, nil
+}
+
+// run dispatches to the driver the options select: the cycle-by-cycle
+// reference engine, the parallel worker/coordinator driver, or the serial
+// event-driven driver. All three produce byte-identical Results.
+func (st *runState) run(ctx context.Context) error {
+	switch {
+	case st.opts.Reference:
+		return st.runReference(ctx)
+	case st.workers > 1:
+		return st.runParallel(ctx)
+	default:
+		return st.runFast(ctx)
+	}
+}
+
+// defaultMaxCyclesMultiplier derives the default cycle budget from the
+// instruction budget (a generous bound: even a fully memory-bound workload
+// stays well under 500 CPI).
+const defaultMaxCyclesMultiplier = 500
+
+// defaultMaxCycles returns instructions * defaultMaxCyclesMultiplier,
+// saturating at math.MaxUint64 instead of wrapping: a huge instruction sample
+// must select an effectively unbounded budget, not a tiny one.
+func defaultMaxCycles(instructions uint64) uint64 {
+	if instructions > math.MaxUint64/defaultMaxCyclesMultiplier {
+		return math.MaxUint64
+	}
+	return instructions * defaultMaxCyclesMultiplier
 }
 
 // newRunState instantiates the CMP for one shared-mode run.
 func newRunState(opts Options) (*runState, error) {
 	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
-		maxCycles = opts.InstructionsPerCore * 500
+		maxCycles = defaultMaxCycles(opts.InstructionsPerCore)
+	}
+
+	// Resolve the worker count: the parallel driver engages only for the
+	// non-reference shared-mode drivers and never spreads wider than the CMP.
+	workers := 1
+	if opts.Workers > 1 && !opts.Reference {
+		workers = opts.Workers
+		if workers > opts.Config.Cores {
+			workers = opts.Config.Cores
+		}
 	}
 
 	shared, err := memsys.New(opts.Config)
@@ -258,6 +310,13 @@ func newRunState(opts Options) (*runState, error) {
 	}
 	if opts.Reference {
 		shared.DisableRecycling()
+	}
+	var stagers []*memsys.Stager
+	if workers > 1 {
+		stagers = make([]*memsys.Stager, opts.Config.Cores)
+		for i := range stagers {
+			stagers[i] = shared.Stager(i)
+		}
 	}
 	cores := make([]*cpu.Core, opts.Config.Cores)
 	sources := make([]trace.Source, opts.Config.Cores)
@@ -278,7 +337,13 @@ func newRunState(opts Options) (*runState, error) {
 			src = gen
 		}
 		sources[i] = src
-		core, err := cpu.New(i, opts.Config, src, shared)
+		// Under the parallel driver every core submits through its staging
+		// façade so the worker phase never contends on the shared system.
+		var ms cpu.MemorySystem = shared
+		if stagers != nil {
+			ms = stagers[i]
+		}
+		core, err := cpu.New(i, opts.Config, src, ms)
 		if err != nil {
 			return nil, err
 		}
@@ -308,9 +373,11 @@ func newRunState(opts Options) (*runState, error) {
 		Intervals:    make([][]IntervalRecord, len(cores)),
 		SamplePoints: make([][]uint64, len(cores)),
 	}
-	spCap := maxCycles/opts.IntervalCycles + 1
-	if spCap > samplePointCapHint {
+	spCap := maxCycles / opts.IntervalCycles
+	if spCap >= samplePointCapHint {
 		spCap = samplePointCapHint
+	} else {
+		spCap++
 	}
 	for i := range res.SamplePoints {
 		res.SamplePoints[i] = make([]uint64, 0, spCap)
@@ -323,6 +390,8 @@ func newRunState(opts Options) (*runState, error) {
 		sources:        sources,
 		res:            res,
 		maxCycles:      maxCycles,
+		workers:        workers,
+		stagers:        stagers,
 		sampleTaken:    make([]bool, len(cores)),
 		lastSnapshot:   make([]cpu.Stats, len(cores)),
 		intervals:      make([]cpu.Stats, len(cores)),
@@ -714,7 +783,11 @@ func runPrivate(ctx context.Context, cfg *config.CMPConfig, bench workload.Bench
 		target = samplePoints[len(samplePoints)-1]
 	}
 	if maxCycles == 0 {
-		maxCycles = (target + 1000) * 500
+		budget := target + 1000
+		if budget < target {
+			budget = math.MaxUint64 // the addition wrapped
+		}
+		maxCycles = defaultMaxCycles(budget)
 	}
 
 	out := &PrivateReference{Benchmark: bench.Name}

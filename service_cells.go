@@ -123,9 +123,14 @@ func (r *batchRegistry) admit(now time.Time) (*cellBatch, bool) {
 	return b, true
 }
 
-func (r *batchRegistry) get(id string) (*cellBatch, bool) {
+// get looks a batch up for streaming, pruning expired batches first: an idle
+// worker that only ever serves reads after a dispatch burst still drops
+// retired batches (and their retained result lines) the next time any stream
+// attaches, instead of holding them until the next POST.
+func (r *batchRegistry) get(id string, now time.Time) (*cellBatch, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.prune(now)
 	b, ok := r.batches[id]
 	return b, ok
 }
@@ -304,7 +309,7 @@ func (s *Server) handleCellStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown batch")
 		return
 	}
-	b, ok := s.batches.get(id)
+	b, ok := s.batches.get(id, time.Now())
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown batch")
 		return

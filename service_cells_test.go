@@ -1,0 +1,55 @@
+package gdp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBatchRegistryPrunesOnRead is the regression test for the read-path
+// pruning fix: a retired batch must be dropped by the next stream lookup
+// alone, without any further POST traffic driving admit's prune.
+func TestBatchRegistryPrunesOnRead(t *testing.T) {
+	reg := newBatchRegistry()
+	t0 := time.Now()
+
+	retired, ok := reg.admit(t0)
+	if !ok {
+		t.Fatal("admit rejected the first batch")
+	}
+	live, ok := reg.admit(t0)
+	if !ok {
+		t.Fatal("admit rejected the second batch")
+	}
+
+	// Retire the first batch as append would, with an injectable clock.
+	retired.mu.Lock()
+	retired.done = true
+	retired.doneAt = t0
+	retired.mu.Unlock()
+
+	// Within the replay retention both batches are still streamable.
+	if _, ok := reg.get(retired.id, t0.Add(cellBatchRetention)); !ok {
+		t.Fatal("retired batch dropped before its replay retention elapsed")
+	}
+
+	// Past the retention, a read alone must prune the retired batch ...
+	if _, ok := reg.get(retired.id, t0.Add(cellBatchRetention+time.Second)); ok {
+		t.Fatal("retired batch still streamable past retention with read-only traffic")
+	}
+	reg.mu.Lock()
+	if _, held := reg.batches[retired.id]; held {
+		reg.mu.Unlock()
+		t.Fatal("retired batch still held in the registry after a read-path prune")
+	}
+	reg.mu.Unlock()
+
+	// ... while an unfinished batch inside the hard age cap survives.
+	if _, ok := reg.get(live.id, t0.Add(cellBatchRetention+time.Second)); !ok {
+		t.Fatal("active batch pruned by the read path")
+	}
+
+	// The hard age cap applies on reads too, finished or not.
+	if _, ok := reg.get(live.id, t0.Add(cellBatchMaxAge+time.Second)); ok {
+		t.Fatal("over-age batch still streamable")
+	}
+}
