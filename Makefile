@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke vet fmt-check bench bench-smoke bench-go bench-sweep serve-smoke dispatch-smoke cache-smoke clean
+.PHONY: all build test race fuzz-smoke vet fmt-check bench bench-smoke bench-go bench-sweep serve-smoke dispatch-smoke cache-smoke chaos-smoke clean
 
 all: build test vet fmt-check
 
@@ -69,6 +69,13 @@ dispatch-smoke:
 # disk tier); see scripts/cache_smoke.sh.
 cache-smoke:
 	sh scripts/cache_smoke.sh
+
+# chaos-smoke SIGKILLs a journaled sweep mid-grid under injected disk faults,
+# resumes it, and runs a fleet sweep against a worker with an injected
+# cell-execution panic and cut result streams — all byte-compared against an
+# uninterrupted fault-free run (see scripts/chaos_smoke.sh).
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 # bench-go runs the go-test figure/regeneration benchmarks.
 bench-go:

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// sweepArgs is the tiny grid every journal-flag test runs.
+func sweepArgs(extra ...string) []string {
+	args := []string{
+		"-workloads", "1", "-instructions", "2000", "-interval", "2000",
+		"sweep", "-cores", "2", "-mixes", "H", "-prb", "16", "-techniques", "GDP",
+	}
+	return append(args, extra...)
+}
+
+// TestSweepJournalFlag is the CLI acceptance check for crash-safe sweeps:
+// -journal records the grid, a second run without -resume refuses to clobber
+// it, and -resume replays it with byte-identical output.
+func TestSweepJournalFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	first := captureStdout(t, func() error {
+		return run(context.Background(), sweepArgs("-journal", path))
+	})
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("journal not written: %v, %v", fi, err)
+	}
+
+	// Without -resume the existing journal is a refusal, not a silent restart.
+	err = run(context.Background(), sweepArgs("-journal", path))
+	if err == nil || !strings.Contains(err.Error(), "resume") {
+		t.Fatalf("rerun without -resume: err = %v, want a refusal naming -resume", err)
+	}
+
+	resumed := captureStdout(t, func() error {
+		return run(context.Background(), sweepArgs("-journal", path, "-resume"))
+	})
+	if resumed != first {
+		t.Errorf("resumed output differs:\n--- first\n%s--- resumed\n%s", first, resumed)
+	}
+}
+
+func TestSweepResumeRequiresJournal(t *testing.T) {
+	if err := run(context.Background(), sweepArgs("-resume")); err == nil {
+		t.Error("-resume without -journal accepted")
+	}
+}
+
+// TestFaultSpecFlag checks the global injector flag: a malformed spec is a
+// startup error, and a valid armed spec that cannot fire leaves the sweep
+// untouched.
+func TestFaultSpecFlag(t *testing.T) {
+	defer faultinject.SetActive(nil)
+	if err := run(context.Background(), []string{"-fault-spec", "nosuch.point:err=EIO", "table1"}); err == nil {
+		t.Error("bad fault spec accepted")
+	}
+	if err := run(context.Background(), append([]string{"-fault-spec", "disk.write:err=EIO:after=1000000"},
+		sweepArgs()...)); err != nil {
+		t.Errorf("armed-but-dormant fault spec failed the sweep: %v", err)
+	}
+}
+
+// TestFaultSpecDiskFaultsSurvived: injected disk-write errors hit the cache's
+// silent-optimization path, so a sweep under constant disk.write EIO still
+// completes with the same rendered rows.
+func TestFaultSpecDiskFaultsSurvived(t *testing.T) {
+	defer faultinject.SetActive(nil)
+	clean := captureStdout(t, func() error {
+		return run(context.Background(), sweepArgs())
+	})
+	faulty := captureStdout(t, func() error {
+		return run(context.Background(), append([]string{"-fault-spec", "disk.write:err=EIO:every=1"},
+			sweepArgs()...))
+	})
+	if clean != faulty {
+		t.Errorf("rows differ under injected disk faults:\n--- clean\n%s--- faulty\n%s", clean, faulty)
+	}
+}

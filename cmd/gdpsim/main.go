@@ -26,6 +26,12 @@
 // every -jobs and -sim-workers value. SIGINT/SIGTERM cancel the root context; a running simulation aborts
 // at its next interval boundary and `serve` shuts down gracefully, draining
 // in-flight requests first.
+//
+// -fault-spec (or the FI_SPEC environment variable) arms the deterministic
+// fault injector for chaos testing — e.g. "disk.write:err=EIO:every=7" or
+// "dispatch.stream:cut=0.05" — and `sweep -journal` records completed cells
+// in a crash-safe journal that `sweep -resume` replays, so a killed sweep
+// picks up where it died with byte-identical rows.
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -47,6 +54,7 @@ import (
 	gdpcore "repro/internal/core"
 	"repro/internal/dief"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 )
 
 func main() {
@@ -77,6 +85,8 @@ func run(ctx context.Context, args []string) error {
 	cacheMemMB := fs.Float64("cache-mem-mb", 0, "bound the result cache's memory layer to this many MB, evicting cold entries (to -cache-dir when set, so they stay one disk read away; 0 = unbounded; may be fractional)")
 	progress := fs.Bool("progress", false, "report per-cell progress and ETA on stderr")
 	logLevel := fs.String("log-level", "info", "minimum structured log level on stderr (debug, info, warn, error)")
+	faultSpec := fs.String("fault-spec", os.Getenv("FI_SPEC"), "arm the deterministic fault injector, e.g. \"disk.write:err=EIO:every=7,dispatch.stream:cut=0.05\" (default $FI_SPEC; empty = off)")
+	faultSeed := fs.Int64("fault-seed", envInt64("FI_SEED", 1), "seed for probabilistic fault-injection rules (default $FI_SEED)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,6 +102,17 @@ func run(ctx context.Context, args []string) error {
 	logger, err := newLogger(*logLevel)
 	if err != nil {
 		return err
+	}
+	// Arm fault injection before the engine exists so every layer — cache,
+	// dispatcher, workers, journal — sees the same armed injector; the engine
+	// registers the per-point counters at /metrics.
+	injector, err := faultinject.Parse(*faultSpec, *faultSeed)
+	if err != nil {
+		return err
+	}
+	faultinject.SetActive(injector)
+	if injector != nil {
+		logger.Warn("fault injection armed", "spec", *faultSpec, "seed", *faultSeed)
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
@@ -165,6 +186,21 @@ func run(ctx context.Context, args []string) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q", rest[0])
 	}
+}
+
+// envInt64 parses an integer environment variable, falling back silently: a
+// malformed value surfaces when the flag default is printed, not as a crash
+// before flag parsing.
+func envInt64(name string, fallback int64) int64 {
+	v := os.Getenv(name)
+	if v == "" {
+		return fallback
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return fallback
+	}
+	return n
 }
 
 // newLogger builds the process logger: text records on stderr, filtered at
@@ -353,11 +389,16 @@ func cmdSweep(ctx context.Context, engine *gdp.Engine, args []string) error {
 	csvPath := fs.String("csv", "", "also export the rows as CSV to this file")
 	jsonPath := fs.String("json", "", "also export the result as JSON to this file")
 	workers := fs.String("workers", "", "comma-separated base URLs of gdpsim serve workers; shards the grid across the fleet (rows stay byte-identical)")
+	journalPath := fs.String("journal", "", "record each completed cell in this crash-safe journal, so a killed sweep can be resumed with -resume")
+	resume := fs.Bool("resume", false, "resume an interrupted sweep from the -journal file, skipping every cell it already holds (rows stay byte-identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("sweep: unexpected argument %q", fs.Arg(0))
+	}
+	if *resume && *journalPath == "" {
+		return fmt.Errorf("sweep: -resume needs -journal to name the journal file")
 	}
 	if *warmupIntervals < 0 {
 		return fmt.Errorf("sweep: -warmup-intervals %d out of range (0 = derive a default with -checkpoint, or a positive prefix length)", *warmupIntervals)
@@ -413,6 +454,19 @@ func cmdSweep(ctx context.Context, engine *gdp.Engine, args []string) error {
 		opts.WarmupIntervals = w
 	}
 
+	var jnl *experiments.SweepJournal
+	if *journalPath != "" {
+		jnl, err = experiments.OpenSweepJournal(*journalPath, *resume)
+		if err != nil {
+			return err
+		}
+		defer jnl.Close()
+		if n := jnl.Resumed(); n > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: resuming, %d completed cells replayed from %s\n", n, *journalPath)
+		}
+		opts.Journal = jnl
+	}
+
 	var res *gdp.SweepResult
 	if *workers != "" {
 		res, err = engine.SweepWorkers(ctx, opts, experiments.ParseStringList(*workers))
@@ -421,6 +475,11 @@ func cmdSweep(ctx context.Context, engine *gdp.Engine, args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if jnl != nil {
+		if n, lastErr := jnl.WriteErrors(); n > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: %d journal appends failed (last: %v); the affected cells recompute on resume\n", n, lastErr)
+		}
 	}
 	fmt.Print(res.Render())
 	if *csvPath != "" {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dispatch"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -221,6 +222,7 @@ func (e *Engine) initTelemetry() {
 	runner.RegisterCacheMetrics(e.registry, func() runner.CacheStats {
 		return e.Cache().DetailedStats()
 	})
+	faultinject.RegisterMetrics(e.registry)
 }
 
 // MetricsRegistry returns the Engine's telemetry registry: the backing store
@@ -462,21 +464,71 @@ func (e *Engine) sweepDistributed(ctx context.Context, opts SweepOptions, pool *
 	}
 	cells := experiments.EnumerateSweepCells(opts)
 	cfg := experiments.CellConfig{Cache: opts.Cache, Instr: opts.Instr}
+
+	// With a journal attached, it fronts the cell cache: cells a crashed run
+	// completed are answered before the fleet sees them, and every completion
+	// the dispatcher writes back is journaled as it lands. The keys (and the
+	// cells' purity) are shared with the local path, so a sweep interrupted
+	// under -workers can resume locally and vice versa.
+	var cache dispatch.CellCache = cellCacheAdapter{opts.Cache}
+	var keys []string
+	if opts.Journal != nil {
+		keys = make([]string, len(cells))
+		labels := make(map[string]string, len(cells))
+		for i, c := range cells {
+			key, err := runner.SpecKey(c.Spec())
+			if err != nil {
+				return nil, fmt.Errorf("gdp: sweep cell %q: %w", c.Label(), err)
+			}
+			keys[i] = key
+			labels[key] = c.Label()
+		}
+		cache = journalCellCache{inner: cache, journal: opts.Journal, labels: labels}
+	}
 	groups, err := pool.Run(ctx, cells, dispatch.RunConfig{
 		Local: func(ctx context.Context, c experiments.Cell) ([]SweepRow, error) {
 			return c.Run(ctx, cfg)
 		},
-		Cache:    cellCacheAdapter{opts.Cache},
+		Cache:    cache,
 		Progress: opts.Progress,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if opts.Journal != nil {
+		// Completion pass, as in the local sweep: cells the cache answered
+		// during prefill never reached Put, so record them now (Record
+		// deduplicates) and a finished sweep leaves a complete journal.
+		for i, c := range cells {
+			_ = opts.Journal.Record(keys[i], c.Label(), groups[i])
+		}
 	}
 	out := &SweepResult{Cells: len(cells)}
 	for _, rows := range groups {
 		out.Rows = append(out.Rows, rows...)
 	}
 	return out, nil
+}
+
+// journalCellCache fronts the dispatcher's cell cache with the sweep journal:
+// Get answers from the crashed run's completed cells first, and Put journals
+// every completion the moment the dispatcher absorbs it.
+type journalCellCache struct {
+	inner   dispatch.CellCache
+	journal experiments.CellJournal
+	labels  map[string]string
+}
+
+func (c journalCellCache) Get(key string) ([]SweepRow, bool) {
+	if rows, ok := c.journal.Lookup(key); ok {
+		return rows, true
+	}
+	return c.inner.Get(key)
+}
+
+func (c journalCellCache) Put(key string, rows []SweepRow) {
+	c.inner.Put(key, rows)
+	_ = c.journal.Record(key, c.labels[key], rows)
 }
 
 // cellCacheAdapter exposes a runner.Cache as the dispatcher's cell cache. The

@@ -1,0 +1,138 @@
+package dispatch
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/faultinject"
+)
+
+// TestPoolOversizedResultLine is the regression test for the result-stream
+// scanner cap: one cell whose NDJSON result line far exceeds bufio.Scanner's
+// 64KB default must stream back intact (the scanner grows toward
+// maxResultLineBytes instead of erroring the batch).
+func TestPoolOversizedResultLine(t *testing.T) {
+	const rows = 3000 // ~130 bytes per encoded row: a ~400KB result line
+	bigExec := func(c experiments.Cell) ([]experiments.SweepRow, error) {
+		out := make([]experiments.SweepRow, rows)
+		for i := range out {
+			out[i] = experiments.SweepRow{
+				Cores: c.Cores, Mix: strings.Repeat("m", 64), PRB: c.PRB,
+				Kind: c.Kind, Name: "big", MeanIPCAbsRMS: float64(i),
+			}
+		}
+		return out, nil
+	}
+	s := httptest.NewServer(newFakeWorker(bigExec))
+	defer s.Close()
+	pool, err := NewPool(testOptions(s.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := &localCounter{}
+	groups, err := pool.Run(context.Background(), testCells(1), RunConfig{Local: local.fn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups[0]) != rows {
+		t.Fatalf("got %d rows, want %d", len(groups[0]), rows)
+	}
+	if got := local.calls.Load(); got != 0 {
+		t.Fatalf("local fallback ran %d cells — the oversized line was not parsed remotely", got)
+	}
+}
+
+// TestPoolInjectedStreamCutRecovers arms the dispatch.stream injection point:
+// the first result lines are severed like a mid-stream worker death, and the
+// run must still complete with the exact rows (reschedule or local fallback —
+// cells are pure, so either converges).
+func TestPoolInjectedStreamCutRecovers(t *testing.T) {
+	in, err := faultinject.Parse("dispatch.stream:cut=1:times=2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := faultinject.Count(faultinject.PointDispatchStream)
+	faultinject.SetActive(in)
+	defer faultinject.SetActive(nil)
+
+	s := httptest.NewServer(newFakeWorker(fakeExec))
+	defer s.Close()
+	pool, err := NewPool(testOptions(s.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := testCells(4)
+	groups, err := pool.Run(context.Background(), cells, RunConfig{Local: (&localCounter{}).fn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantGroups(cells)
+	for i := range want {
+		if len(groups[i]) != len(want[i]) || groups[i][0] != want[i][0] {
+			t.Fatalf("cell %d rows = %+v, want %+v", i, groups[i], want[i])
+		}
+	}
+	if got := faultinject.Count(faultinject.PointDispatchStream) - before; got != 2 {
+		t.Fatalf("dispatch.stream fired %d times, want 2 (times=2)", got)
+	}
+}
+
+// TestPoolInjectedSendErrorRecovers arms dispatch.send: the first POST fails
+// before it leaves the process, and the batch reroutes.
+func TestPoolInjectedSendErrorRecovers(t *testing.T) {
+	in, err := faultinject.Parse("dispatch.send:err=ECONNRESET:times=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.SetActive(in)
+	defer faultinject.SetActive(nil)
+
+	s := httptest.NewServer(newFakeWorker(fakeExec))
+	defer s.Close()
+	pool, err := NewPool(testOptions(s.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := testCells(2)
+	groups, err := pool.Run(context.Background(), cells, RunConfig{Local: (&localCounter{}).fn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantGroups(cells)
+	for i := range want {
+		if len(groups[i]) != len(want[i]) || groups[i][0] != want[i][0] {
+			t.Fatalf("cell %d rows = %+v, want %+v", i, groups[i], want[i])
+		}
+	}
+}
+
+// TestDefaultClientHasTransportTimeouts pins the hardened default client: no
+// global Client.Timeout (result streams are long-lived), but the transport
+// bounds the response-header wait so a silent worker cannot hang a sweep.
+func TestDefaultClientHasTransportTimeouts(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Client.Timeout != 0 {
+		t.Fatalf("default client has global timeout %v — it would cut long result streams", o.Client.Timeout)
+	}
+	tr, ok := o.Client.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default client transport is %T, want *http.Transport", o.Client.Transport)
+	}
+	if tr.ResponseHeaderTimeout <= 0 {
+		t.Fatal("default transport has no ResponseHeaderTimeout — a silent worker would hang the sweep")
+	}
+	if tr.TLSHandshakeTimeout <= 0 {
+		t.Fatal("default transport has no TLSHandshakeTimeout")
+	}
+
+	// An explicit override still wins.
+	o2 := Options{ResponseHeaderTimeout: 5 * time.Second}.withDefaults()
+	if tr2 := o2.Client.Transport.(*http.Transport); tr2.ResponseHeaderTimeout != 5*time.Second {
+		t.Fatalf("ResponseHeaderTimeout = %v, want the 5s override", tr2.ResponseHeaderTimeout)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"runtime"
 	"sync"
@@ -41,9 +42,16 @@ type Options struct {
 	// LocalJobs is the width of the local fallback executor (default
 	// runtime.NumCPU()).
 	LocalJobs int
-	// Client overrides the HTTP client (tests; default has no global timeout
-	// because result streams are long-lived — cancellation comes from ctx).
+	// Client overrides the HTTP client. The default client carries no global
+	// timeout — result streams are legitimately long-lived and cancellation
+	// comes from ctx — but its transport bounds every pre-stream phase (dial,
+	// TLS, response headers), so a worker that accepts connections and then
+	// never answers cannot hang a sweep.
 	Client *http.Client
+	// ResponseHeaderTimeout bounds how long the default client waits for a
+	// worker's response headers after writing a request (default 30s). Ignored
+	// when Client is set.
+	ResponseHeaderTimeout time.Duration
 	// Metrics instruments the dispatcher (nil = off).
 	Metrics *Metrics
 }
@@ -73,8 +81,24 @@ func (o Options) withDefaults() Options {
 	if o.LocalJobs <= 0 {
 		o.LocalJobs = runtime.NumCPU()
 	}
+	if o.ResponseHeaderTimeout <= 0 {
+		o.ResponseHeaderTimeout = 30 * time.Second
+	}
 	if o.Client == nil {
-		o.Client = &http.Client{}
+		o.Client = &http.Client{
+			Transport: &http.Transport{
+				Proxy: http.ProxyFromEnvironment,
+				DialContext: (&net.Dialer{
+					Timeout:   10 * time.Second,
+					KeepAlive: 30 * time.Second,
+				}).DialContext,
+				TLSHandshakeTimeout:   10 * time.Second,
+				ResponseHeaderTimeout: o.ResponseHeaderTimeout,
+				ExpectContinueTimeout: 1 * time.Second,
+				IdleConnTimeout:       90 * time.Second,
+				MaxIdleConnsPerHost:   16,
+			},
+		}
 	}
 	return o
 }

@@ -11,6 +11,16 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Result-stream scanner sizing: rows for a wide sweep cell can far exceed
+// bufio's 64KB default line cap, so the scanner starts small but may grow to
+// maxResultLineBytes before a line is an error.
+const (
+	initialResultLineBytes = 64 * 1024
+	maxResultLineBytes     = 16 * 1024 * 1024
 )
 
 // workerClient is the dispatcher's view of one remote `gdpsim serve` worker:
@@ -97,6 +107,9 @@ func (w *workerClient) runBatch(ctx context.Context, cells []CellEnvelope, onRes
 	if err != nil {
 		return fmt.Errorf("dispatch: marshal batch: %w", err)
 	}
+	if err := faultinject.Fire(faultinject.PointDispatchSend); err != nil {
+		return err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/cells", bytes.NewReader(body))
 	if err != nil {
 		return err
@@ -127,8 +140,13 @@ func (w *workerClient) runBatch(ctx context.Context, cells []CellEnvelope, onRes
 		return fmt.Errorf("dispatch: worker %s stream: %s", w.url, streamResp.Status)
 	}
 	sc := bufio.NewScanner(streamResp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Buffer(make([]byte, 0, initialResultLineBytes), maxResultLineBytes)
 	for sc.Scan() {
+		// An injected dispatch.stream cut severs the result stream mid-flight,
+		// exactly like a worker dying between lines.
+		if err := faultinject.Fire(faultinject.PointDispatchStream); err != nil {
+			return fmt.Errorf("dispatch: worker %s stream cut: %w", w.url, err)
+		}
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue

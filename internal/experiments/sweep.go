@@ -50,6 +50,12 @@ type SweepOptions struct {
 	// into every cell's inner study. Purely observational.
 	Instr *Instrumentation
 
+	// Journal, when non-nil, records every completed cell so a killed sweep
+	// can resume from where it died (see SweepJournal). Cells the journal
+	// already holds are answered without simulation, and because cells are
+	// pure the resumed rows are byte-identical to an uninterrupted run.
+	Journal CellJournal
+
 	// WarmupIntervals, when positive, turns on checkpointed warmup sharing:
 	// every accuracy and scenario cell simulates its first WarmupIntervals
 	// accounting intervals through a shared, cache-memoized checkpoint. Cells
@@ -136,14 +142,43 @@ func SweepContext(ctx context.Context, opts SweepOptions) (*SweepResult, error) 
 	cells := enumerateCells(opts)
 	cfg := CellConfig{Cache: opts.Cache, Instr: opts.Instr}
 
+	// With a journal attached every cell needs its spec key up front: the
+	// journal stores cells under the same content-addressed keys as the
+	// result cache, so a resumed sweep and a cached sweep recall the same
+	// identities.
+	keys := make([]string, len(cells))
+	if opts.Journal != nil {
+		for i, cell := range cells {
+			key, err := runner.SpecKey(cell.Spec())
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sweep cell %q: %w", cell.Label(), err)
+			}
+			keys[i] = key
+		}
+	}
+
 	jobs := make([]runner.Job[[]SweepRow], len(cells))
 	for i, cell := range cells {
-		cell := cell
+		i, cell := i, cell
 		jobs[i] = runner.Job[[]SweepRow]{
 			Label: cell.Label(),
 			Spec:  cell.Spec(),
 			Fn: func(ctx context.Context) ([]SweepRow, error) {
-				return cell.Run(ctx, cfg)
+				if opts.Journal != nil {
+					if rows, ok := opts.Journal.Lookup(keys[i]); ok {
+						return rows, nil
+					}
+				}
+				rows, err := cell.Run(ctx, cfg)
+				if err == nil && opts.Journal != nil {
+					// Journal the cell the moment it completes — this is the
+					// append that makes a SIGKILL one cell later recoverable.
+					// A failed append costs a recompute on resume, not the
+					// sweep (the journal is an overlay, not a store of
+					// record), so the error is only accounted, not returned.
+					_ = opts.Journal.Record(keys[i], cell.Label(), rows)
+				}
+				return rows, err
 			},
 		}
 	}
@@ -159,6 +194,16 @@ func SweepContext(ctx context.Context, opts SweepOptions) (*SweepResult, error) 
 	})
 	if err != nil {
 		return nil, err
+	}
+	if opts.Journal != nil {
+		// Completion pass: cells answered by the result cache never ran their
+		// job function, so they were not journaled above. Recording them now
+		// (Record deduplicates by key) leaves a finished sweep with a complete
+		// journal, so a later -resume needs neither the cache nor a single
+		// simulation.
+		for i, cell := range cells {
+			_ = opts.Journal.Record(keys[i], cell.Label(), rowGroups[i])
+		}
 	}
 	out := &SweepResult{Cells: len(cells)}
 	for _, rows := range rowGroups {

@@ -1,0 +1,219 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestParseEmpty(t *testing.T) {
+	for _, spec := range []string{"", "   ", ",", " , "} {
+		in, err := Parse(spec, 1)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if in != nil {
+			t.Fatalf("Parse(%q) = %+v, want nil", spec, in)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"disk.write", "needs point:action"},
+		{"nosuch.point:err=EIO", "unknown injection point"},
+		{"disk.write:explode", "unknown action"},
+		{"disk.write:err", "err needs an errno"},
+		{"disk.write:err=EWHAT", "unknown errno"},
+		{"dispatch.stream:cut=1.5", "out of range"},
+		{"cell.exec:panic=-0.1", "out of range"},
+		{"disk.write:err=EIO:every=0", "every wants a positive"},
+		{"disk.write:err=EIO:times=0", "times wants a positive"},
+		{"disk.write:err=EIO:after=x", "after wants a non-negative"},
+		{"disk.write:err=EIO:bogus=1", "unknown modifier"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.spec, 1); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want substring %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestEveryNDeterministic(t *testing.T) {
+	in, err := Parse("disk.write:err=EIO:every=7", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 1; i <= 70; i++ {
+		err := in.Fire(PointDiskWrite)
+		if i%7 == 0 {
+			if err == nil {
+				t.Fatalf("hit %d: want injection, got nil", i)
+			}
+			if !errors.Is(err, syscall.EIO) {
+				t.Fatalf("hit %d: err = %v, want EIO", i, err)
+			}
+			fired++
+		} else if err != nil {
+			t.Fatalf("hit %d: unexpected injection %v", i, err)
+		}
+	}
+	if fired != 10 {
+		t.Fatalf("fired %d times over 70 hits, want 10", fired)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	in, err := Parse("disk.read:err=ENOSPC:every=1:after=3:times=2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pattern []bool
+	for i := 0; i < 8; i++ {
+		pattern = append(pattern, in.Fire(PointDiskRead) != nil)
+	}
+	want := []bool{false, false, false, true, true, false, false, false}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v (pattern %v)", i+1, pattern[i], want[i], pattern)
+		}
+	}
+}
+
+func TestProbabilitySeededReproducible(t *testing.T) {
+	run := func(seed int64) []bool {
+		in, err := Parse("dispatch.stream:cut=0.3", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, in.Fire(PointDispatchStream) != nil)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.3 fired %d/%d times — not probabilistic", fired, len(a))
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fire patterns")
+	}
+}
+
+func TestCutUnwrapsECONNRESET(t *testing.T) {
+	in, err := Parse("dispatch.stream:cut=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ferr := in.Fire(PointDispatchStream)
+	if !errors.Is(ferr, syscall.ECONNRESET) {
+		t.Fatalf("cut err = %v, want ECONNRESET", ferr)
+	}
+	var inj *InjectedError
+	if !errors.As(ferr, &inj) || inj.Point != PointDispatchStream || inj.Action != "cut" {
+		t.Fatalf("cut err = %#v, want InjectedError{dispatch.stream, cut}", ferr)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	in, err := Parse("cell.exec:panic=1:times=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			p, ok := r.(*InjectedPanic)
+			if !ok || p.Point != PointCellExec {
+				t.Fatalf("recover() = %#v, want *InjectedPanic{cell.exec}", r)
+			}
+		}()
+		in.Fire(PointCellExec)
+		t.Fatal("Fire did not panic")
+	}()
+	// times=1 exhausted: the second hit passes through.
+	if err := in.Fire(PointCellExec); err != nil {
+		t.Fatalf("second hit injected %v, want nothing", err)
+	}
+}
+
+func TestGlobalFireDisarmed(t *testing.T) {
+	SetActive(nil)
+	if err := Fire(PointDiskWrite); err != nil {
+		t.Fatalf("disarmed Fire = %v, want nil", err)
+	}
+	if Enabled() {
+		t.Fatal("Enabled() = true while disarmed")
+	}
+}
+
+func TestGlobalFireArmedAndCounted(t *testing.T) {
+	before := Count(PointDiskWrite)
+	in, err := Parse("disk.write:err=EIO:every=2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetActive(in)
+	defer SetActive(nil)
+	if !Enabled() {
+		t.Fatal("Enabled() = false while armed")
+	}
+	if err := Fire(PointDiskWrite); err != nil {
+		t.Fatalf("hit 1 injected %v, want nothing (every=2)", err)
+	}
+	if err := Fire(PointDiskWrite); err == nil {
+		t.Fatal("hit 2 did not inject")
+	}
+	if got := Count(PointDiskWrite); got != before+1 {
+		t.Fatalf("Count(disk.write) = %d, want %d", got, before+1)
+	}
+}
+
+func TestUnknownPointCountIsZero(t *testing.T) {
+	if Count("nosuch.point") != 0 {
+		t.Fatal("Count of unregistered point != 0")
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	RegisterMetrics(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "gdpsim_fault_injected_total") {
+		t.Fatalf("exposition missing gdpsim_fault_injected_total:\n%s", text)
+	}
+	for _, p := range Points() {
+		if !strings.Contains(text, `point="`+p+`"`) {
+			t.Fatalf("exposition missing point %q:\n%s", p, text)
+		}
+	}
+}

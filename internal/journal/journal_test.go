@@ -1,0 +1,285 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func cellRec(key, label string, rows string) Record {
+	return Record{Kind: KindCell, Key: key, Label: label, Rows: json.RawMessage(rows)}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(cellRec("k1", "cell-1", `[{"cores":2}]`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(cellRec("k2", "cell-2", `[{"cores":4}]`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 2 || res.TornTail {
+		t.Fatalf("Load = count %d torn %v, want 2 records, no torn tail", res.Count, res.TornTail)
+	}
+	if string(res.Cells["k1"]) != `[{"cores":2}]` || string(res.Cells["k2"]) != `[{"cores":4}]` {
+		t.Fatalf("replayed cells = %v", res.Cells)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GoodSize != fi.Size() {
+		t.Fatalf("GoodSize %d != file size %d", res.GoodSize, fi.Size())
+	}
+}
+
+func TestMissingFileIsFreshStart(t *testing.T) {
+	res, err := Load(filepath.Join(t.TempDir(), "nope.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 0 || res.GoodSize != 0 || res.TornTail {
+		t.Fatalf("Load(missing) = %+v, want empty", res)
+	}
+}
+
+// TestTornTail simulates a SIGKILL mid-append: the final record is cut short
+// at every possible byte boundary, and every truncation must load as the
+// intact prefix plus a reported torn tail.
+func TestTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(cellRec("k1", "cell-1", `[1]`)); err != nil {
+		t.Fatal(err)
+	}
+	intact, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(cellRec("k2", "cell-2", `[2]`)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := intact.GoodSize + 1; cut < int64(len(full)); cut++ {
+		torn := filepath.Join(t.TempDir(), "torn.journal")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Load(torn)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if !res.TornTail {
+			t.Fatalf("cut at %d: torn tail not reported", cut)
+		}
+		if res.Count != 1 || string(res.Cells["k1"]) != `[1]` {
+			t.Fatalf("cut at %d: replayed %d cells (%v), want the intact prefix", cut, res.Count, res.Cells)
+		}
+		if res.GoodSize != intact.GoodSize {
+			t.Fatalf("cut at %d: GoodSize %d, want %d", cut, res.GoodSize, intact.GoodSize)
+		}
+	}
+}
+
+// TestResumeAfterTornTail is the writer side of crash recovery: reopening at
+// GoodSize truncates the torn record, and appends after it replay cleanly.
+func TestResumeAfterTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(cellRec("k1", "cell-1", `[1]`)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	// Tear the tail by appending half a record.
+	line, _ := frame(cellRec("k2", "cell-2", `[2]`))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(line[:len(line)/2])
+	f.Close()
+
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TornTail || res.Count != 1 {
+		t.Fatalf("Load = %+v, want 1 record + torn tail", res)
+	}
+	w2, err := OpenAppend(path, res.GoodSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(cellRec("k2", "cell-2", `[2]`)); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	res2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TornTail || res2.Count != 2 || string(res2.Cells["k2"]) != `[2]` {
+		t.Fatalf("after resume Load = %+v, want 2 clean records", res2)
+	}
+}
+
+func TestOpenAppendOnEmptyWritesHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenAppend(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(cellRec("k1", "cell-1", `[1]`)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 || res.TornTail {
+		t.Fatalf("Load = %+v, want 1 clean record", res)
+	}
+}
+
+func TestMidFileCorruptionIsAnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(cellRec("k1", "cell-1", `[1]`))
+	w.Append(cellRec("k2", "cell-2", `[2]`))
+	w.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the middle record (not the tail).
+	lines := strings.SplitAfter(string(raw), "\n")
+	mid := []byte(lines[1])
+	mid[len(mid)/2] ^= 0xff
+	lines[1] = string(mid)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path)
+	var bad *ErrBadJournal
+	if !errors.As(err, &bad) {
+		t.Fatalf("Load of mid-file corruption = %v, want *ErrBadJournal", err)
+	}
+}
+
+func TestVersionAndMagicRejected(t *testing.T) {
+	for name, hdr := range map[string]Record{
+		"bad magic":   {Kind: KindHeader, Magic: "not-a-journal", Version: Version},
+		"bad version": {Kind: KindHeader, Magic: Magic, Version: Version + 1},
+	} {
+		path := filepath.Join(t.TempDir(), "sweep.journal")
+		line, err := frame(hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, line, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Fatalf("%s: Load succeeded, want error", name)
+		}
+	}
+}
+
+func TestCellBeforeHeaderRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	line, err := frame(cellRec("k1", "cell-1", `[1]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, line, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load of headerless journal succeeded, want error")
+	}
+}
+
+func TestUnknownKindSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(Record{Kind: "future-extension"})
+	w.Append(cellRec("k1", "cell-1", `[1]`))
+	w.Close()
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 || res.TornTail {
+		t.Fatalf("Load = %+v, want the cell record only", res)
+	}
+}
+
+func TestAppendUnderFaultInjection(t *testing.T) {
+	in, err := faultinject.Parse("journal.write:err=EIO:every=1:after=1:times=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.SetActive(in)
+	defer faultinject.SetActive(nil)
+
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	w, err := Create(path) // hit 1: header append passes (after=1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Append(cellRec("k1", "cell-1", `[1]`)) // hit 2: injected EIO
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Append = %v, want injected EIO", err)
+	}
+	if err := w.Append(cellRec("k2", "cell-2", `[2]`)); err != nil { // times=1 exhausted
+		t.Fatal(err)
+	}
+	w.Close()
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 || res.Cells["k2"] == nil {
+		t.Fatalf("Load = %+v, want the surviving record", res)
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // Cache is a content-addressed result cache. Entries are keyed by a hash of
@@ -540,8 +542,11 @@ func (c *Cache) legacyPath(key string) string {
 // readDisk loads a key's bytes from the sharded location, transparently
 // migrating an entry an earlier version wrote into the flat layout: the
 // legacy file is renamed into its shard (same filesystem, atomic) and read
-// from there.
+// from there. An injected disk.read fault behaves like a missing entry.
 func (c *Cache) readDisk(key string) ([]byte, bool) {
+	if faultinject.Fire(faultinject.PointDiskRead) != nil {
+		return nil, false
+	}
 	p := c.path(key)
 	if raw, err := os.ReadFile(p); err == nil {
 		return raw, true
@@ -567,18 +572,53 @@ func (c *Cache) readDisk(key string) ([]byte, bool) {
 // writeDisk persists a key's bytes into the sharded layout via an atomic
 // rename, reporting success so eviction knows whether the entry is safe to
 // drop from memory. Failures are silent: the disk layer is an optimization.
+// The tmp file is fsynced before the rename and the shard directory after it,
+// so a crash (or power loss) can never leave a renamed-but-empty entry — the
+// rename only becomes visible once the entry's bytes are durable. An injected
+// disk.write fault behaves like any other failed write.
 func (c *Cache) writeDisk(key string, raw []byte) bool {
+	if faultinject.Fire(faultinject.PointDiskWrite) != nil {
+		return false
+	}
 	p := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return false
 	}
 	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return false
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return false
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return false
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return false
 	}
 	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
 		return false
 	}
+	syncDir(filepath.Dir(p))
 	c.diskBytes.Add(int64(len(raw)))
 	return true
+}
+
+// syncDir fsyncs a directory so a renamed entry's directory update is durable.
+// Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strings"
 	"sync"
@@ -13,9 +14,17 @@ import (
 
 	"repro/internal/dispatch"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 )
+
+// errCellPanic marks a cell whose execution panicked. The panic is contained
+// to that one cell: the worker process survives, and the dispatcher is told
+// the cell is retryable (a panic on this worker says nothing about the cell —
+// fault injection, a corrupted cache shard, or a worker-local bug can all
+// produce one, and the cell may well succeed elsewhere).
+var errCellPanic = errors.New("cell execution panicked")
 
 // Worker wire protocol (the server side of internal/dispatch):
 //
@@ -259,7 +268,19 @@ func (s *Server) runCellBatch(b *cellBatch, cells []dispatch.CellEnvelope) {
 			if err == nil {
 				res.SpecKey = key
 				var rows []SweepRow
-				rows, _, err = runner.MemoKeyedContext(ctx, cache, key, func() ([]SweepRow, error) {
+				// The recover lives inside the memoized function: the cache
+				// layer re-panics on a panicking compute, so this is the only
+				// place a cell's panic can be converted into an error before
+				// it unwinds the worker goroutine and kills the process.
+				rows, _, err = runner.MemoKeyedContext(ctx, cache, key, func() (rows []SweepRow, err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							err = fmt.Errorf("%w: %v", errCellPanic, r)
+						}
+					}()
+					if ferr := faultinject.Fire(faultinject.PointCellExec); ferr != nil {
+						return nil, ferr
+					}
 					return env.Cell.Run(ctx, cfg)
 				})
 				res.Rows = rows
@@ -274,13 +295,19 @@ func (s *Server) runCellBatch(b *cellBatch, cells []dispatch.CellEnvelope) {
 				// instead of failing the whole sweep.
 				res.Rows, res.Error, res.Retryable = nil, err.Error(), true
 				failed++
+			case errors.Is(err, errCellPanic):
+				res.Rows, res.Error, res.Retryable = nil, err.Error(), true
+				failed++
 			default:
 				res.Rows, res.Error = nil, err.Error()
 				failed++
 			}
 			mu.Unlock()
 			outcome := "completed"
-			if res.Error != "" {
+			switch {
+			case errors.Is(err, errCellPanic):
+				outcome = "panic"
+			case res.Error != "":
 				outcome = "failed"
 			}
 			s.dispatchSrv.servedCells.With(outcome).Inc()

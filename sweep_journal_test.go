@@ -1,0 +1,218 @@
+package gdp
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/faultinject"
+	"repro/internal/journal"
+)
+
+// tearJournal simulates a SIGKILL mid-sweep: the journal is cut down to its
+// header plus `keep` completed cells, with the next record torn in half the
+// way an interrupted fsync leaves it.
+func tearJournal(t *testing.T, path string, keep int) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	if len(lines) < keep+2 {
+		t.Fatalf("journal has %d lines, need a header plus more than %d cells", len(lines), keep)
+	}
+	kept := strings.Join(lines[:keep+1], "")
+	torn := lines[keep+1]
+	kept += torn[:len(torn)/2]
+	if err := os.WriteFile(path, []byte(kept), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepJournalResumeByteIdentical is the crash-recovery acceptance check:
+// a sweep killed mid-grid (torn final record included) and resumed on a fresh
+// engine — fresh cache, so the journal alone carries the completed cells —
+// produces byte-identical rows to an uninterrupted run, at jobs=1 and jobs=8.
+func TestSweepJournalResumeByteIdentical(t *testing.T) {
+	want := localSweepRows(t)
+	for _, jobs := range []int{1, 8} {
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "sweep.journal")
+
+			// The "crashed" run: complete the grid, then tear the journal back
+			// to two recorded cells plus half of a third.
+			engineA, err := NewEngine(WithScale(dispatchTestScale()), WithJobs(jobs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			jnlA, err := experiments.OpenSweepJournal(path, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optsA := dispatchTestSweep()
+			optsA.Jobs = jobs
+			optsA.Journal = jnlA
+			if _, err := engineA.Sweep(t.Context(), optsA); err != nil {
+				t.Fatal(err)
+			}
+			jnlA.Close()
+			tearJournal(t, path, 2)
+
+			// The resumed run: a fresh engine (empty cache) must replay the two
+			// journaled cells, truncate the torn tail, recompute the rest, and
+			// match the uninterrupted rows byte for byte.
+			engineB, err := NewEngine(WithScale(dispatchTestScale()), WithJobs(jobs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			jnlB, err := experiments.OpenSweepJournal(path, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer jnlB.Close()
+			if n := jnlB.Resumed(); n != 2 {
+				t.Fatalf("Resumed() = %d, want the 2 surviving cells", n)
+			}
+			optsB := dispatchTestSweep()
+			optsB.Jobs = jobs
+			optsB.Journal = jnlB
+			res, err := engineB.Sweep(t.Context(), optsB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rowsJSON(t, res.Rows); got != want {
+				t.Errorf("resumed rows differ from uninterrupted run:\n got %s\nwant %s", got, want)
+			}
+			if n, lastErr := jnlB.WriteErrors(); n != 0 {
+				t.Errorf("journal had %d write errors (last: %v)", n, lastErr)
+			}
+
+			// The resumed journal must be complete and clean: all 6 cells, no
+			// torn tail, so a further resume needs zero simulation.
+			loaded, err := journal.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Count != 6 || loaded.TornTail {
+				t.Errorf("journal after resume: %d cells, torn=%v, want 6 clean cells", loaded.Count, loaded.TornTail)
+			}
+		})
+	}
+}
+
+// TestSweepWorkersJournalResume covers the fleet path: a sweep sharded across
+// a worker resumes from a torn journal with byte-identical rows — crash
+// recovery and distribution compose.
+func TestSweepWorkersJournalResume(t *testing.T) {
+	want := localSweepRows(t)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+
+	w1, _ := newWorker(t)
+	engineA, err := NewEngine(WithScale(dispatchTestScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jnlA, err := experiments.OpenSweepJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsA := dispatchTestSweep()
+	optsA.Journal = jnlA
+	if _, err := engineA.SweepWorkers(t.Context(), optsA, []string{w1.URL}); err != nil {
+		t.Fatal(err)
+	}
+	jnlA.Close()
+	tearJournal(t, path, 2)
+
+	w2, _ := newWorker(t)
+	engineB, err := NewEngine(WithScale(dispatchTestScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jnlB, err := experiments.OpenSweepJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnlB.Close()
+	optsB := dispatchTestSweep()
+	optsB.Journal = jnlB
+	res, err := engineB.SweepWorkers(t.Context(), optsB, []string{w2.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowsJSON(t, res.Rows); got != want {
+		t.Errorf("fleet-resumed rows differ from local run:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestOpenSweepJournalRefusesExisting pins the clobber guard: starting a
+// fresh sweep over an existing journal (a crashed run's completed cells)
+// must fail, pointing at -resume.
+func TestOpenSweepJournalRefusesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := experiments.OpenSweepJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := experiments.OpenSweepJournal(path, false); err == nil || !strings.Contains(err.Error(), "resume") {
+		t.Fatalf("reopening without resume: err = %v, want a refusal naming -resume", err)
+	}
+}
+
+// TestWorkerCellPanicRetryable is the hardening acceptance check: an injected
+// panic inside a worker's cell execution must not kill the worker — the cell
+// comes back as a retryable failure, the dispatcher retries it, and the sweep
+// finishes with byte-identical rows. The worker's metrics record the panic.
+func TestWorkerCellPanicRetryable(t *testing.T) {
+	want := localSweepRows(t)
+
+	in, err := faultinject.Parse("cell.exec:panic=1:times=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := faultinject.Count(faultinject.PointCellExec)
+	faultinject.SetActive(in)
+	defer faultinject.SetActive(nil)
+
+	ts, _ := newWorker(t)
+	engine, err := NewEngine(WithScale(dispatchTestScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.SweepWorkers(t.Context(), dispatchTestSweep(), []string{ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowsJSON(t, res.Rows); got != want {
+		t.Errorf("rows after injected panic differ from clean run:\n got %s\nwant %s", got, want)
+	}
+	if got := faultinject.Count(faultinject.PointCellExec) - before; got != 1 {
+		t.Errorf("cell.exec fired %d times, want 1 (times=1)", got)
+	}
+
+	// The worker survived (it just served the rest of the grid) and accounted
+	// the panic in its outcome counter and fault-injection telemetry.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	if !strings.Contains(metrics, `gdpsim_dispatch_served_cells_total{outcome="panic"} 1`) {
+		t.Errorf("worker metrics missing the panic outcome:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, `gdpsim_fault_injected_total{point="cell.exec"} 1`) {
+		t.Errorf("worker metrics missing the cell.exec injection count:\n%s", metrics)
+	}
+}
